@@ -1,0 +1,27 @@
+"""Figure 3: partitioning time, XtraPulp vs the six CuSP policies."""
+
+from repro.experiments import fig3
+from repro.experiments.common import CUSP_POLICIES
+from repro.metrics import geomean
+
+
+def test_fig3_partition_time(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: fig3.run(ctx), rounds=1, iterations=1)
+    record(result)
+    # Headline shape: every CuSP policy partitions faster than XtraPulp
+    # on (geomean over) every graph/host configuration.
+    for policy in CUSP_POLICIES:
+        ratios = [r["XtraPulp"] / r[policy] for r in result.rows]
+        assert geomean(ratios) > 1.0, f"{policy} not faster than XtraPulp"
+    # EEC is the fastest CuSP policy on average (paper: 4.7x the others).
+    eec = geomean(result.column("EEC"))
+    for policy in CUSP_POLICIES:
+        assert geomean(result.column(policy)) >= eec
+    # ContiguousEB-master policies beat FennelEB-master policies.
+    ceb = geomean(
+        [r[p] for r in result.rows for p in ("EEC", "HVC", "CVC")]
+    )
+    feb = geomean(
+        [r[p] for r in result.rows for p in ("FEC", "GVC", "SVC")]
+    )
+    assert ceb < feb

@@ -1,0 +1,34 @@
+"""Figure 4: time spent in the different phases of CuSP."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_phase_breakdown(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: fig4.run(ctx), rounds=1, iterations=1)
+    record(result)
+    for row in result.rows:
+        phases = {
+            name: row[name]
+            for name in (
+                "Graph Reading", "Master Assignment", "Edge Assignment",
+                "Graph Allocation/Other", "Graph Construction",
+            )
+        }
+        biggest = max(phases, key=phases.get)
+        if row["policy"] == "EEC":
+            # EEC is communication-free: disk reading dominates.
+            assert biggest == "Graph Reading", row
+        elif row["policy"] in ("FEC", "GVC", "SVC"):
+            # FennelEB's master assignment is the bottleneck.
+            assert phases["Master Assignment"] > phases["Edge Assignment"], row
+            assert (
+                phases["Master Assignment"]
+                > phases["Graph Reading"]
+            ), row
+        if row["policy"] in ("HVC", "CVC"):
+            # Edge movement (assignment + construction) dominates, with a
+            # negligible master-assignment phase.
+            assert (
+                phases["Edge Assignment"] + phases["Graph Construction"]
+                > phases["Master Assignment"]
+            ), row

@@ -1,0 +1,32 @@
+"""Figure 5: application execution time on 8 hosts (paper: 64)."""
+
+from repro.experiments import fig56
+from repro.metrics import geomean
+
+
+def check_app_time_shapes(result):
+    """The qualitative claims shared by Figures 5 and 6."""
+    # Edge-cuts are comparable: EEC vs XtraPulp within 2x either way
+    # on the geomean.
+    edge_cut_ratio = geomean(
+        [r["EEC"] / r["XtraPulp"] for r in result.rows]
+    )
+    assert 0.5 < edge_cut_ratio < 2.0
+    # General vertex-cuts (HVC/GVC) are the slowest family on average.
+    means = {
+        p: geomean(result.column(p))
+        for p in ("XtraPulp", "EEC", "HVC", "CVC", "FEC", "GVC", "SVC")
+    }
+    structured = min(means[p] for p in ("EEC", "CVC", "FEC", "SVC"))
+    assert means["HVC"] > structured
+    assert means["GVC"] > structured
+    # CVC beats HVC (the invariant pays off).
+    assert means["CVC"] < means["HVC"]
+
+
+def test_fig5_app_time(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: fig56.run_fig5(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    check_app_time_shapes(result)

@@ -1,0 +1,13 @@
+"""Figure 6: application execution time on 16 hosts (paper: 128)."""
+
+from bench_fig5_app_time_64 import check_app_time_shapes
+
+from repro.experiments import fig56
+
+
+def test_fig6_app_time(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: fig56.run_fig6(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    check_app_time_shapes(result)

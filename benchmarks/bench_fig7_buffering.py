@@ -1,0 +1,17 @@
+"""Figure 7: CVC partitioning time vs message batch size."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_buffering(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: fig7.run(ctx), rounds=1, iterations=1)
+    record(result)
+    graphs = [c for c in result.columns if c != "batch size (KB)"]
+    unbuffered = result.rows[0]
+    largest = result.rows[-1]
+    mid = result.rows[len(result.rows) // 2]
+    for g in graphs:
+        # Sending immediately (batch 0) is substantially slower.
+        assert unbuffered[g] > 1.5 * largest[g], g
+        # The curve flattens: past a modest buffer there is little gain.
+        assert mid[g] < 1.25 * largest[g], g

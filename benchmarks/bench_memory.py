@@ -1,0 +1,20 @@
+"""Supplementary H bench: per-host memory and the Figure 3 OOM gaps."""
+
+from repro.experiments import memory_study
+
+
+def test_memory_study(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: memory_study.run_memory_study(ctx, hosts=[2, 4, 8, 16]),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    first, last = result.rows[0], result.rows[-1]
+    # The paper's pattern: XtraPulp OOMs at the lowest host count where
+    # CuSP fits; at the largest host count everyone fits.
+    assert first["XtraPulp fits"] == "OOM"
+    assert first["EEC fits"] == "ok"
+    assert last["XtraPulp fits"] == "ok"
+    # Footprints shrink with hosts for every system.
+    assert last["XtraPulp MB/host"] < first["XtraPulp MB/host"]
+    assert last["EEC MB/host"] < first["EEC MB/host"]

@@ -1,0 +1,38 @@
+"""Motivation-rooted supplementary benches: end-to-end ratio, HVC
+orientation, straggler sensitivity (Supplementary D/E/F)."""
+
+from repro.experiments import motivation
+
+
+def test_end_to_end_ratio(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: motivation.run_end_to_end(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    by = {r["partitioner"]: r for r in result.rows}
+    # The paper's motivating observation: the offline partitioner's
+    # preprocessing rivals (here: exceeds) the app time, while streaming
+    # partitioning costs a fraction of it.
+    assert by["XtraPulp"]["partition/app ratio"] > by["EEC"]["partition/app ratio"]
+    assert by["EEC"]["end-to-end ms"] < by["XtraPulp"]["end-to-end ms"]
+
+
+def test_hvc_orientation(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: motivation.run_orientation(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    csr, csc = result.rows
+    # On in-skewed crawls, PowerLyra's CSC orientation (in-degree
+    # thresholding) yields the lower replication factor.
+    assert csc["replication"] < csr["replication"]
+
+
+def test_straggler_sensitivity(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: motivation.run_straggler(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    for row in result.rows:
+        # The slow host hurts, but never worse than its raw speed deficit.
+        assert 1.0 < row["slowdown"] <= 4.0, row

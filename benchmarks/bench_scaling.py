@@ -1,0 +1,20 @@
+"""Strong-scaling bench (Supplementary C): partitioning and app time vs
+host count; CVC's partner advantage must widen with k."""
+
+from repro.experiments import scaling
+
+
+def test_strong_scaling(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: scaling.run_strong_scaling(ctx, hosts=[2, 4, 8, 16, 32]),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    first, last = result.rows[0], result.rows[-1]
+    # Partitioning time falls as hosts are added (strong scaling).
+    for policy in ("EEC", "HVC", "CVC"):
+        assert last[f"{policy} part ms"] < first[f"{policy} part ms"]
+    # CVC's partner count stays well under the general vertex-cut's.
+    assert last["CVC partners"] < 0.6 * last["HVC partners"]
+    # And its bfs time beats HVC's at the largest host count.
+    assert last["CVC bfs ms"] < last["HVC bfs ms"]

@@ -1,0 +1,35 @@
+"""Supplementary experiments: structural quality table and vertex-order
+sensitivity (see repro.experiments.supplementary)."""
+
+from repro.experiments import supplementary
+
+
+def test_supp_quality_table(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: supplementary.run_quality_table(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    by = {r["policy"]: r for r in result.rows}
+    # 2-D cuts: fewest communication partners and lowest replication among
+    # the paper's six policies.
+    assert by["CVC"]["max partners"] < by["HVC"]["max partners"]
+    assert by["CVC"]["replication"] < by["EEC"]["replication"]
+    assert by["SVC"]["max partners"] < by["GVC"]["max partners"]
+    # Edge-cuts have tight edge balance; HVC trades balance for hub
+    # spreading.
+    assert by["EEC"]["edge balance"] < by["HVC"]["edge balance"]
+
+
+def test_supp_vertex_order(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: supplementary.run_vertex_order(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    rep = {
+        (r["vertex order"], r["policy"]): r["replication"] for r in result.rows
+    }
+    for policy in ("EEC", "CVC"):
+        assert (
+            rep[("row-major order (locality)", policy)]
+            < rep[("random order", policy)]
+        )

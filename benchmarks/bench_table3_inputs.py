@@ -1,0 +1,16 @@
+"""Table III: input graphs and their properties."""
+
+from repro.experiments import table3
+
+
+def test_table3_inputs(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: table3.run(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    # Sanity: all five inputs present with the paper's |E|/|V| ratios.
+    assert [r["graph"] for r in result.rows] == [
+        "kron", "gsh", "clueweb", "uk", "wdc"
+    ]
+    for row in result.rows:
+        assert abs(row["|E|/|V|"] - row["paper |E|/|V|"]) < 1.5

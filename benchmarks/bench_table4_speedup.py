@@ -1,0 +1,26 @@
+"""Table IV: average speedup of CuSP over XtraPulp (partitioning + apps)."""
+
+from repro.experiments import table4
+
+
+def test_table4_speedup(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: table4.run(ctx), rounds=1, iterations=1)
+    record(result)
+    by_policy = {r["policy"]: r for r in result.rows}
+    # All partitioning speedups over XtraPulp exceed 1.
+    for policy, row in by_policy.items():
+        assert row["partitioning speedup"] > 1.0, policy
+    # ContiguousEB-master policies partition faster than FennelEB ones.
+    assert (
+        by_policy["EEC"]["partitioning speedup"]
+        > by_policy["FEC"]["partitioning speedup"]
+    )
+    # Structured cuts (EEC/CVC/SVC) execute apps at least as fast as
+    # XtraPulp partitions on average; the general vertex-cuts may not
+    # (the paper's HVC/GVC are below 1 too).
+    for policy in ("EEC", "CVC", "SVC"):
+        assert by_policy[policy]["app execution speedup"] > 0.95, policy
+    assert (
+        by_policy["CVC"]["app execution speedup"]
+        > by_policy["HVC"]["app execution speedup"]
+    )

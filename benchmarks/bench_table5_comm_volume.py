@@ -1,0 +1,19 @@
+"""Table V: data volume in edge assignment + construction, CVC vs HVC."""
+
+from repro.experiments import table5
+
+
+def test_table5_comm_volume(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: table5.run(ctx), rounds=1, iterations=1)
+    record(result)
+    by_key = {(r["graph"], r["policy"]): r for r in result.rows}
+    graphs = {g for g, _ in by_key}
+    for g in graphs:
+        hvc = by_key[(g, "HVC")]
+        cvc = by_key[(g, "CVC")]
+        hvc_total = hvc["assignment (MB)"] + hvc["construction (MB)"]
+        cvc_total = cvc["assignment (MB)"] + cvc["construction (MB)"]
+        # HVC communicates more data than CVC...
+        assert hvc_total > cvc_total, g
+        # ...yet is only mildly slower (paper: 1.2x on average; allow 2x).
+        assert hvc["total time (ms)"] < 2.0 * cvc["total time (ms)"], g

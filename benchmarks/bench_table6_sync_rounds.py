@@ -1,0 +1,15 @@
+"""Table VI: SVC partitioning time vs number of synchronization rounds."""
+
+from repro.experiments import table67
+
+
+def test_table6_sync_rounds(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: table67.run_table6(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    for row in result.rows:
+        # Roughly flat through 100 rounds...
+        assert row["100 rounds"] < 2.0 * row["1 rounds"], row
+        # ...with a visible increase by 1000 rounds.
+        assert row["1000 rounds"] > 1.5 * row["10 rounds"], row

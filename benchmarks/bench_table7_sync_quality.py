@@ -1,0 +1,19 @@
+"""Table VII: application execution time with SVC partitions built with
+different numbers of synchronization rounds."""
+
+from repro.experiments import table67
+
+
+def test_table7_sync_quality(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: table67.run_table7(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    # The paper's takeaway is a *negative* result: more rounds do not
+    # monotonically improve application time — effects are mixed by
+    # benchmark and input.  Assert the weaker invariant that runtimes
+    # stay within a sane band across round counts (no order-of-magnitude
+    # quality cliffs), which is exactly what Table VII shows.
+    for row in result.rows:
+        times = [row[c] for c in result.columns if c.endswith("rounds")]
+        assert max(times) < 3.0 * min(times), row

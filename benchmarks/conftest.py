@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure from the paper.
+The regenerated artifact is printed (run pytest with ``-s`` to see it
+live) and written to ``benchmarks/results/<experiment>.txt``; the
+pytest-benchmark timing wraps the experiment driver itself.
+
+Set ``REPRO_BENCH_SCALE`` (tiny | small | bench) to trade fidelity for
+speed; the default ``small`` finishes the full suite in a few minutes.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_collection_modifyitems(items):
+    # Keep paper order: table3, fig3, table4, fig4, table5, fig5/6/7, ...
+    items.sort(key=lambda it: it.fspath.basename)
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    return ExperimentContext(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Print an ExperimentResult and persist it under results/."""
+
+    def _record(result):
+        text = result.format()
+        print("\n" + text)
+        slug = result.experiment.lower().replace(" ", "")
+        (results_dir / f"{slug}.txt").write_text(text + "\n")
+        return result
+
+    return _record

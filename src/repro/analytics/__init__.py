@@ -1,0 +1,55 @@
+"""Distributed graph analytics: BSP engine and the paper's applications."""
+
+from .apps import (
+    APPS,
+    BFS,
+    ConnectedComponents,
+    INF,
+    PageRank,
+    SSSP,
+    bfs_reference,
+    cc_reference,
+    default_source,
+    pagerank_reference,
+    sssp_reference,
+)
+from .bc import BCResult, bc_reference, betweenness_centrality
+from .bfs_variants import BFSDirectionOptimizing, BFSPull
+from .delta_stepping import DeltaSteppingSSSP
+from .diameter import DiameterResult, approximate_diameter
+from .engine import AppResult, Engine, VertexProgram
+from .kcore import KCore, kcore_reference
+from .msbfs import MultiSourceBFS, msbfs_reference
+from .triangles import TriangleResult, count_triangles, triangles_reference
+
+__all__ = [
+    "Engine",
+    "VertexProgram",
+    "KCore",
+    "kcore_reference",
+    "MultiSourceBFS",
+    "msbfs_reference",
+    "count_triangles",
+    "triangles_reference",
+    "TriangleResult",
+    "AppResult",
+    "betweenness_centrality",
+    "bc_reference",
+    "BCResult",
+    "approximate_diameter",
+    "DiameterResult",
+    "APPS",
+    "BFS",
+    "BFSPull",
+    "BFSDirectionOptimizing",
+    "SSSP",
+    "DeltaSteppingSSSP",
+    "ConnectedComponents",
+    "PageRank",
+    "INF",
+    "bfs_reference",
+    "sssp_reference",
+    "cc_reference",
+    "pagerank_reference",
+    "default_source",
+]

@@ -1,0 +1,356 @@
+"""The paper's four benchmark applications (§V-A) as vertex programs.
+
+bfs, sssp, and cc are data-driven *min-propagation* programs sharing one
+push-style kernel; pagerank is topology-driven with add-reduction of
+partial sums.  Each app also ships a single-machine reference
+implementation used by the tests (and by the experiments' sanity checks)
+to confirm the distributed execution computes exactly the right answer on
+every policy's partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.partition import LocalPartition
+from ..graph.csr import CSRGraph
+from .engine import Engine, VertexProgram
+
+__all__ = [
+    "BFS",
+    "SSSP",
+    "ConnectedComponents",
+    "PageRank",
+    "INF",
+    "bfs_reference",
+    "sssp_reference",
+    "cc_reference",
+    "pagerank_reference",
+    "default_source",
+    "APPS",
+]
+
+#: Sentinel distance for unreached vertices (fits in int64 with headroom).
+INF = np.int64(2**62)
+
+
+def default_source(graph: CSRGraph) -> int:
+    """The paper's source choice: the node with the highest out-degree."""
+    return int(np.argmax(graph.out_degree()))
+
+
+def _gather_edges(part: LocalPartition, active: np.ndarray):
+    """Edge arrays (src_local, edge_index) for the active locals' out-edges."""
+    indptr = part.local_graph.indptr
+    starts = indptr[active]
+    counts = (indptr[active + 1] - starts).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            0,
+        )
+    # Positions 0..total-1 mapped into each active node's edge range.
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    edge_idx = np.repeat(starts, counts) + (np.arange(total) - offsets)
+    src_rep = np.repeat(active, counts)
+    return src_rep, edge_idx, total
+
+
+class _MinPropagation(VertexProgram):
+    """Shared push-style kernel: relax out-edges of frontier vertices."""
+
+    reduce_op = "min"
+    dtype = np.int64
+
+    def _candidate(self, part, values, src_rep, edge_idx) -> np.ndarray:
+        """Tentative values pushed along the selected edges."""
+        raise NotImplementedError
+
+    def compute(self, part, values, frontier):
+        active = np.flatnonzero(frontier)
+        if active.size == 0:
+            return np.zeros(part.num_proxies, dtype=bool), 0.0
+        src_rep, edge_idx, total = _gather_edges(part, active)
+        if total == 0:
+            return np.zeros(part.num_proxies, dtype=bool), float(active.size)
+        dst = part.local_graph.indices[edge_idx]
+        cand = self._candidate(part, values, src_rep, edge_idx)
+        old = values.copy()
+        np.minimum.at(values, dst, cand)
+        changed = values < old
+        return changed, float(total + active.size)
+
+
+class BFS(_MinPropagation):
+    """Breadth-first search: hop distance from a source vertex."""
+
+    name = "bfs"
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def init_values(self, dg, engine):
+        values = []
+        for part in dg.partitions:
+            v = np.full(part.num_proxies, INF, dtype=np.int64)
+            local = part.to_local(np.array([self.source]))[0]
+            if local >= 0:
+                v[local] = 0
+            values.append(v)
+        return values
+
+    def initial_frontier(self, dg):
+        fronts = []
+        for part in dg.partitions:
+            f = np.zeros(part.num_proxies, dtype=bool)
+            local = part.to_local(np.array([self.source]))[0]
+            if local >= 0:
+                f[local] = True
+            fronts.append(f)
+        return fronts
+
+    def _candidate(self, part, values, src_rep, edge_idx):
+        return values[src_rep] + 1
+
+
+class SSSP(_MinPropagation):
+    """Single-source shortest paths (Bellman-Ford style relaxation).
+
+    Requires the partitioned graph to carry integer edge weights.
+    """
+
+    name = "sssp"
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def init_values(self, dg, engine):
+        for part in dg.partitions:
+            if not part.local_graph.is_weighted:
+                raise ValueError("sssp needs a weighted graph")
+            if part.local_graph.num_edges and part.local_graph.edge_data.min() < 0:
+                # Min-propagation diverges on negative cycles; refuse the
+                # whole class rather than silently looping.
+                raise ValueError("sssp requires non-negative edge weights")
+        return BFS(self.source).init_values(dg, engine)
+
+    def initial_frontier(self, dg):
+        return BFS(self.source).initial_frontier(dg)
+
+    def _candidate(self, part, values, src_rep, edge_idx):
+        return values[src_rep] + part.local_graph.edge_data[edge_idx]
+
+
+class ConnectedComponents(_MinPropagation):
+    """Label propagation: every vertex converges to the minimum global id
+    in its (weakly) connected component.
+
+    As in the paper (§V-A), run it on the symmetric version of the graph
+    so label exchange flows both ways.
+    """
+
+    name = "cc"
+
+    def init_values(self, dg, engine):
+        return [part.global_ids.astype(np.int64).copy() for part in dg.partitions]
+
+    def initial_frontier(self, dg):
+        return [np.ones(part.num_proxies, dtype=bool) for part in dg.partitions]
+
+    def _candidate(self, part, values, src_rep, edge_idx):
+        return values[src_rep]
+
+
+class PageRank(VertexProgram):
+    """Topology-driven pull-style PageRank with add-reduction.
+
+    Every round each partition accumulates ``pr[u] / outdeg(u)`` over its
+    local edges into per-proxy partial sums; partials reduce (add) to the
+    masters, which form the new rank and broadcast it to read mirrors.
+    Runs for at most ``max_rounds`` iterations or until every rank moves
+    by less than ``tolerance`` (paper: 100 iterations, 1e-6).
+    """
+
+    name = "pagerank"
+    reduce_op = "add"
+
+    def __init__(self, damping: float = 0.85, tolerance: float = 1e-6,
+                 max_rounds: int = 100):
+        if not (0 < damping < 1):
+            raise ValueError("damping must be in (0, 1)")
+        self.damping = damping
+        self.tolerance = tolerance
+        self.max_rounds = max_rounds
+        self._partials: list[np.ndarray] = []
+        self._degrees: list[np.ndarray] = []
+        self._teleport = 0.0
+
+    def init_values(self, dg, engine: Engine):
+        n = dg.num_global_nodes
+        self._teleport = (1.0 - self.damping) / n if n else 0.0
+        self._degrees = engine.global_out_degrees()
+        self._partials = [
+            np.zeros(part.num_proxies, dtype=np.float64) for part in dg.partitions
+        ]
+        self._unconverged = [0] * dg.num_partitions
+        init = 1.0 / n if n else 0.0
+        return [
+            np.full(part.num_proxies, init, dtype=np.float64)
+            for part in dg.partitions
+        ]
+
+    def initial_frontier(self, dg):
+        # Topology-driven: compute ignores the frontier and touches every
+        # local edge each round.
+        return [np.ones(part.num_proxies, dtype=bool) for part in dg.partitions]
+
+    def compute(self, part, values, frontier):
+        partial = self._partials[part.host]
+        partial[:] = 0.0
+        g = part.local_graph
+        if g.num_edges:
+            src = g.edge_sources()
+            contrib = values[src] / self._degrees[part.host][src]
+            np.add.at(partial, g.indices, contrib)
+        changed = np.zeros(part.num_proxies, dtype=bool)
+        in_deg = np.bincount(g.indices, minlength=part.num_proxies)
+        changed[in_deg > 0] = True
+        return changed, float(g.num_edges + part.num_proxies)
+
+    def reduce_payload(self, part, values, mirror_locals):
+        return self._partials[part.host][mirror_locals]
+
+    def apply_reduce(self, part, values, locals_, vals):
+        np.add.at(self._partials[part.host], locals_, vals)
+        return np.ones(len(locals_), dtype=bool)
+
+    def post_reduce(self, part, values, reduced_mask):
+        m = part.num_masters
+        new_rank = self._teleport + self.damping * self._partials[part.host][:m]
+        delta = np.abs(new_rank - values[:m])
+        # Broadcast any meaningful rank movement so mirror copies cannot
+        # drift, but only count movement above the tolerance toward
+        # convergence (otherwise sub-tolerance residue accumulating on
+        # hubs goes stale on their mirrors).
+        broadcast = delta > self.tolerance * 1e-3
+        self._unconverged[part.host] = int((delta > self.tolerance).sum())
+        values[:m] = new_rank
+        out = np.zeros(len(values), dtype=bool)
+        out[:m] = broadcast
+        return out
+
+    def convergence_contribution(self, part, values, canon_changed):
+        return self._unconverged[part.host]
+
+
+# ----------------------------------------------------------------------
+# Single-machine references (test oracles)
+# ----------------------------------------------------------------------
+
+def bfs_reference(graph: CSRGraph, source: int) -> np.ndarray:
+    """Hop distances by level-synchronous BFS (INF where unreachable)."""
+    n = graph.num_nodes
+    dist = np.full(n, INF, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        src_rep, edge_idx, total = _gather_edges_plain(graph, frontier)
+        if total == 0:
+            break
+        dst = graph.indices[edge_idx]
+        fresh = dst[dist[dst] == INF]
+        if fresh.size == 0:
+            break
+        fresh = np.unique(fresh)
+        dist[fresh] = level
+        frontier = fresh
+    return dist
+
+
+def _gather_edges_plain(graph: CSRGraph, active: np.ndarray):
+    starts = graph.indptr[active]
+    counts = (graph.indptr[active + 1] - starts).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64), 0
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    edge_idx = np.repeat(starts, counts) + (np.arange(total) - offsets)
+    return np.repeat(active, counts), edge_idx, total
+
+
+def sssp_reference(graph: CSRGraph, source: int) -> np.ndarray:
+    """Shortest path distances via scipy's Dijkstra (INF where unreachable)."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra
+
+    n = graph.num_nodes
+    if graph.edge_data is None:
+        raise ValueError("sssp needs a weighted graph")
+    # scipy treats explicit zeros as missing; our weights are >= 1.
+    mat = csr_matrix(
+        (graph.edge_data.astype(np.float64), graph.indices, graph.indptr),
+        shape=(n, n),
+    )
+    dist = dijkstra(mat, directed=True, indices=source)
+    out = np.full(n, INF, dtype=np.int64)
+    reachable = np.isfinite(dist)
+    out[reachable] = dist[reachable].astype(np.int64)
+    return out
+
+
+def cc_reference(graph: CSRGraph) -> np.ndarray:
+    """Minimum node id per weakly-connected component."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    n = graph.num_nodes
+    mat = csr_matrix(
+        (np.ones(graph.num_edges, dtype=np.int8), graph.indices, graph.indptr),
+        shape=(n, n),
+    )
+    _, labels = connected_components(mat, directed=True, connection="weak")
+    # Normalize: label each component by its minimum node id.
+    min_id = np.full(labels.max() + 1 if n else 0, n, dtype=np.int64)
+    np.minimum.at(min_id, labels, np.arange(n, dtype=np.int64))
+    return min_id[labels]
+
+
+def pagerank_reference(
+    graph: CSRGraph,
+    damping: float = 0.85,
+    tolerance: float = 1e-6,
+    max_rounds: int = 100,
+) -> np.ndarray:
+    """Power iteration with the same update rule as the distributed app.
+
+    Matches the distributed semantics exactly: dangling mass is dropped
+    (no redistribution), updates stop when every rank moves <= tolerance.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    pr = np.full(n, 1.0 / n, dtype=np.float64)
+    deg = np.maximum(graph.out_degree(), 1)
+    src, dst = graph.edges()
+    teleport = (1.0 - damping) / n
+    for _ in range(max_rounds):
+        partial = np.zeros(n, dtype=np.float64)
+        np.add.at(partial, dst, pr[src] / graph.out_degree()[src])
+        new_pr = teleport + damping * partial
+        if np.all(np.abs(new_pr - pr) <= tolerance):
+            pr = new_pr
+            break
+        pr = new_pr
+    return pr
+
+
+APPS = {
+    "bfs": BFS,
+    "sssp": SSSP,
+    "cc": ConnectedComponents,
+    "pagerank": PageRank,
+}

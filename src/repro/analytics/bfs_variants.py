@@ -1,0 +1,129 @@
+"""Pull-model and direction-optimizing BFS (Beamer-style).
+
+The push BFS in :mod:`repro.analytics.apps` scans the frontier's
+*out*-edges; when the frontier is a large fraction of the graph it is
+cheaper to flip direction and let each unvisited vertex scan its *in*-edges
+for a visited parent (the bottom-up step of Beamer's direction-optimizing
+BFS, which D-Galois also implements).  Both variants run through the same
+engine and produce bit-identical distances; what changes is the local
+work profile:
+
+* **push**: work ~ sum of frontier out-degrees;
+* **pull**: work ~ sum of unvisited in-degrees, and a round can stop
+  scanning a vertex at its first visited parent;
+* **direction-optimizing**: per round, pick push while the frontier is
+  small, switch to pull once it crosses ``alpha`` of the vertices, and
+  switch back when it shrinks below ``beta``.
+
+The pull step needs each partition's local in-adjacency; it is built
+lazily by an in-memory transpose of the local CSR (free of
+communication, like the construction phase's CSC output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .apps import BFS, INF
+from .engine import Engine
+
+__all__ = ["BFSPull", "BFSDirectionOptimizing"]
+
+
+class BFSPull(BFS):
+    """Bottom-up BFS: unvisited vertices scan local in-edges for parents."""
+
+    name = "bfs-pull"
+
+    def __init__(self, source: int):
+        super().__init__(source)
+        self._csc_cache: dict[int, object] = {}
+        self._level: int = 0
+
+    def initial_frontier(self, dg):
+        # Pull compute is driven by the level counter, not the frontier;
+        # mark everything active so every partition participates each
+        # round until convergence.
+        self._level = 0
+        self._csc_cache = {}
+        return [np.ones(p.num_proxies, dtype=bool) for p in dg.partitions]
+
+    def _local_csc(self, part):
+        csc = self._csc_cache.get(part.host)
+        if csc is None:
+            csc = part.local_csc or part.local_graph.transpose()
+            self._csc_cache[part.host] = csc
+        return csc
+
+    def compute(self, part, values, frontier):
+        csc = self._local_csc(part)
+        unvisited = np.flatnonzero(values == INF)
+        changed = np.zeros(part.num_proxies, dtype=bool)
+        if unvisited.size == 0:
+            return changed, 1.0
+        indptr = csc.indptr
+        starts = indptr[unvisited]
+        counts = (indptr[unvisited + 1] - starts).astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return changed, float(unvisited.size)
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        edge_idx = np.repeat(starts, counts) + (np.arange(total) - offsets)
+        parents = csc.indices[edge_idx]
+        dst_rep = np.repeat(unvisited, counts)
+        # A vertex joins level L+1 if any in-parent sits at level <= L.
+        # (values of parents may be stale-high on mirrors, never stale-low,
+        # so this can only delay, not corrupt, a distance.)
+        cand = values[parents] + 1
+        np.minimum.at(values, dst_rep, cand)
+        changed[unvisited] = values[unvisited] < INF
+        return changed, float(total + unvisited.size)
+
+
+class BFSDirectionOptimizing(BFS):
+    """Beamer's hybrid: push small frontiers, pull big ones.
+
+    ``alpha`` is the local frontier fraction above which a partition's
+    compute goes bottom-up; ``beta`` the fraction below which it returns
+    to top-down (the mode controller is shared, so a flip mid-round
+    carries to the remaining partitions — a scheduling detail, not a
+    correctness concern).  The distances are identical to plain BFS; only
+    the work/communication profile changes (visible in the AppResult's
+    per-round stats).
+    """
+
+    name = "bfs-dopt"
+
+    def __init__(self, source: int, alpha: float = 0.05, beta: float = 0.01):
+        super().__init__(source)
+        if not (0 < beta <= alpha < 1):
+            raise ValueError("need 0 < beta <= alpha < 1")
+        self.alpha = alpha
+        self.beta = beta
+        self._pull = None  # type: BFSPull | None
+        self._mode = "push"
+        self._num_global = 0
+
+    def init_values(self, dg, engine: Engine):
+        self._pull = BFSPull(self.source)
+        self._pull.initial_frontier(dg)  # primes its caches
+        self._mode = "push"
+        self._num_global = dg.num_global_nodes
+        self.mode_history: list[str] = []
+        return super().init_values(dg, engine)
+
+    def compute(self, part, values, frontier):
+        frontier_size = int(frontier.sum())
+        visited = int((values < INF).sum())
+        # Heuristic on this partition's share (each partition decides for
+        # its local round, mirroring D-Galois' per-host choice).
+        n_local = max(1, part.num_proxies)
+        frac = frontier_size / n_local
+        if self._mode == "push" and frac >= self.alpha:
+            self._mode = "pull"
+        elif self._mode == "pull" and frac <= self.beta:
+            self._mode = "push"
+        self.mode_history.append(self._mode)
+        if self._mode == "pull" and visited > 0:
+            return self._pull.compute(part, values, frontier)
+        return super().compute(part, values, frontier)

@@ -1,0 +1,70 @@
+"""Delta-stepping SSSP (bucketed label-correcting shortest paths).
+
+Plain distributed Bellman-Ford (the :class:`~repro.analytics.apps.SSSP`
+program) relaxes every improved vertex immediately, which can re-relax
+the same vertex many times with successively better distances.
+Delta-stepping [Meyer & Sanders] imposes priority order coarsely: only
+vertices whose tentative distance falls inside the current bucket
+``[b*delta, (b+1)*delta)`` relax their edges; once the bucket is
+quiescent the algorithm advances to the next non-empty bucket.  Larger
+``delta`` degrades toward Bellman-Ford, tiny ``delta`` toward Dijkstra.
+
+This is D-Galois' workhorse sssp scheduling policy, implemented here on
+the engine's new quiescence hook: the engine detects a globally quiet
+round, the program advances its bucket and re-seeds the frontier, and
+execution resumes — with all the usual reduce/broadcast accounting.
+Final distances are exact (equal to Dijkstra) for any ``delta``.
+"""
+
+from __future__ import annotations
+
+from .apps import INF, SSSP
+
+__all__ = ["DeltaSteppingSSSP"]
+
+
+class DeltaSteppingSSSP(SSSP):
+    """Bucketed SSSP: relax only the current distance bucket."""
+
+    name = "sssp-delta"
+
+    def __init__(self, source: int, delta: int = 16):
+        super().__init__(source)
+        if delta < 1:
+            raise ValueError("delta must be >= 1")
+        self.delta = int(delta)
+        self._bucket = 0
+
+    def init_values(self, dg, engine):
+        self._bucket = 0
+        self.buckets_processed = 0
+        return super().init_values(dg, engine)
+
+    def _bucket_end(self) -> int:
+        return (self._bucket + 1) * self.delta
+
+    def compute(self, part, values, frontier):
+        # Only frontier vertices inside the current bucket may relax.
+        eligible = frontier & (values < self._bucket_end())
+        return super().compute(part, values, eligible)
+
+    def on_quiescence(self, dg, values, frontier) -> bool:
+        """Advance to the next non-empty bucket; stop when none remain."""
+        self.buckets_processed += 1
+        # Smallest unsettled tentative distance at/above the bucket end.
+        cutoff = self._bucket_end()
+        best = None
+        for part, vals in zip(dg.partitions, values):
+            masters = vals[: part.num_masters]
+            pending = masters[(masters >= cutoff) & (masters < INF)]
+            if pending.size:
+                lo = int(pending.min())
+                best = lo if best is None else min(best, lo)
+        if best is None:
+            return False
+        self._bucket = best // self.delta
+        end = self._bucket_end()
+        # Re-seed: every proxy inside the new bucket becomes frontier.
+        for part, vals, mask in zip(dg.partitions, values, frontier):
+            mask |= (vals >= best) & (vals < end)
+        return True

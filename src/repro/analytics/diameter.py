@@ -1,0 +1,64 @@
+"""Approximate diameter by the double-sweep heuristic.
+
+Two BFS runs over the distributed partitions: one from a given (or
+default) start vertex, a second from the farthest vertex the first sweep
+found.  The second sweep's eccentricity is a lower bound on the diameter
+that is exact on trees and extremely tight on real-world graphs — a
+standard trick, and a two-line composition of the engine's BFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.partition import DistributedGraph
+from ..runtime.cost_model import STAMPEDE2, CostModel
+from .apps import BFS, INF
+from .engine import Engine
+
+__all__ = ["approximate_diameter", "DiameterResult"]
+
+
+@dataclass
+class DiameterResult:
+    """Double-sweep outcome."""
+
+    lower_bound: int
+    start: int
+    far_vertex: int
+    time: float
+
+    def __int__(self) -> int:  # pragma: no cover - convenience
+        return self.lower_bound
+
+
+def approximate_diameter(
+    dg: DistributedGraph,
+    start: int | None = None,
+    cost_model: CostModel = STAMPEDE2,
+) -> DiameterResult:
+    """Double-sweep lower bound on the diameter of the partitioned graph.
+
+    Run it on a symmetric partitioning for the usual undirected notion of
+    diameter; on a directed graph it bounds the directed eccentricity
+    from the chosen start's reachable set.
+    """
+    engine = Engine(dg, cost_model=cost_model)
+    if start is None:
+        # Default: the globally highest out-degree vertex, like the apps.
+        degrees = np.zeros(dg.num_global_nodes, dtype=np.int64)
+        for p in dg.partitions:
+            np.add.at(degrees, p.global_ids, p.local_graph.out_degree())
+        start = int(np.argmax(degrees))
+    first = engine.run(BFS(start))
+    reachable = first.values < INF
+    if not reachable.any():
+        return DiameterResult(0, start, start, first.time)
+    far = int(np.argmax(np.where(reachable, first.values, -1)))
+    second = engine.run(BFS(far))
+    reach2 = second.values < INF
+    ecc = int(second.values[reach2].max(initial=0))
+    ecc = max(ecc, int(first.values[reachable].max(initial=0)))
+    return DiameterResult(ecc, start, far, first.time + second.time)

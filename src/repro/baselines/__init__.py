@@ -1,0 +1,13 @@
+"""Baseline partitioners: XtraPulp-style offline LP and hash edge-cut."""
+
+from .common import assemble_edge_cut
+from .hash_partition import hash_partition
+from .multilevel import MultilevelPartitioner
+from .xtrapulp import XtraPulp
+
+__all__ = [
+    "XtraPulp",
+    "MultilevelPartitioner",
+    "hash_partition",
+    "assemble_edge_cut",
+]

@@ -1,0 +1,72 @@
+"""Shared helpers for baseline partitioners.
+
+Baselines produce a *vertex label* array (an edge-cut: every out-edge
+follows its source's label).  :func:`assemble_edge_cut` materializes the
+same :class:`~repro.core.partition.DistributedGraph` structure CuSP
+produces, so baseline partitions can be loaded into the analytics engine
+exactly the way the paper loads XtraPulp partitions into D-Galois (§V-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.partition import DistributedGraph, LocalPartition
+from ..graph.csr import CSRGraph
+from ..runtime.stats import TimeBreakdown
+
+__all__ = ["assemble_edge_cut"]
+
+
+def assemble_edge_cut(
+    graph: CSRGraph,
+    labels: np.ndarray,
+    num_partitions: int,
+    policy_name: str,
+    breakdown: TimeBreakdown | None = None,
+) -> DistributedGraph:
+    """Build a distributed graph from a vertex-label edge-cut.
+
+    Vertex ``v`` is mastered on partition ``labels[v]``; every outgoing
+    edge of ``v`` is owned there too (an outgoing edge-cut, §II-A1).
+    """
+    labels = np.asarray(labels, dtype=np.int32)
+    n = graph.num_nodes
+    if labels.shape != (n,):
+        raise ValueError("labels must have one entry per node")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_partitions):
+        raise ValueError("labels out of range")
+    src, dst = graph.edges()
+    partitions = []
+    for j in range(num_partitions):
+        owned = labels[src] == j
+        s, d = src[owned], dst[owned]
+        w = graph.edge_data[owned] if graph.is_weighted else None
+        mastered = np.flatnonzero(labels == j).astype(np.int64)
+        endpoints = np.unique(np.concatenate([s, d, mastered]))
+        is_master = labels[endpoints] == j
+        ordered = np.concatenate([endpoints[is_master], endpoints[~is_master]])
+        lookup = np.full(n, -1, dtype=np.int64)
+        lookup[ordered] = np.arange(ordered.size)
+        local = CSRGraph.from_edges(
+            lookup[s], lookup[d], num_nodes=ordered.size, edge_data=w
+        )
+        partitions.append(
+            LocalPartition(
+                host=j,
+                global_ids=ordered,
+                num_masters=int(is_master.sum()),
+                master_host=labels[ordered].astype(np.int32),
+                local_graph=local,
+                _lookup=lookup,
+            )
+        )
+    return DistributedGraph(
+        partitions=partitions,
+        masters=labels,
+        num_global_nodes=n,
+        num_global_edges=graph.num_edges,
+        policy_name=policy_name,
+        invariant="edge-cut",
+        breakdown=breakdown,
+    )

@@ -1,0 +1,29 @@
+"""Hash/random vertex partitioner — the trivial lower bound baseline.
+
+Not in the paper's evaluation, but useful for tests and as a quality
+floor: a hash edge-cut balances vertices perfectly and ignores structure
+entirely, so any structure-aware policy should cut no worse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.partition import DistributedGraph
+from ..graph.csr import CSRGraph
+from .common import assemble_edge_cut
+
+__all__ = ["hash_partition"]
+
+
+def hash_partition(graph: CSRGraph, num_partitions: int) -> DistributedGraph:
+    """Edge-cut with vertices assigned by a deterministic hash."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    ids = np.arange(graph.num_nodes, dtype=np.uint64)
+    labels = (
+        (ids * np.uint64(11400714819323198485)) >> np.uint64(40)
+    ) % np.uint64(num_partitions)
+    return assemble_edge_cut(
+        graph, labels.astype(np.int32), num_partitions, policy_name="Hash"
+    )

@@ -1,0 +1,248 @@
+"""Command-line interface: ``cusp`` (or ``python -m repro``).
+
+Subcommands:
+
+``convert``     convert between graph formats (.gr / .el / .metis)
+``generate``    write a synthetic graph to disk
+``partition``   partition a graph file and report quality + timing
+``experiment``  regenerate one of the paper's tables/figures
+``info``        print a graph file's Table III properties
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .core import CuSP, make_policy, policy_names
+from .graph import (
+    compute_properties,
+    convert,
+    erdos_renyi,
+    kronecker,
+    read_gr,
+    webcrawl_like,
+    write_gr,
+)
+from .metrics import measure_quality
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cusp",
+        description="CuSP: customizable streaming edge partitioner (reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("convert", help="convert between graph formats")
+    p.add_argument("src", help="input file (.gr, .el, .metis)")
+    p.add_argument("dst", help="output file (.gr, .el, .metis)")
+
+    p = sub.add_parser("generate", help="write a synthetic graph")
+    p.add_argument("kind", choices=["kron", "webcrawl", "er"])
+    p.add_argument("out", help="output .gr file")
+    p.add_argument("--scale", type=int, default=12, help="kron: log2 nodes")
+    p.add_argument("--nodes", type=int, default=10_000)
+    p.add_argument("--degree", type=float, default=16.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("partition", help="partition a graph file")
+    p.add_argument("graph", help=".gr file to partition")
+    p.add_argument("-k", "--partitions", type=int, required=True)
+    p.add_argument(
+        "-p", "--policy", default="EEC",
+        help=(
+            f"one of {', '.join(policy_names())}, 'window[:SIZE]' for the "
+            "streaming-window partitioner, or 'xtrapulp'/'multilevel' for "
+            "the offline baselines"
+        ),
+    )
+    p.add_argument("--sync-rounds", type=int, default=100)
+    p.add_argument("--buffer-size", type=int, default=8 << 20)
+    p.add_argument("--degree-threshold", type=int, default=100)
+    p.add_argument("--output-format", choices=["csr", "csc"], default="csr")
+    p.add_argument("--save", metavar="DIR",
+                   help="write the constructed partitions to DIR")
+    p.add_argument("--trace", action="store_true",
+                   help="render an ASCII phase-breakdown bar chart")
+    p.add_argument("--trace-json", metavar="FILE",
+                   help="write the phase breakdown as JSON to FILE")
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", help="e.g. table3, fig3, fig7 (or 'all')")
+    p.add_argument("--scale", default="small", choices=["tiny", "small", "bench"])
+    p.add_argument("--out", metavar="FILE",
+                   help="also append the rendered tables to FILE")
+    p.add_argument("--chart", action="store_true",
+                   help="render an ASCII chart alongside each table")
+
+    p = sub.add_parser("info", help="print a graph file's properties")
+    p.add_argument("graph", help=".gr file")
+
+    p = sub.add_parser(
+        "validate",
+        help="check a saved partition directory against its input graph",
+    )
+    p.add_argument("partition_dir", help="directory written by --save")
+    p.add_argument("graph", nargs="?", help="optional .gr file to check against")
+    return parser
+
+
+def _run_partitioner(graph, args):
+    """Dispatch the ``partition`` subcommand's --policy string."""
+    spec = args.policy.lower()
+    if spec.startswith("window"):
+        from .core import WindowedPartitioner
+
+        window = int(spec.split(":", 1)[1]) if ":" in spec else 64
+        wp = WindowedPartitioner(
+            args.partitions, window_size=window, buffer_size=args.buffer_size
+        )
+        return wp.partition(graph), f"streaming window (size {window})"
+    if spec == "xtrapulp":
+        from .baselines import XtraPulp
+
+        return XtraPulp(args.partitions).partition(graph), "XtraPulp baseline"
+    if spec == "multilevel":
+        from .baselines import MultilevelPartitioner
+
+        ml = MultilevelPartitioner(args.partitions)
+        return ml.partition(graph), "multilevel baseline"
+    policy = make_policy(args.policy, degree_threshold=args.degree_threshold)
+    cusp = CuSP(
+        args.partitions,
+        policy,
+        sync_rounds=args.sync_rounds,
+        buffer_size=args.buffer_size,
+    )
+    return cusp.partition(graph, output=args.output_format), policy.describe()
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; standard CLI etiquette.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+def _dispatch(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "convert":
+        graph = convert(args.src, args.dst)
+        print(f"converted {args.src} -> {args.dst}: {graph}")
+
+    elif args.command == "generate":
+        if args.kind == "kron":
+            graph = kronecker(args.scale, seed=args.seed)
+        elif args.kind == "webcrawl":
+            graph = webcrawl_like(args.nodes, args.degree, seed=args.seed)
+        else:
+            graph = erdos_renyi(
+                args.nodes, int(args.nodes * args.degree), seed=args.seed
+            )
+        write_gr(graph, args.out)
+        print(f"wrote {graph} to {args.out}")
+
+    elif args.command == "partition":
+        graph = read_gr(args.graph)
+        dg, description = _run_partitioner(graph, args)
+        dg.validate(graph)
+        q = measure_quality(dg, graph)
+        print(f"partitioned {graph} with {description}")
+        print(f"replication factor : {q.replication_factor:.3f}")
+        print(f"node/edge balance  : {q.node_balance:.3f} / {q.edge_balance:.3f}")
+        print(f"max comm partners  : {q.max_partners}")
+        if dg.breakdown is None:
+            print("(offline single-machine baseline: no simulated timing)")
+        elif args.trace:
+            from .runtime.trace import render_breakdown
+
+            print(render_breakdown(dg.breakdown, title="simulated time by phase:"))
+        else:
+            print("simulated time by phase:")
+            for phase in dg.breakdown.phases:
+                print(f"  {phase.name:<24} {phase.total * 1e3:10.3f} ms")
+            print(f"  {'TOTAL':<24} {dg.breakdown.total * 1e3:10.3f} ms")
+        if args.trace_json and dg.breakdown is not None:
+            from .runtime.trace import breakdown_to_json
+
+            with open(args.trace_json, "w") as f:
+                f.write(
+                    breakdown_to_json(
+                        dg.breakdown, policy=dg.policy_name,
+                        num_partitions=dg.num_partitions,
+                    )
+                )
+            print(f"trace written to {args.trace_json}")
+        if args.save:
+            from .core import save_partitions
+
+            save_partitions(dg, args.save)
+            print(f"partitions written to {args.save}")
+
+    elif args.command == "experiment":
+        from .experiments import EXPERIMENTS, ExperimentContext
+
+        names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+        unknown = [n for n in names if n not in EXPERIMENTS]
+        if unknown:
+            print(
+                f"unknown experiment(s) {unknown}; choose from "
+                f"{list(EXPERIMENTS)} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        ctx = ExperimentContext(scale=args.scale)
+        chunks = []
+        for name in names:
+            result = EXPERIMENTS[name](ctx)
+            text = result.format()
+            if args.chart:
+                from .experiments.charts import render_experiment
+
+                text += "\n\n" + render_experiment(result)
+            print(text)
+            print()
+            chunks.append(text)
+        if args.out:
+            with open(args.out, "a") as f:
+                f.write("\n\n".join(chunks) + "\n")
+            print(f"results appended to {args.out}")
+
+    elif args.command == "validate":
+        from .core import load_partitions
+
+        dg = load_partitions(args.partition_dir)
+        reference = read_gr(args.graph) if args.graph else None
+        try:
+            dg.validate(reference)
+        except AssertionError as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: {dg} "
+            + ("(edge multiset matches the input graph)" if reference else "")
+        )
+
+    elif args.command == "info":
+        graph = read_gr(args.graph)
+        for key, value in compute_properties(graph, args.graph).row().items():
+            print(f"{key:<16} {value}")
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

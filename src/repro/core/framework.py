@@ -1,0 +1,182 @@
+"""The CuSP partitioner: five phases over a simulated cluster (paper §IV).
+
+:class:`CuSP` is the user-facing entry point of the reproduction.  Give it
+the number of partitions and a policy — either a name from the paper's
+Table II or a custom (:class:`~repro.core.master_rules.MasterRule`,
+:class:`~repro.core.edge_rules.EdgeRule`) pair — and call
+:meth:`CuSP.partition` on a graph (in memory or a ``.gr`` file on disk).
+The result is a :class:`~repro.core.partition.DistributedGraph` whose
+``breakdown`` attribute carries the simulated per-phase timing of
+Figure 4.
+
+As in the paper, CuSP runs on as many hosts as desired partitions.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.formats import read_gr
+from ..runtime.cluster import SimulatedCluster
+from ..runtime.cost_model import STAMPEDE2, CostModel
+from .assignment_phase import run_edge_assignment
+from .construction_phase import run_allocation, run_construction
+from .masters_phase import run_master_assignment
+from .partition import DistributedGraph
+from .policies import Policy, make_policy
+from .prop import GraphProp
+from .reading import compute_read_ranges, read_bytes_for_range
+
+__all__ = ["CuSP", "PHASE_NAMES"]
+
+logger = logging.getLogger("repro.cusp")
+
+#: Figure 4's phase names, in execution order.
+PHASE_NAMES = [
+    "Graph Reading",
+    "Master Assignment",
+    "Edge Assignment",
+    "Graph Allocation/Other",
+    "Graph Construction",
+]
+
+
+class CuSP:
+    """Customizable streaming edge partitioner.
+
+    Parameters
+    ----------
+    num_partitions:
+        Number of partitions; the simulated cluster has one host per
+        partition (paper §III-A).
+    policy:
+        A :class:`~repro.core.policies.Policy` or a name from Table II
+        (e.g. ``"CVC"``).
+    cost_model:
+        Machine parameters for simulated timing.
+    buffer_size:
+        Message-buffer threshold in bytes (paper default 8 MB, §IV-D3);
+        0 sends every logical message immediately (Figure 7's 0 MB point).
+    sync_rounds:
+        Bulk-synchronous rounds for masters/state synchronization during
+        master assignment (paper default 100; Tables VI/VII sweep it).
+    node_balance_weight / edge_balance_weight:
+        Importance of node vs edge counts when dividing the input among
+        hosts for reading (§IV-B1's command-line knobs).
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        policy: Policy | str,
+        cost_model: CostModel = STAMPEDE2,
+        buffer_size: int = 8 << 20,
+        sync_rounds: int = 100,
+        node_balance_weight: float = 0.0,
+        edge_balance_weight: float = 1.0,
+        elide_master_communication: bool = True,
+        host_speeds=None,
+    ):
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.cost_model = cost_model
+        self.buffer_size = buffer_size
+        self.sync_rounds = sync_rounds
+        self.node_balance_weight = node_balance_weight
+        self.edge_balance_weight = edge_balance_weight
+        #: §IV-D5 optimizations (replicated computation for pure rules,
+        #: request-driven assignment exchange); disable only for ablation.
+        self.elide_master_communication = elide_master_communication
+        #: Optional per-host compute speed factors (straggler modeling).
+        self.host_speeds = host_speeds
+
+    def partition(
+        self, graph: CSRGraph | str | os.PathLike, output: str = "csr"
+    ) -> DistributedGraph:
+        """Partition ``graph`` and return the distributed result.
+
+        ``graph`` may be a :class:`CSRGraph` or a path to a binary ``.gr``
+        file.  ``output`` selects the local format each host constructs
+        ("csr" or "csc", §III-A).
+        """
+        if not isinstance(graph, CSRGraph):
+            logger.info("reading graph from %s", graph)
+            graph = read_gr(graph)
+        original = graph
+        logger.info(
+            "partitioning |V|=%d |E|=%d into %d partitions with %s",
+            graph.num_nodes, graph.num_edges, self.num_partitions,
+            self.policy.name,
+        )
+        if self.policy.input_format == "csc":
+            # Streaming the CSC image means streaming incoming edges: the
+            # partitioner sees the transpose.  (On a real system the CSC
+            # file already exists on disk; the transpose here stands in
+            # for reading that file and is not charged to any phase.)
+            graph = graph.transpose()
+
+        cluster = SimulatedCluster(
+            self.num_partitions,
+            cost_model=self.cost_model,
+            buffer_size=self.buffer_size,
+            host_speeds=self.host_speeds,
+        )
+        prop = GraphProp(graph, self.num_partitions)
+
+        # Phase 1: graph reading.
+        ranges = compute_read_ranges(
+            graph,
+            self.num_partitions,
+            node_weight=self.node_balance_weight,
+            edge_weight=self.edge_balance_weight,
+        )
+        with cluster.phase(PHASE_NAMES[0]) as ph:
+            for h, (start, stop) in enumerate(ranges):
+                ph.add_disk(h, read_bytes_for_range(graph, start, stop))
+
+        # Phase 2: master assignment.
+        with cluster.phase(PHASE_NAMES[1]) as ph:
+            ma = run_master_assignment(
+                ph, prop, self.policy, ranges,
+                sync_rounds=self.sync_rounds,
+                elide_master_communication=self.elide_master_communication,
+            )
+
+        # Phase 3: edge assignment.
+        with cluster.phase(PHASE_NAMES[2]) as ph:
+            assignment = run_edge_assignment(ph, prop, self.policy, ranges, ma.masters)
+
+        # Phase 4: graph allocation.  Partitioning state is reset so rule
+        # re-evaluation during construction reproduces the same decisions.
+        with cluster.phase(PHASE_NAMES[3]) as ph:
+            ma.state.reset()
+            proxies = run_allocation(ph, prop, assignment, ma.masters)
+
+        # Phase 5: graph construction.
+        with cluster.phase(PHASE_NAMES[4]) as ph:
+            partitions = run_construction(
+                ph, prop, self.policy, assignment, ma.masters, proxies, output=output
+            )
+
+        breakdown = cluster.breakdown()
+        logger.info(
+            "partitioned with %s in %.6f simulated seconds "
+            "(%.0f KB exchanged)",
+            self.policy.name, breakdown.total,
+            breakdown.comm_bytes() / 1024,
+        )
+        return DistributedGraph(
+            partitions=partitions,
+            masters=ma.masters,
+            num_global_nodes=original.num_nodes,
+            num_global_edges=original.num_edges,
+            policy_name=self.policy.name,
+            invariant=self.policy.invariant,
+            breakdown=breakdown,
+        )

@@ -1,0 +1,434 @@
+"""``getMaster`` rules (paper Algorithm 1).
+
+A master rule decides, for each vertex, which partition holds its master
+proxy.  The framework calls rules through :meth:`MasterRule.assign_batch`
+so built-in stateless rules can run fully vectorized; history-sensitive
+rules (the Fennel family) fall back to the paper's per-node formulation.
+
+Rule capabilities drive the framework's synchronization optimizations
+(paper §IV-D5):
+
+* ``is_pure`` (no state, no ``masters`` argument): every host can
+  *recompute* any master assignment locally, so the master-assignment
+  phase needs no communication at all (EEC/HVC/CVC take this path);
+* ``uses_masters``: the rule reads neighbors' assignments, so assignments
+  must be exchanged between rounds (FEC/GVC/SVC take this path).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .prop import GraphProp
+from .state import PartitioningState, PartitionLoadState, VoidState
+
+__all__ = [
+    "MasterRule",
+    "Contiguous",
+    "ContiguousEB",
+    "Fennel",
+    "FennelEB",
+    "LDG",
+    "MASTER_RULES",
+    "make_master_rule",
+]
+
+
+class MasterRule:
+    """Base class for ``getMaster`` rules."""
+
+    name: str = "abstract"
+    #: True when the rule reads the ``masters`` map of neighbors.
+    uses_masters: bool = False
+    #: True when the rule reads/writes partitioning state.
+    stateful: bool = False
+
+    @property
+    def is_pure(self) -> bool:
+        """Pure rules are replicated (recomputed) instead of communicated."""
+        return not (self.uses_masters or self.stateful)
+
+    def make_state(self, num_partitions: int, num_hosts: int) -> PartitioningState:
+        return VoidState()
+
+    def assign(
+        self,
+        prop: GraphProp,
+        node_id: int,
+        mstate,
+        masters: np.ndarray | None = None,
+    ) -> int:
+        """Partition of the master proxy for ``node_id`` (paper signature)."""
+        raise NotImplementedError
+
+    def assign_batch(
+        self,
+        prop: GraphProp,
+        node_ids: np.ndarray,
+        mstate,
+        masters: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorizable batched assignment; default loops over :meth:`assign`.
+
+        Multiple calls with the same arguments must return the same values
+        (paper §III-A); stateful rules therefore process nodes in a fixed
+        order.
+        """
+        out = np.empty(len(node_ids), dtype=np.int32)
+        for i, v in enumerate(np.asarray(node_ids)):
+            out[i] = self.assign(prop, int(v), mstate, masters)
+            if masters is not None:
+                # A host's own assignments are locally visible at once
+                # (its local masters map, paper SIV-B2).
+                masters[v] = out[i]
+        return out
+
+    def compute_units(self, num_nodes: int, num_edges: int, k: int) -> float:
+        """Abstract work units to assign ``num_nodes`` masters (cost model)."""
+        return float(num_nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class Contiguous(MasterRule):
+    """Equal-sized contiguous chunks of node ids (Algorithm 1, CONTIGUOUS)."""
+
+    name = "Contiguous"
+
+    def assign(self, prop, node_id, mstate, masters=None) -> int:
+        block = math.ceil(prop.getNumNodes() / prop.getNumPartitions())
+        return node_id // block
+
+    def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
+        block = math.ceil(prop.getNumNodes() / prop.getNumPartitions())
+        return (np.asarray(node_ids) // block).astype(np.int32)
+
+
+class ContiguousEB(MasterRule):
+    """Contiguous chunks balanced by outgoing-edge count (CONTIGUOUSEB).
+
+    The partition of a node is determined by which equal-sized block of the
+    *edge array* its first outgoing edge falls in, so every partition gets
+    roughly the same number of edges.
+    """
+
+    name = "ContiguousEB"
+
+    def _edge_block(self, prop: GraphProp) -> int:
+        return math.ceil((prop.getNumEdges() + 1) / prop.getNumPartitions())
+
+    def assign(self, prop, node_id, mstate, masters=None) -> int:
+        first = prop.first_out_edges(np.array([node_id]))[0]
+        return int(first) // self._edge_block(prop)
+
+    def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
+        first = prop.first_out_edges(np.asarray(node_ids))
+        return (first // self._edge_block(prop)).astype(np.int32)
+
+
+#: Abstract compute units per Fennel score entry: each entry evaluates a
+#: floating-point pow() under an irregular access pattern, roughly 20x the
+#: single-op unit the cost model is denominated in.
+_SCORE_UNIT = 20.0
+
+
+def _fennel_alpha(n: int, m: int, k: int, gamma: float) -> float:
+    """The paper's alpha = m * h^(gamma-1) / n^gamma (§V-A)."""
+    if n == 0:
+        return 0.0
+    return m * (k ** (gamma - 1)) / (n**gamma)
+
+
+class Fennel(MasterRule):
+    """The Fennel streaming heuristic (Algorithm 1, FENNEL).
+
+    Scores each partition by the number of already-placed neighbors it
+    holds minus a load penalty ``alpha * gamma * numNodes[p]**(gamma-1)``
+    and places the node on the best-scoring partition.  (The paper's
+    pseudocode lists the penalty without the minus sign; the Fennel
+    objective it cites [13] subtracts it, which is what we do — otherwise
+    the rule would pile every node onto one partition.)
+    """
+
+    name = "Fennel"
+    uses_masters = True
+    stateful = True
+
+    def __init__(self, gamma: float = 1.5):
+        if gamma <= 1.0:
+            raise ValueError("gamma must be > 1")
+        self.gamma = gamma
+
+    def make_state(self, num_partitions: int, num_hosts: int) -> PartitionLoadState:
+        return PartitionLoadState(num_partitions, num_hosts)
+
+    def assign(self, prop, node_id, mstate, masters=None) -> int:
+        k = prop.getNumPartitions()
+        alpha = _fennel_alpha(
+            prop.getNumNodes(), prop.getNumEdges(), k, self.gamma
+        )
+        load = mstate.numNodes.astype(np.float64)
+        score = -(alpha * self.gamma) * np.power(load, self.gamma - 1.0)
+        if masters is not None:
+            nbrs = prop.getNodeOutNeighbors(node_id)
+            if nbrs.size:
+                known = masters[nbrs]
+                known = known[known >= 0]
+                if known.size:
+                    score += np.bincount(known, minlength=k)
+        part = int(np.argmax(score))
+        mstate.add_node(part)
+        return part
+
+    def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
+        """Hoisted-constant batch loop.
+
+        Decisions stay sequential — each placement feeds the next node's
+        load term — but alpha, the load array, and the adjacency views
+        are prepared once per batch instead of once per node.
+        """
+        node_ids = np.asarray(node_ids)
+        out = np.empty(node_ids.size, dtype=np.int32)
+        if node_ids.size == 0:
+            return out
+        k = prop.getNumPartitions()
+        alpha_gamma = (
+            _fennel_alpha(prop.getNumNodes(), prop.getNumEdges(), k, self.gamma)
+            * self.gamma
+        )
+        gm1 = self.gamma - 1.0
+        load = mstate.numNodes.astype(np.float64)
+        indptr, indices = prop.graph.indptr, prop.graph.indices
+        for i, v in enumerate(node_ids):
+            score = -alpha_gamma * np.power(load, gm1)
+            if masters is not None:
+                nbrs = indices[indptr[v] : indptr[v + 1]]
+                if nbrs.size:
+                    known = masters[nbrs]
+                    known = known[known >= 0]
+                    if known.size:
+                        score += np.bincount(known, minlength=k)
+            part = int(np.argmax(score))
+            out[i] = part
+            load[part] += 1.0
+            mstate.add_node(part)
+            if masters is not None:
+                masters[v] = part
+        return out
+
+    def compute_units(self, num_nodes: int, num_edges: int, k: int) -> float:
+        # Per node: a k-length score vector where every entry pays a
+        # pow() (~10 simple ops), plus a scan of its neighbors.
+        return float(num_nodes * k * _SCORE_UNIT + num_edges)
+
+
+class FennelEB(MasterRule):
+    """Edge-balanced Fennel variant (Algorithm 1, FENNELEB; used by PowerLyra's
+    Ginger).
+
+    High-degree nodes short-circuit to :class:`ContiguousEB` (the paper's
+    pseudocode neither scores nor charges them to the load state).  For the
+    rest, the load penalty uses ``(numNodes[p] + mu * numEdges[p]) / 2``
+    with ``mu = n / m``; placed nodes charge both their node and their
+    out-degree worth of edges to the chosen partition.  (The pseudocode
+    writes ``numEdges[part]++``, but a single unit per node would make
+    ``numEdges`` identical to ``numNodes`` and the edge-balance term
+    vacuous; charging the out-degree matches the Ginger heuristic [5].)
+    """
+
+    name = "FennelEB"
+    uses_masters = True
+    stateful = True
+
+    def __init__(self, gamma: float = 1.5, degree_threshold: int = 100):
+        if gamma <= 1.0:
+            raise ValueError("gamma must be > 1")
+        if degree_threshold < 0:
+            raise ValueError("degree_threshold must be >= 0")
+        self.gamma = gamma
+        self.degree_threshold = degree_threshold
+        self._contiguous_eb = ContiguousEB()
+
+    def make_state(self, num_partitions: int, num_hosts: int) -> PartitionLoadState:
+        return PartitionLoadState(num_partitions, num_hosts)
+
+    def assign(self, prop, node_id, mstate, masters=None) -> int:
+        degree = prop.getNodeOutDegree(node_id)
+        if degree > self.degree_threshold:
+            return self._contiguous_eb.assign(prop, node_id, mstate)
+        k = prop.getNumPartitions()
+        n, m = prop.getNumNodes(), prop.getNumEdges()
+        alpha = _fennel_alpha(n, m, k, self.gamma)
+        mu = n / m if m else 0.0
+        load = (
+            mstate.numNodes.astype(np.float64)
+            + mu * mstate.numEdges.astype(np.float64)
+        ) / 2.0
+        score = -(alpha * self.gamma) * np.power(load, self.gamma - 1.0)
+        if masters is not None:
+            nbrs = prop.getNodeOutNeighbors(node_id)
+            if nbrs.size:
+                known = masters[nbrs]
+                known = known[known >= 0]
+                if known.size:
+                    score += np.bincount(known, minlength=k)
+        part = int(np.argmax(score))
+        mstate.add_node(part)
+        mstate.add_edges(part, degree)
+        return part
+
+    def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
+        """Hoisted-constant batch loop (see :meth:`Fennel.assign_batch`).
+
+        The high-degree short-circuit is vectorized up front: those nodes
+        go straight to ContiguousEB; the rest run the sequential scoring
+        loop against locally-maintained load arrays.
+        """
+        node_ids = np.asarray(node_ids)
+        out = np.empty(node_ids.size, dtype=np.int32)
+        if node_ids.size == 0:
+            return out
+        k = prop.getNumPartitions()
+        n, m = prop.getNumNodes(), prop.getNumEdges()
+        degrees = prop.out_degrees(node_ids)
+        high = degrees > self.degree_threshold
+        if high.any():
+            out[high] = self._contiguous_eb.assign_batch(
+                prop, node_ids[high], None
+            )
+            if masters is not None:
+                masters[node_ids[high]] = out[high]
+        if high.all():
+            return out
+        alpha_gamma = _fennel_alpha(n, m, k, self.gamma) * self.gamma
+        gm1 = self.gamma - 1.0
+        mu = n / m if m else 0.0
+        nodes_load = mstate.numNodes.astype(np.float64)
+        edges_load = mstate.numEdges.astype(np.float64)
+        indptr, indices = prop.graph.indptr, prop.graph.indices
+        low_positions = np.flatnonzero(~high)
+        for i in low_positions:
+            v = node_ids[i]
+            load = (nodes_load + mu * edges_load) / 2.0
+            score = -alpha_gamma * np.power(load, gm1)
+            if masters is not None:
+                nbrs = indices[indptr[v] : indptr[v + 1]]
+                if nbrs.size:
+                    known = masters[nbrs]
+                    known = known[known >= 0]
+                    if known.size:
+                        score += np.bincount(known, minlength=k)
+            part = int(np.argmax(score))
+            out[i] = part
+            nodes_load[part] += 1.0
+            edges_load[part] += float(degrees[i])
+            mstate.add_node(part)
+            mstate.add_edges(part, int(degrees[i]))
+            if masters is not None:
+                masters[v] = part
+        return out
+
+    def compute_units(self, num_nodes: int, num_edges: int, k: int) -> float:
+        return float(num_nodes * k * _SCORE_UNIT + num_edges)
+
+
+
+class LDG(MasterRule):
+    """Linear Deterministic Greedy [12] (Table I's remaining edge-cut).
+
+    Places each vertex on the partition maximizing
+    ``|N(v) intersect P| * (1 - |P| / capacity)`` where capacity is the
+    balanced share ``ceil(n / k)``: neighbor affinity scaled down as the
+    partition fills, hitting zero at capacity.  Like Fennel it needs the
+    total vertex count up front and tracks assignment state (paper
+    SII-B1); unlike Fennel the penalty is multiplicative, so LDG never
+    overfills a partition.
+    """
+
+    name = "LDG"
+    uses_masters = True
+    stateful = True
+
+    def make_state(self, num_partitions: int, num_hosts: int) -> PartitionLoadState:
+        return PartitionLoadState(num_partitions, num_hosts)
+
+    def assign(self, prop, node_id, mstate, masters=None) -> int:
+        k = prop.getNumPartitions()
+        capacity = math.ceil(prop.getNumNodes() / k) or 1
+        load = mstate.numNodes.astype(np.float64)
+        weight = 1.0 - load / capacity
+        affinity = np.zeros(k, dtype=np.float64)
+        if masters is not None:
+            nbrs = prop.getNodeOutNeighbors(node_id)
+            if nbrs.size:
+                known = masters[nbrs]
+                known = known[known >= 0]
+                if known.size:
+                    affinity = np.bincount(known, minlength=k).astype(np.float64)
+        score = affinity * np.maximum(weight, 0.0)
+        if not score.any():
+            # No placed neighbors (or everything full): least loaded.
+            part = int(np.argmin(load))
+        else:
+            part = int(np.argmax(score))
+        if load[part] >= capacity:
+            part = int(np.argmin(load))
+        mstate.add_node(part)
+        return part
+
+    def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
+        node_ids = np.asarray(node_ids)
+        out = np.empty(node_ids.size, dtype=np.int32)
+        if node_ids.size == 0:
+            return out
+        k = prop.getNumPartitions()
+        capacity = math.ceil(prop.getNumNodes() / k) or 1
+        load = mstate.numNodes.astype(np.float64)
+        indptr, indices = prop.graph.indptr, prop.graph.indices
+        for i, v in enumerate(node_ids):
+            weight = np.maximum(1.0 - load / capacity, 0.0)
+            affinity = np.zeros(k, dtype=np.float64)
+            if masters is not None:
+                nbrs = indices[indptr[v] : indptr[v + 1]]
+                if nbrs.size:
+                    known = masters[nbrs]
+                    known = known[known >= 0]
+                    if known.size:
+                        affinity = np.bincount(
+                            known, minlength=k
+                        ).astype(np.float64)
+            score = affinity * weight
+            if not score.any():
+                part = int(np.argmin(load))
+            else:
+                part = int(np.argmax(score))
+            if load[part] >= capacity:
+                part = int(np.argmin(load))
+            out[i] = part
+            load[part] += 1.0
+            mstate.add_node(part)
+            if masters is not None:
+                masters[v] = part
+        return out
+
+    def compute_units(self, num_nodes: int, num_edges: int, k: int) -> float:
+        return float(num_nodes * k * _SCORE_UNIT + num_edges)
+
+
+MASTER_RULES = {
+    "Contiguous": Contiguous,
+    "ContiguousEB": ContiguousEB,
+    "Fennel": Fennel,
+    "FennelEB": FennelEB,
+    "LDG": LDG,
+}
+
+
+def make_master_rule(name: str, **kwargs) -> MasterRule:
+    """Instantiate a master rule by its paper name."""
+    if name not in MASTER_RULES:
+        raise KeyError(f"unknown master rule {name!r}; choose from {list(MASTER_RULES)}")
+    return MASTER_RULES[name](**kwargs)

@@ -1,0 +1,197 @@
+"""Phase 2: master assignment (paper §IV-B2, §IV-D4, §IV-D5).
+
+Each host assigns the master proxy of every vertex whose edges it read.
+The phase's communication depends on the rule's capabilities:
+
+* **Pure rules** (no state, no ``masters`` map — Contiguous/ContiguousEB):
+  the assignment is a pure function, so no synchronization happens at all;
+  hosts later *recompute* any assignment they need (replicating
+  computation instead of communication, §IV-D5).
+
+* **History-sensitive rules** (Fennel/FennelEB): the phase runs in
+  ``sync_rounds`` bulk-synchronous rounds.  Before the first round each
+  host *requests* the assignments it will need — the masters of the
+  neighbors of its own nodes — from the hosts that will assign them
+  (§IV-D5's request-driven elision: assignments nobody asked for are never
+  sent).  At every round boundary the partitioning state is reconciled by
+  a global reduction and each host ships the round's newly-made
+  assignments to their requesters.
+
+The paper notes this exchange is deliberately *not* deterministic on a
+real cluster (hosts don't block for slow peers).  The simulation is
+bulk-synchronous and therefore deterministic — a reproducibility-friendly
+member of the family of schedules the real system may produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.stats import PhaseStats
+from .policies import Policy
+from .prop import GraphProp
+from .state import PartitioningState
+
+__all__ = ["run_master_assignment", "MasterAssignment"]
+
+#: Serialized size of one (node id, partition) assignment entry.
+_ASSIGNMENT_ENTRY_BYTES = 12
+#: Serialized size of one requested node id.
+_REQUEST_ENTRY_BYTES = 8
+
+
+class MasterAssignment:
+    """Result of the master-assignment phase."""
+
+    def __init__(self, masters: np.ndarray, state: PartitioningState):
+        #: Partition of every vertex's master proxy (global, fully known
+        #: once the phase completes — each entry was computed by exactly
+        #: one host).
+        self.masters = masters
+        #: The partitioning state after the phase (reset before reuse).
+        self.state = state
+
+
+def _owning_host(node_ids: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Which host reads (and therefore assigns) each node."""
+    return np.searchsorted(bounds, node_ids, side="right") - 1
+
+
+def run_master_assignment(
+    phase: PhaseStats,
+    prop: GraphProp,
+    policy: Policy,
+    ranges: list[tuple[int, int]],
+    sync_rounds: int = 10,
+    elide_master_communication: bool = True,
+) -> MasterAssignment:
+    """Assign every vertex's master, with exact communication accounting.
+
+    ``elide_master_communication=False`` disables the paper's §IV-D5
+    optimizations — pure rules are *not* replicated (every assignment is
+    broadcast instead of recomputed) — and exists for the ablation
+    benchmark.
+    """
+    if sync_rounds < 1:
+        raise ValueError("sync_rounds must be >= 1")
+    rule = policy.master_rule
+    k = prop.getNumPartitions()
+    n = prop.getNumNodes()
+    num_hosts = len(ranges)
+    state = rule.make_state(k, num_hosts)
+    masters = np.full(n, -1, dtype=np.int32)
+
+    if rule.is_pure:
+        for h, (start, stop) in enumerate(ranges):
+            node_ids = np.arange(start, stop, dtype=np.int64)
+            if node_ids.size:
+                masters[start:stop] = rule.assign_batch(prop, node_ids, None)
+            if elide_master_communication:
+                # No communication: each host recomputes neighbors'
+                # assignments on demand (§IV-D5); charge the
+                # recomputation for the neighbor set now.
+                neighbor_count = int(
+                    prop.graph.indptr[stop] - prop.graph.indptr[start]
+                )
+                phase.add_compute(
+                    h, rule.compute_units(node_ids.size, 0, k) + neighbor_count
+                )
+            else:
+                # Ablation: naive broadcast of every assignment.
+                phase.add_compute(h, rule.compute_units(node_ids.size, 0, k))
+                for j in range(num_hosts):
+                    if j != h and node_ids.size:
+                        phase.comm.send(
+                            h, j, None, tag="master-broadcast",
+                            nbytes=node_ids.size * _ASSIGNMENT_ENTRY_BYTES,
+                            coalesce=True,
+                        )
+        return MasterAssignment(masters, state)
+
+    # History-sensitive path: request-driven assignment exchange.
+    bounds = np.array([r[0] for r in ranges] + [n], dtype=np.int64)
+    # requested_from[h] = node ids host j requested from host h, per j.
+    requests: list[list[np.ndarray]] = [
+        [np.empty(0, dtype=np.int64) for _ in range(num_hosts)]
+        for _ in range(num_hosts)
+    ]
+    # Each host's private view of the masters map (only synced entries).
+    known = [np.full(n, -1, dtype=np.int32) for _ in range(num_hosts)]
+
+    if elide_master_communication:
+        # Request-driven exchange (§IV-D5): each host asks only for the
+        # masters of its read-nodes' neighbors.
+        for j, (start, stop) in enumerate(ranges):
+            lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
+            nbrs = np.unique(prop.graph.indices[lo:hi])
+            owner = _owning_host(nbrs, bounds)
+            for h in range(num_hosts):
+                wanted = nbrs[owner == h]
+                requests[h][j] = wanted
+                if h != j and wanted.size:
+                    phase.comm.send(
+                        j, h, wanted, tag="master-requests",
+                        nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
+                        coalesce=True,
+                    )
+    else:
+        # Ablation: every host "requests" everything, so each assignment
+        # is shipped to all peers.
+        for h, (start, stop) in enumerate(ranges):
+            everything = np.arange(start, stop, dtype=np.int64)
+            for j in range(num_hosts):
+                requests[h][j] = everything
+
+    # Round-robin over sync_rounds chunks of each host's node range.
+    chunk_bounds = [
+        np.linspace(start, stop, sync_rounds + 1).astype(np.int64)
+        for (start, stop) in ranges
+    ]
+    if rule.uses_masters:
+        masters_arg = known
+    else:
+        masters_arg = [None] * num_hosts
+
+    for r in range(sync_rounds):
+        newly: list[np.ndarray] = []
+        for h, (start, stop) in enumerate(ranges):
+            c0, c1 = int(chunk_bounds[h][r]), int(chunk_bounds[h][r + 1])
+            node_ids = np.arange(c0, c1, dtype=np.int64)
+            newly.append(node_ids)
+            if node_ids.size == 0:
+                continue
+            assigned = rule.assign_batch(
+                prop, node_ids, state.host_view(h), masters_arg[h]
+            )
+            masters[c0:c1] = assigned
+            known[h][c0:c1] = assigned  # own assignments visible immediately
+            phase.add_compute(
+                h,
+                rule.compute_units(
+                    node_ids.size,
+                    int(prop.graph.indptr[c1] - prop.graph.indptr[c0]),
+                    k,
+                ),
+            )
+        # Round boundary: reconcile state, ship requested assignments.
+        # Master-assignment rounds never block on peers (paper §IV-D5).
+        state.sync_round(phase.comm, blocking=False)
+        for h in range(num_hosts):
+            fresh = newly[h]
+            if fresh.size == 0:
+                continue
+            lo, hi = fresh[0], fresh[-1]
+            for j in range(num_hosts):
+                if j == h:
+                    continue
+                wanted = requests[h][j]
+                ship = wanted[(wanted >= lo) & (wanted <= hi)]
+                if ship.size:
+                    phase.comm.send(
+                        h, j, (ship, masters[ship]), tag="master-assignments",
+                        nbytes=ship.size * _ASSIGNMENT_ENTRY_BYTES,
+                        coalesce=True,
+                    )
+                    known[j][ship] = masters[ship]
+
+    return MasterAssignment(masters, state)

@@ -1,0 +1,100 @@
+"""Saving and loading partitioned graphs (paper §III-A).
+
+CuSP can write the constructed partitions to disk so that applications
+can load them later without re-partitioning (the workflow the paper uses
+to feed XtraPulp partitions into D-Galois).  The layout is one directory:
+
+```
+<dir>/meta.json            global metadata (policy, sizes, invariant)
+<dir>/masters.npy          global master map
+<dir>/part<i>.gr           partition i's local graph, binary CSR
+<dir>/part<i>.npz          partition i's proxy table (global ids, counts)
+```
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..graph.formats import read_gr, write_gr
+from .partition import DistributedGraph, LocalPartition
+
+__all__ = ["save_partitions", "load_partitions"]
+
+_FORMAT_VERSION = 1
+
+
+def save_partitions(dg: DistributedGraph, directory: str | os.PathLike) -> None:
+    """Write ``dg`` under ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "policy": dg.policy_name,
+        "invariant": dg.invariant,
+        "num_partitions": dg.num_partitions,
+        "num_global_nodes": dg.num_global_nodes,
+        "num_global_edges": dg.num_global_edges,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    np.save(directory / "masters.npy", dg.masters)
+    for p in dg.partitions:
+        write_gr(p.local_graph, directory / f"part{p.host}.gr")
+        np.savez(
+            directory / f"part{p.host}.npz",
+            global_ids=p.global_ids,
+            num_masters=np.int64(p.num_masters),
+            has_csc=np.bool_(p.local_csc is not None),
+        )
+        if p.local_csc is not None:
+            write_gr(p.local_csc, directory / f"part{p.host}.csc.gr")
+
+
+def load_partitions(directory: str | os.PathLike) -> DistributedGraph:
+    """Load a partitioned graph previously written by :func:`save_partitions`."""
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise FileNotFoundError(f"{meta_path} not found; not a partition directory")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported partition format version {meta.get('format_version')}"
+        )
+    masters = np.load(directory / "masters.npy")
+    n = int(meta["num_global_nodes"])
+    partitions = []
+    for host in range(int(meta["num_partitions"])):
+        local_graph = read_gr(directory / f"part{host}.gr")
+        blob = np.load(directory / f"part{host}.npz")
+        global_ids = blob["global_ids"]
+        num_masters = int(blob["num_masters"])
+        local_csc = None
+        if bool(blob["has_csc"]):
+            local_csc = read_gr(directory / f"part{host}.csc.gr")
+        lookup = np.full(n, -1, dtype=np.int64)
+        lookup[global_ids] = np.arange(global_ids.size)
+        partitions.append(
+            LocalPartition(
+                host=host,
+                global_ids=global_ids,
+                num_masters=num_masters,
+                master_host=masters[global_ids].astype(np.int32),
+                local_graph=local_graph,
+                local_csc=local_csc,
+                _lookup=lookup,
+            )
+        )
+    return DistributedGraph(
+        partitions=partitions,
+        masters=masters,
+        num_global_nodes=n,
+        num_global_edges=int(meta["num_global_edges"]),
+        policy_name=str(meta["policy"]),
+        invariant=str(meta["invariant"]),
+        breakdown=None,
+    )

@@ -1,0 +1,74 @@
+"""The ``prop`` structure queried by partitioning rules (paper §III-A).
+
+A :class:`GraphProp` exposes the static properties of the input graph that
+user-defined ``getMaster`` / ``getEdgeOwner`` functions may query: number
+of nodes, edges, and partitions, a node's out-degree and out-neighbors,
+and the global id of a node's first outgoing edge.  The paper's examples
+(Algorithms 1 and 2) use exactly this interface.
+
+In the real system every host materializes these properties for the nodes
+whose edges it read from disk; here the backing arrays are shared
+read-only (they model the on-disk CSR image), and access still goes
+through the interface so rules remain oblivious to the simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["GraphProp"]
+
+
+class GraphProp:
+    """Static graph properties available to partitioning rules."""
+
+    def __init__(self, graph: CSRGraph, num_partitions: int):
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self._graph = graph
+        self._num_partitions = int(num_partitions)
+
+    # Paper-named accessors -------------------------------------------------
+    def getNumNodes(self) -> int:
+        return self._graph.num_nodes
+
+    def getNumEdges(self) -> int:
+        return self._graph.num_edges
+
+    def getNumPartitions(self) -> int:
+        return self._num_partitions
+
+    def getNodeOutDegree(self, node_id: int) -> int:
+        return int(self._graph.indptr[node_id + 1] - self._graph.indptr[node_id])
+
+    def getNodeOutNeighbors(self, node_id: int) -> np.ndarray:
+        return self._graph.neighbors(node_id)
+
+    def getNodeOutEdge(self, node_id: int, k: int) -> int:
+        """Global edge id of the ``k``-th outgoing edge of ``node_id``."""
+        base = int(self._graph.indptr[node_id])
+        if k >= self.getNodeOutDegree(node_id) and not (
+            k == 0 and self.getNodeOutDegree(node_id) == 0
+        ):
+            raise IndexError(f"node {node_id} has no out-edge {k}")
+        return base + k
+
+    # Vectorized accessors (framework internals) ----------------------------
+    def out_degrees(self, node_ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(node_ids)
+        return self._graph.indptr[ids + 1] - self._graph.indptr[ids]
+
+    def first_out_edges(self, node_ids: np.ndarray) -> np.ndarray:
+        """Global id of the first out-edge of each node (== indptr value).
+
+        For nodes with no outgoing edges this is still well-defined (the
+        position where their edges would start), matching the paper's
+        ContiguousEB which calls ``getNodeOutEdge(nodeid, 0)``.
+        """
+        return self._graph.indptr[np.asarray(node_ids)]
+
+    @property
+    def graph(self) -> CSRGraph:
+        return self._graph

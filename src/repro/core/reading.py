@@ -1,0 +1,70 @@
+"""Phase 1: graph reading (paper §IV-B1).
+
+The edge array of the on-disk CSR image is divided contiguously among
+hosts so that each host reads roughly the same amount, *without splitting
+any node's outgoing edges across hosts*.  Equivalently, each host gets a
+contiguous range of vertices whose total cost — a weighted combination of
+node count and edge count, the paper's command-line balance knobs — is
+roughly equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["compute_read_ranges", "read_bytes_for_range"]
+
+
+def compute_read_ranges(
+    graph: CSRGraph,
+    num_hosts: int,
+    node_weight: float = 0.0,
+    edge_weight: float = 1.0,
+) -> list[tuple[int, int]]:
+    """Contiguous node ranges ``[(start, stop), ...]``, one per host.
+
+    Host ``h`` reads the outgoing edges of nodes ``start <= v < stop``.
+    Ranges cover ``[0, num_nodes)`` exactly, never split a node, and
+    balance ``node_weight * nodes + edge_weight * edges`` per host.  With
+    the default weights (0, 1) this is the paper's edge-balanced division.
+    """
+    if num_hosts < 1:
+        raise ValueError("num_hosts must be >= 1")
+    if node_weight < 0 or edge_weight < 0 or (node_weight == 0 and edge_weight == 0):
+        raise ValueError("weights must be non-negative and not both zero")
+    n = graph.num_nodes
+    # Cumulative cost at each node boundary: cost[v] = cost of nodes [0, v).
+    cum = node_weight * np.arange(n + 1, dtype=np.float64)
+    cum += edge_weight * graph.indptr.astype(np.float64)
+    total = cum[-1]
+    if total == 0:
+        # Degenerate (e.g. empty graph with edge_weight only): node-balanced.
+        bounds = np.linspace(0, n, num_hosts + 1).astype(np.int64)
+    else:
+        # Block size uses the same ceil((total + 1) / k) arithmetic as the
+        # ContiguousEB master rule, so that with the default edge-balanced
+        # weights the read ranges coincide exactly with ContiguousEB's
+        # master blocks — which is what makes EEC communication-free
+        # (paper §V-A: "a host creates a partition from the nodes and
+        # edges it reads from the disk").
+        block = np.ceil((total + 1) / num_hosts)
+        targets = block * np.arange(1, num_hosts, dtype=np.float64)
+        inner = np.searchsorted(cum, targets, side="left")
+        bounds = np.concatenate([[0], inner, [n]]).astype(np.int64)
+        # Enforce monotonicity and validity (ties when many empty nodes;
+        # the ceil'd block size can push targets past the final boundary).
+        np.maximum.accumulate(bounds, out=bounds)
+        np.minimum(bounds, n, out=bounds)
+    return [(int(bounds[h]), int(bounds[h + 1])) for h in range(num_hosts)]
+
+
+def read_bytes_for_range(graph: CSRGraph, start: int, stop: int) -> int:
+    """Bytes host reads from disk for nodes [start, stop): its slice of the
+    row-pointer array plus its slice of the destination (and weight) arrays.
+    """
+    nodes = stop - start + 1 if stop > start else 0
+    edges = int(graph.indptr[stop] - graph.indptr[start]) if stop > start else 0
+    per_edge = 16 if graph.is_weighted else 8
+    return nodes * 8 + edges * per_edge

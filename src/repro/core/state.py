@@ -1,0 +1,137 @@
+"""History-sensitive partitioning state (paper §III-A, §IV-D4).
+
+A partitioning rule may depend on decisions already made ("assign this
+edge to the partition that currently has the fewest edges").  Each rule
+declares the state type it needs; CuSP synchronizes that state across
+hosts *periodically* — bulk-synchronous rounds with a global reduction at
+each round boundary, not per-update coherence.
+
+The reproduction models this exactly: every host holds a *snapshot* of
+the globally-reconciled state plus a *local delta* of its own updates
+since the last reconciliation.  ``sync_round`` folds all deltas into a new
+snapshot through the communicator's allreduce (which the cost model
+charges).  The number of rounds is a runtime parameter (Tables VI/VII).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.comm import Communicator
+
+__all__ = ["PartitioningState", "VoidState", "PartitionLoadState"]
+
+
+class PartitioningState:
+    """Base class for user-defined partitioning state.
+
+    Subclasses must be mergeable by summation of deltas.  The default
+    implementation is stateless (``void`` in the paper's terms).
+    """
+
+    #: Whether the state carries any information (False => sync is a no-op).
+    stateful: bool = False
+
+    def host_view(self, host: int) -> "PartitioningState":
+        """The state as host ``host`` currently sees it."""
+        return self
+
+    def sync_round(self, comm: Communicator, blocking: bool = True) -> None:
+        """Reconcile all hosts' deltas (a round boundary)."""
+
+    def reset(self) -> None:
+        """Restore initial values.
+
+        The paper resets partitioning state before graph construction so
+        that re-invoking the rules yields the same decisions (§IV-B4).
+        """
+
+
+class VoidState(PartitioningState):
+    """No state: used by Contiguous/ContiguousEB and all edge rules here."""
+
+    stateful = False
+
+
+class _LoadView:
+    """One host's current estimate of the global partition loads.
+
+    Exposes the paper's ``mstate.numNodes[p]`` / ``mstate.numEdges[p]``
+    fields.  Reads see snapshot + the host's own unsynchronized updates;
+    writes accumulate into the host's delta.
+    """
+
+    def __init__(self, owner: "PartitionLoadState", host: int):
+        self._owner = owner
+        self._host = host
+
+    @property
+    def numNodes(self) -> np.ndarray:
+        return self._owner._snapshot_nodes + self._owner._delta_nodes[self._host]
+
+    @property
+    def numEdges(self) -> np.ndarray:
+        return self._owner._snapshot_edges + self._owner._delta_edges[self._host]
+
+    def add_node(self, partition: int, count: int = 1) -> None:
+        self._owner._delta_nodes[self._host][partition] += count
+
+    def add_edges(self, partition: int, count: int) -> None:
+        self._owner._delta_edges[self._host][partition] += count
+
+
+class PartitionLoadState(PartitioningState):
+    """Per-partition node and edge counts (Fennel/FennelEB mstate).
+
+    ``num_hosts`` hosts update it concurrently; reconciliation sums every
+    host's delta into the shared snapshot and clears the deltas, exactly
+    one allreduce of ``2 * num_partitions`` int64 per round.
+    """
+
+    stateful = True
+
+    def __init__(self, num_partitions: int, num_hosts: int):
+        if num_partitions < 1 or num_hosts < 1:
+            raise ValueError("num_partitions and num_hosts must be >= 1")
+        self.num_partitions = num_partitions
+        self.num_hosts = num_hosts
+        self._snapshot_nodes = np.zeros(num_partitions, dtype=np.int64)
+        self._snapshot_edges = np.zeros(num_partitions, dtype=np.int64)
+        self._delta_nodes = [
+            np.zeros(num_partitions, dtype=np.int64) for _ in range(num_hosts)
+        ]
+        self._delta_edges = [
+            np.zeros(num_partitions, dtype=np.int64) for _ in range(num_hosts)
+        ]
+
+    def host_view(self, host: int) -> _LoadView:
+        if not (0 <= host < self.num_hosts):
+            raise ValueError(f"host {host} out of range")
+        return _LoadView(self, host)
+
+    def sync_round(self, comm: Communicator, blocking: bool = True) -> None:
+        stacked = [
+            np.concatenate([self._delta_nodes[h], self._delta_edges[h]])
+            for h in range(self.num_hosts)
+        ]
+        total = comm.allreduce_sum(stacked, blocking=blocking)
+        self._snapshot_nodes += total[: self.num_partitions]
+        self._snapshot_edges += total[self.num_partitions :]
+        for h in range(self.num_hosts):
+            self._delta_nodes[h][:] = 0
+            self._delta_edges[h][:] = 0
+        if blocking:
+            comm.barrier()
+
+    def reset(self) -> None:
+        self._snapshot_nodes[:] = 0
+        self._snapshot_edges[:] = 0
+        for h in range(self.num_hosts):
+            self._delta_nodes[h][:] = 0
+            self._delta_edges[h][:] = 0
+
+    def totals(self) -> tuple[np.ndarray, np.ndarray]:
+        """Fully-reconciled (nodes, edges) counts, ignoring sync boundaries."""
+        nodes = self._snapshot_nodes + np.sum(self._delta_nodes, axis=0)
+        edges = self._snapshot_edges + np.sum(self._delta_edges, axis=0)
+        return nodes, edges

@@ -1,0 +1,53 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module's ``run(...)`` regenerates the corresponding artifact as an
+:class:`~repro.experiments.common.ExperimentResult`; the ``benchmarks/``
+directory wires one pytest-benchmark target to each.
+"""
+
+from . import charts, fig3, fig4, fig56, fig7, memory_study, motivation, scaling, schedulers, supplementary, table3, table4, table5, table67
+from .common import (
+    ALL_GRAPHS,
+    APP_NAMES,
+    CUSP_POLICIES,
+    ExperimentContext,
+    ExperimentResult,
+    FIGURE_GRAPHS,
+    HOST_COUNTS,
+    PAPER_HOSTS,
+)
+
+#: Registry: experiment id -> callable returning an ExperimentResult.
+EXPERIMENTS = {
+    "table3": table3.run,
+    "fig3": fig3.run,
+    "table4": table4.run,
+    "fig4": fig4.run,
+    "table5": table5.run,
+    "fig5": fig56.run_fig5,
+    "fig6": fig56.run_fig6,
+    "fig7": fig7.run,
+    "table6": table67.run_table6,
+    "table7": table67.run_table7,
+    "supp_quality": supplementary.run_quality_table,
+    "supp_vertex_order": supplementary.run_vertex_order,
+    "supp_scaling": scaling.run_strong_scaling,
+    "supp_end_to_end": motivation.run_end_to_end,
+    "supp_orientation": motivation.run_orientation,
+    "supp_straggler": motivation.run_straggler,
+    "supp_schedulers": schedulers.run_schedulers,
+    "supp_memory": memory_study.run_memory_study,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "charts",
+    "ExperimentContext",
+    "ExperimentResult",
+    "ALL_GRAPHS",
+    "APP_NAMES",
+    "CUSP_POLICIES",
+    "FIGURE_GRAPHS",
+    "HOST_COUNTS",
+    "PAPER_HOSTS",
+]

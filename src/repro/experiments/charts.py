@@ -1,0 +1,149 @@
+"""ASCII chart rendering for figure-type experiments.
+
+The paper's Figures 3/5/6 are grouped bar charts and Figure 7 a log-log
+line chart; the experiment drivers emit tables, and this module renders
+those tables as terminal charts so a reader can *see* the shapes the
+benchmarks assert.  Used by ``cusp experiment --chart`` and the
+``reproduce_paper`` example.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .common import ExperimentResult
+
+__all__ = ["render_bars", "render_series", "render_experiment"]
+
+_WIDTH = 48
+
+
+def render_bars(
+    result: ExperimentResult,
+    value_columns: list[str] | None = None,
+    label_columns: list[str] | None = None,
+    log: bool = False,
+) -> str:
+    """Horizontal grouped bars, one bar per (row, value column)."""
+    value_columns = value_columns or _numeric_columns(result)
+    label_columns = label_columns or [
+        c for c in result.columns if c not in value_columns
+    ]
+    values = [
+        float(row[c])
+        for row in result.rows
+        for c in value_columns
+        if row.get(c) is not None
+    ]
+    if not values:
+        return "(no data)"
+    top = max(values)
+    lo = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1.0
+    lines = [f"== {result.experiment}: {result.title} =="]
+    name_width = max(
+        len(_label(row, label_columns, c))
+        for row in result.rows
+        for c in value_columns
+    )
+    for row in result.rows:
+        for c in value_columns:
+            v = row.get(c)
+            if v is None:
+                continue
+            v = float(v)
+            frac = _scale(v, lo, top, log)
+            bar = "#" * max(1 if v > 0 else 0, round(frac * _WIDTH))
+            lines.append(
+                f"{_label(row, label_columns, c):<{name_width}} "
+                f"{v:>10.3f} {bar}"
+            )
+        lines.append("")
+    if log:
+        lines.append("(log scale)")
+    return "\n".join(lines).rstrip()
+
+
+def render_series(
+    result: ExperimentResult,
+    x_column: str,
+    series_columns: list[str] | None = None,
+    log: bool = True,
+    height: int = 12,
+) -> str:
+    """A simple scatter/line chart: one glyph per series over the x column."""
+    series_columns = series_columns or [
+        c for c in _numeric_columns(result) if c != x_column
+    ]
+    xs = [float(r[x_column]) for r in result.rows]
+    all_vals = [
+        float(r[c]) for r in result.rows for c in series_columns
+        if r.get(c) is not None
+    ]
+    if not all_vals or not xs:
+        return "(no data)"
+    top, lo = max(all_vals), min(v for v in all_vals if v > 0)
+    grid = [[" "] * len(xs) for _ in range(height)]
+    glyphs = "ox+*#@%&"
+    for si, c in enumerate(series_columns):
+        for xi, row in enumerate(result.rows):
+            v = row.get(c)
+            if v is None:
+                continue
+            frac = _scale(float(v), lo, top, log)
+            y = height - 1 - min(height - 1, round(frac * (height - 1)))
+            cell = grid[y][xi]
+            grid[y][xi] = glyphs[si % len(glyphs)] if cell == " " else "*"
+    lines = [f"== {result.experiment}: {result.title} =="]
+    lines.append(f"{top:10.3f} ┐")
+    for row_cells in grid:
+        lines.append(" " * 11 + "│ " + "  ".join(row_cells))
+    lines.append(f"{lo:10.3f} ┘ " + "  ".join("·" * len(xs)))
+    lines.append(
+        " " * 13 + "  ".join(_short(x) for x in xs) + f"   <- {x_column}"
+    )
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={c}" for i, c in enumerate(series_columns)
+    )
+    lines.append("legend: " + legend + ("   (log y)" if log else ""))
+    return "\n".join(lines)
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """Pick a sensible chart for a known experiment, else bars."""
+    if result.experiment == "Figure 7":
+        return render_series(result, x_column="batch size (KB)")
+    return render_bars(result)
+
+
+def _numeric_columns(result: ExperimentResult) -> list[str]:
+    numeric = []
+    for c in result.columns:
+        vals = [r.get(c) for r in result.rows]
+        if any(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in vals):
+            numeric.append(c)
+    return numeric
+
+
+def _label(row, label_columns, value_column) -> str:
+    parts = [str(row.get(c, "")) for c in label_columns if row.get(c) is not None]
+    parts.append(str(value_column))
+    return " / ".join(parts)
+
+
+def _scale(v: float, lo: float, hi: float, log: bool) -> float:
+    if hi <= 0:
+        return 0.0
+    if not log:
+        return max(0.0, v / hi)
+    if v <= 0:
+        return 0.0
+    if math.isclose(hi, lo):
+        return 1.0
+    return (math.log(v) - math.log(lo)) / (math.log(hi) - math.log(lo))
+
+
+def _short(x: float) -> str:
+    if x == int(x):
+        return str(int(x))
+    return f"{x:g}"

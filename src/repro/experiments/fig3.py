@@ -1,0 +1,46 @@
+"""Figure 3: partitioning time for XtraPulp and the six CuSP policies,
+five graphs, three host counts."""
+
+from __future__ import annotations
+
+from .common import (
+    ALL_GRAPHS,
+    CUSP_POLICIES,
+    ExperimentContext,
+    ExperimentResult,
+    HOST_COUNTS,
+    PAPER_HOSTS,
+)
+
+__all__ = ["run"]
+
+PARTITIONERS = ["XtraPulp"] + CUSP_POLICIES
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    scale: str = "small",
+    graphs: list[str] | None = None,
+    hosts: list[int] | None = None,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext(scale=scale)
+    graphs = graphs or ALL_GRAPHS
+    hosts = hosts or HOST_COUNTS
+    rows = []
+    for k in hosts:
+        for name in graphs:
+            row = {"graph": name, "hosts": f"{k} (paper {PAPER_HOSTS.get(k, '?')})"}
+            for p in PARTITIONERS:
+                row[p] = ctx.partition_time(name, p, k) * 1e3  # ms
+            rows.append(row)
+    return ExperimentResult(
+        experiment="Figure 3",
+        title="Partitioning time (ms, simulated) for XtraPulp and CuSP policies",
+        columns=["graph", "hosts"] + PARTITIONERS,
+        rows=rows,
+        notes=[
+            "Expected shape: every CuSP policy beats XtraPulp; EEC is the "
+            "fastest CuSP policy; FennelEB policies (FEC/GVC/SVC) are the "
+            "slowest CuSP policies but still faster than XtraPulp.",
+        ],
+    )

@@ -1,0 +1,61 @@
+"""Figures 5 and 6: execution time of bfs/cc/pagerank/sssp on partitions
+from XtraPulp and the six CuSP policies (Fig. 5 = 64 paper hosts -> 8
+scaled; Fig. 6 = 128 paper hosts -> 16 scaled)."""
+
+from __future__ import annotations
+
+from .common import (
+    APP_NAMES,
+    CUSP_POLICIES,
+    ExperimentContext,
+    ExperimentResult,
+    FIGURE_GRAPHS,
+    PAPER_HOSTS,
+)
+
+__all__ = ["run", "run_fig5", "run_fig6"]
+
+PARTITIONERS = ["XtraPulp"] + CUSP_POLICIES
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    scale: str = "small",
+    hosts: int = 8,
+    graphs: list[str] | None = None,
+    apps: list[str] | None = None,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext(scale=scale)
+    graphs = graphs or FIGURE_GRAPHS
+    apps = apps or APP_NAMES
+    rows = []
+    for name in graphs:
+        for app in apps:
+            row = {"graph": name, "app": app}
+            for p in PARTITIONERS:
+                row[p] = ctx.app_time(app, name, p, hosts) * 1e3  # ms
+            rows.append(row)
+    figure = "Figure 5" if hosts <= 8 else "Figure 6"
+    return ExperimentResult(
+        experiment=figure,
+        title=(
+            f"Application execution time (ms, simulated) on {hosts} hosts "
+            f"(paper: {PAPER_HOSTS.get(hosts, '?')})"
+        ),
+        columns=["graph", "app"] + PARTITIONERS,
+        rows=rows,
+        notes=[
+            "Expected shape: edge-cuts (XtraPulp/EEC/FEC) comparable; "
+            "CVC/SVC best in several cases; general vertex-cuts "
+            "(HVC/GVC) generally worst (no invariant for the engine's "
+            "communication optimizations).",
+        ],
+    )
+
+
+def run_fig5(ctx=None, scale="small", **kw) -> ExperimentResult:
+    return run(ctx, scale, hosts=8, **kw)
+
+
+def run_fig6(ctx=None, scale="small", **kw) -> ExperimentResult:
+    return run(ctx, scale, hosts=16, **kw)

@@ -1,0 +1,42 @@
+"""Figure 7: partitioning time of CVC with varying message batch sizes
+(log-log in the paper; 0 means send-immediately)."""
+
+from __future__ import annotations
+
+from .common import ExperimentContext, ExperimentResult
+
+__all__ = ["run", "BUFFER_SIZES"]
+
+#: Scaled sweep: the paper sweeps 0..32 MB against billions of edges; the
+#: stand-ins are ~1000x smaller, so the buffer axis shrinks likewise.
+BUFFER_SIZES = [0, 512, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10]
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    scale: str = "small",
+    graphs: list[str] | None = None,
+    hosts: int = 16,
+    buffer_sizes: list[int] | None = None,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext(scale=scale)
+    graphs = graphs or ["clueweb", "uk", "wdc"]
+    buffer_sizes = buffer_sizes or BUFFER_SIZES
+    rows = []
+    for buf in buffer_sizes:
+        row = {"batch size (KB)": buf / 1024}
+        for name in graphs:
+            row[name] = (
+                ctx.partition_time(name, "CVC", hosts, buffer_size=buf) * 1e3
+            )
+        rows.append(row)
+    return ExperimentResult(
+        experiment="Figure 7",
+        title=f"CVC partitioning time (ms) vs message batch size, {hosts} hosts",
+        columns=["batch size (KB)"] + graphs,
+        rows=rows,
+        notes=[
+            "Expected shape: batch size 0 (send-immediately) is several "
+            "times slower; beyond a modest buffer the curve flattens.",
+        ],
+    )

@@ -1,0 +1,67 @@
+"""Table IV: average speedup of CuSP policies over XtraPulp in
+partitioning time and application execution time."""
+
+from __future__ import annotations
+
+from ..metrics import geomean
+from .common import (
+    APP_NAMES,
+    CUSP_POLICIES,
+    ExperimentContext,
+    ExperimentResult,
+    FIGURE_GRAPHS,
+)
+
+__all__ = ["run"]
+
+#: The paper's Table IV, for side-by-side comparison.
+PAPER_SPEEDUPS = {
+    "EEC": (22.22, 1.73), "HVC": (10.81, 0.91), "CVC": (11.90, 1.88),
+    "FEC": (2.40, 1.44), "GVC": (2.19, 0.83), "SVC": (2.67, 1.45),
+}
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    scale: str = "small",
+    graphs: list[str] | None = None,
+    hosts: list[int] | None = None,
+    apps: list[str] | None = None,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext(scale=scale)
+    graphs = graphs or FIGURE_GRAPHS
+    hosts = hosts or [8, 16]
+    apps = apps or APP_NAMES
+    rows = []
+    for policy in CUSP_POLICIES:
+        part_ratios = []
+        app_ratios = []
+        for k in hosts:
+            for g in graphs:
+                xp = ctx.partition_time(g, "XtraPulp", k)
+                part_ratios.append(xp / ctx.partition_time(g, policy, k))
+                for app in apps:
+                    xp_t = ctx.app_time(app, g, "XtraPulp", k)
+                    app_ratios.append(xp_t / ctx.app_time(app, g, policy, k))
+        paper_part, paper_app = PAPER_SPEEDUPS[policy]
+        rows.append(
+            {
+                "policy": policy,
+                "partitioning speedup": geomean(part_ratios),
+                "paper": paper_part,
+                "app execution speedup": geomean(app_ratios),
+                "paper ": paper_app,
+            }
+        )
+    return ExperimentResult(
+        experiment="Table IV",
+        title="Average speedup of CuSP policies over XtraPulp (geomean)",
+        columns=["policy", "partitioning speedup", "paper",
+                 "app execution speedup", "paper "],
+        rows=rows,
+        notes=[
+            "Expected shape: all partitioning speedups > 1; ContiguousEB "
+            "policies far above FennelEB policies; app speedups near or "
+            "above 1 except the general vertex-cuts (HVC/GVC).",
+        ],
+    )

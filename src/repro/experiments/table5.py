@@ -1,0 +1,47 @@
+"""Table V: data volume sent in the edge assignment and graph construction
+phases of CuSP, CVC vs HVC, at the largest host count."""
+
+from __future__ import annotations
+
+from .common import ExperimentContext, ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    scale: str = "small",
+    graphs: list[str] | None = None,
+    hosts: int = 16,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext(scale=scale)
+    graphs = graphs or ["kron", "gsh", "clueweb", "uk"]
+    rows = []
+    for name in graphs:
+        for policy in ("CVC", "HVC"):
+            dg = ctx.partition(name, policy, hosts)
+            rows.append(
+                {
+                    "graph": name,
+                    "policy": policy,
+                    "assignment (MB)": dg.breakdown.comm_bytes("Edge Assignment")
+                    / 2**20,
+                    "construction (MB)": dg.breakdown.comm_bytes(
+                        "Graph Construction"
+                    )
+                    / 2**20,
+                    "total time (ms)": dg.breakdown.total * 1e3,
+                }
+            )
+    return ExperimentResult(
+        experiment="Table V",
+        title=f"Data volume in edge assignment and construction, {hosts} hosts",
+        columns=["graph", "policy", "assignment (MB)", "construction (MB)",
+                 "total time (ms)"],
+        rows=rows,
+        notes=[
+            "Expected shape: HVC sends at least as much as CVC (up to ~an "
+            "order of magnitude more on skewed inputs) yet its total "
+            "partitioning time is only mildly worse.",
+        ],
+    )

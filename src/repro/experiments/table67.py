@@ -1,0 +1,77 @@
+"""Tables VI and VII: effect of the number of state-synchronization rounds
+on SVC's partitioning time (VI) and on the quality of its partitions as
+application execution time (VII)."""
+
+from __future__ import annotations
+
+from .common import APP_NAMES, ExperimentContext, ExperimentResult
+
+__all__ = ["run_table6", "run_table7", "SYNC_ROUNDS"]
+
+SYNC_ROUNDS = [1, 10, 100, 1000]
+
+
+def run_table6(
+    ctx: ExperimentContext | None = None,
+    scale: str = "small",
+    graphs: list[str] | None = None,
+    hosts: int = 16,
+    rounds: list[int] | None = None,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext(scale=scale)
+    graphs = graphs or ["clueweb", "uk"]
+    rounds = rounds or SYNC_ROUNDS
+    rows = []
+    for name in graphs:
+        row = {"graph": name}
+        for r in rounds:
+            row[f"{r} rounds"] = (
+                ctx.partition_time(name, "SVC", hosts, sync_rounds=r) * 1e3
+            )
+        rows.append(row)
+    return ExperimentResult(
+        experiment="Table VI",
+        title=f"SVC partitioning time (ms) vs synchronization rounds, {hosts} hosts",
+        columns=["graph"] + [f"{r} rounds" for r in rounds],
+        rows=rows,
+        notes=[
+            "Expected shape: roughly flat until a very high round count, "
+            "where synchronization overhead becomes visible.",
+        ],
+    )
+
+
+def run_table7(
+    ctx: ExperimentContext | None = None,
+    scale: str = "small",
+    graphs: list[str] | None = None,
+    hosts: int = 16,
+    rounds: list[int] | None = None,
+    apps: list[str] | None = None,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext(scale=scale)
+    graphs = graphs or ["clueweb", "uk"]
+    rounds = rounds or SYNC_ROUNDS
+    apps = apps or APP_NAMES
+    rows = []
+    for name in graphs:
+        for app in apps:
+            row = {"graph": name, "app": app}
+            for r in rounds:
+                row[f"{r} rounds"] = (
+                    ctx.app_time(app, name, "SVC", hosts, sync_rounds=r) * 1e3
+                )
+            rows.append(row)
+    return ExperimentResult(
+        experiment="Table VII",
+        title=(
+            f"Application execution time (ms) with SVC partitions built "
+            f"with different synchronization round counts, {hosts} hosts"
+        ),
+        columns=["graph", "app"] + [f"{r} rounds" for r in rounds],
+        rows=rows,
+        notes=[
+            "Expected shape: more rounds can improve quality (uk-like) or "
+            "be mixed (clueweb-like); gains are not monotonic.",
+        ],
+    )

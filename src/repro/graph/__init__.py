@@ -1,0 +1,78 @@
+"""Graph substrate: storage, generators, formats, datasets, properties."""
+
+from .csr import CSRGraph
+from .generators import (
+    GRAPH500_WEIGHTS,
+    chung_lu,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    kronecker,
+    path_graph,
+    preferential_attachment,
+    rmat,
+    star_graph,
+    webcrawl_like,
+)
+from .generators import paper_figure1_graph
+from .formats import (
+    convert,
+    gr_file_size,
+    read_edgelist,
+    read_gr,
+    read_gr_slice,
+    read_metis,
+    write_edgelist,
+    write_gr,
+    write_metis,
+)
+from .properties import GraphProperties, compute_properties, degree_histogram
+from .datasets import DATASETS, SCALES, dataset_names, get_dataset
+from .transforms import (
+    largest_wcc,
+    relabel,
+    relabel_by_degree,
+    remove_self_loops,
+    shuffle_labels,
+    simplify,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GRAPH500_WEIGHTS",
+    "chung_lu",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi",
+    "grid_graph",
+    "kronecker",
+    "path_graph",
+    "preferential_attachment",
+    "rmat",
+    "star_graph",
+    "webcrawl_like",
+    "paper_figure1_graph",
+    "convert",
+    "gr_file_size",
+    "read_edgelist",
+    "read_gr",
+    "read_gr_slice",
+    "read_metis",
+    "write_edgelist",
+    "write_gr",
+    "write_metis",
+    "GraphProperties",
+    "compute_properties",
+    "degree_histogram",
+    "DATASETS",
+    "SCALES",
+    "dataset_names",
+    "get_dataset",
+    "relabel",
+    "relabel_by_degree",
+    "shuffle_labels",
+    "remove_self_loops",
+    "simplify",
+    "largest_wcc",
+]

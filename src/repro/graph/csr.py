@@ -1,0 +1,285 @@
+"""Compressed Sparse Row graph storage.
+
+This is the fundamental in-memory graph representation used throughout the
+reproduction, mirroring the on-disk CSR/CSC formats CuSP consumes
+(paper §III-A).  A :class:`CSRGraph` stores a directed graph as two NumPy
+arrays:
+
+``indptr``
+    ``int64`` array of length ``num_nodes + 1``; the outgoing edges of node
+    ``v`` occupy ``indices[indptr[v]:indptr[v + 1]]``.
+``indices``
+    ``int64`` array of length ``num_edges`` holding destination node ids.
+
+An optional ``edge_data`` array of the same length as ``indices`` carries
+edge weights (used by sssp).  Interpreting the same arrays as a CSC matrix
+yields the incoming-edge view; :meth:`CSRGraph.transpose` converts between
+the two (the paper's in-memory transpose, §IV-B5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+def _as_int64(a, name: str) -> np.ndarray:
+    arr = np.asarray(a)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+@dataclass
+class CSRGraph:
+    """A directed graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        Row-pointer array, length ``num_nodes + 1``, non-decreasing,
+        ``indptr[0] == 0`` and ``indptr[-1] == len(indices)``.
+    indices:
+        Destination node id per edge.
+    edge_data:
+        Optional per-edge payload (e.g. weights).  ``None`` for unweighted
+        graphs.
+
+    The constructor validates the structural invariants; use
+    :meth:`from_edges` to build from an edge list.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_data: np.ndarray | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.indptr = _as_int64(self.indptr, "indptr")
+        self.indices = _as_int64(self.indices, "indices")
+        if self.indptr.size == 0:
+            raise ValueError("indptr must have at least one entry")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr[0] must be 0")
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError(
+                f"indptr[-1] ({self.indptr[-1]}) must equal len(indices) "
+                f"({self.indices.size})"
+            )
+        if self.indptr.size > 1 and np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        n = self.num_nodes
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= n
+        ):
+            raise ValueError("edge destinations out of range [0, num_nodes)")
+        if self.edge_data is not None:
+            self.edge_data = np.ascontiguousarray(self.edge_data)
+            if self.edge_data.shape[0] != self.indices.size:
+                raise ValueError("edge_data must have one entry per edge")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.edge_data is not None
+
+    def out_degree(self, node: int | np.ndarray | None = None) -> np.ndarray | int:
+        """Out-degree of ``node``, or of every node when ``node`` is None."""
+        degrees = np.diff(self.indptr)
+        if node is None:
+            return degrees
+        if np.isscalar(node):
+            return int(degrees[node])
+        return degrees[np.asarray(node)]
+
+    def in_degree(self) -> np.ndarray:
+        """In-degree of every node (one pass over the edge array)."""
+        return np.bincount(self.indices, minlength=self.num_nodes).astype(np.int64)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Destinations of the outgoing edges of ``node`` (a view)."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def edge_weights(self, node: int) -> np.ndarray | None:
+        if self.edge_data is None:
+            return None
+        return self.edge_data[self.indptr[node] : self.indptr[node + 1]]
+
+    def edge_sources(self) -> np.ndarray:
+        """Source node id per edge, aligned with ``indices``."""
+        return np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+        )
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(src, dst)`` arrays for all edges, in CSR order."""
+        return self.edge_sources(), self.indices.copy()
+
+    def nbytes(self) -> int:
+        """In-memory footprint (bytes) of the arrays."""
+        total = self.indptr.nbytes + self.indices.nbytes
+        if self.edge_data is not None:
+            total += self.edge_data.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        src,
+        dst,
+        num_nodes: int | None = None,
+        edge_data=None,
+        dedup: bool = False,
+    ) -> "CSRGraph":
+        """Build a CSR graph from parallel ``src``/``dst`` arrays.
+
+        Edges are sorted by (source, destination).  With ``dedup=True``
+        duplicate (src, dst) pairs are removed (keeping the first payload).
+        """
+        src = _as_int64(src, "src")
+        dst = _as_int64(dst, "dst")
+        if src.size != dst.size:
+            raise ValueError("src and dst must have the same length")
+        if num_nodes is None:
+            num_nodes = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+        if src.size and (src.min() < 0 or src.max() >= num_nodes):
+            raise ValueError("edge sources out of range")
+        if src.size and (dst.min() < 0 or dst.max() >= num_nodes):
+            raise ValueError("edge destinations out of range")
+        data = None
+        if edge_data is not None:
+            data = np.ascontiguousarray(edge_data)
+            if data.shape[0] != src.size:
+                raise ValueError("edge_data must have one entry per edge")
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        if data is not None:
+            data = data[order]
+        if dedup and src.size:
+            keep = np.empty(src.size, dtype=bool)
+            keep[0] = True
+            np.logical_or(src[1:] != src[:-1], dst[1:] != dst[:-1], out=keep[1:])
+            src, dst = src[keep], dst[keep]
+            if data is not None:
+                data = data[keep]
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=num_nodes), out=indptr[1:])
+        return cls(indptr=indptr, indices=dst, edge_data=data)
+
+    @classmethod
+    def empty(cls, num_nodes: int) -> "CSRGraph":
+        """A graph with ``num_nodes`` vertices and no edges."""
+        return cls(
+            indptr=np.zeros(num_nodes + 1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRGraph":
+        """The reverse graph (in-memory transpose; CSR -> CSC view).
+
+        Implemented with a counting sort over destinations so it runs in
+        O(V + E) without per-edge Python work.
+        """
+        n = self.num_nodes
+        in_deg = np.bincount(self.indices, minlength=n)
+        new_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(in_deg, out=new_indptr[1:])
+        order = np.argsort(self.indices, kind="stable")
+        new_indices = self.edge_sources()[order]
+        new_data = None if self.edge_data is None else self.edge_data[order]
+        return CSRGraph(indptr=new_indptr, indices=new_indices, edge_data=new_data)
+
+    def symmetrize(self) -> "CSRGraph":
+        """Undirected version: union of edges and reverse edges, deduplicated.
+
+        Used for connected components, which the paper runs on symmetric
+        versions of the graphs (§V-A).
+        """
+        src, dst = self.edges()
+        all_src = np.concatenate([src, dst])
+        all_dst = np.concatenate([dst, src])
+        data = None
+        if self.edge_data is not None:
+            data = np.concatenate([self.edge_data, self.edge_data])
+        return CSRGraph.from_edges(
+            all_src, all_dst, num_nodes=self.num_nodes, edge_data=data, dedup=True
+        )
+
+    def with_uniform_weights(self, value=1) -> "CSRGraph":
+        """Copy of the graph with every edge weight set to ``value``."""
+        return CSRGraph(
+            indptr=self.indptr.copy(),
+            indices=self.indices.copy(),
+            edge_data=np.full(self.num_edges, value, dtype=np.int64),
+        )
+
+    def with_random_weights(self, low: int = 1, high: int = 100, seed: int = 0) -> "CSRGraph":
+        """Copy with integer edge weights drawn uniformly from [low, high)."""
+        rng = np.random.default_rng(seed)
+        return CSRGraph(
+            indptr=self.indptr.copy(),
+            indices=self.indices.copy(),
+            edge_data=rng.integers(low, high, size=self.num_edges, dtype=np.int64),
+        )
+
+    def subgraph_rows(self, start: int, stop: int) -> "CSRGraph":
+        """CSR slice containing the outgoing edges of nodes [start, stop).
+
+        Node ids are preserved (the result still has ``num_nodes`` rows);
+        rows outside the range are empty.  This mirrors how a CuSP host
+        holds the contiguous block of the edge array it read from disk.
+        """
+        if not (0 <= start <= stop <= self.num_nodes):
+            raise ValueError("invalid node range")
+        lo, hi = self.indptr[start], self.indptr[stop]
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        indptr[start : stop + 1] = self.indptr[start : stop + 1] - lo
+        indptr[stop + 1 :] = indptr[stop]
+        data = None if self.edge_data is None else self.edge_data[lo:hi]
+        return CSRGraph(indptr=indptr, indices=self.indices[lo:hi], edge_data=data)
+
+    # ------------------------------------------------------------------
+    # Comparison / debugging
+    # ------------------------------------------------------------------
+    def edge_set(self) -> set[tuple[int, int]]:
+        """Edges as a Python set (testing helper; O(E) memory)."""
+        src, dst = self.edges()
+        return set(zip(src.tolist(), dst.tolist()))
+
+    def __eq__(self, other) -> bool:  # pragma: no cover - trivial
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        if not (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        ):
+            return False
+        if (self.edge_data is None) != (other.edge_data is None):
+            return False
+        if self.edge_data is not None:
+            return np.array_equal(self.edge_data, other.edge_data)
+        return True
+
+    def __repr__(self) -> str:
+        w = ", weighted" if self.is_weighted else ""
+        return f"CSRGraph(|V|={self.num_nodes}, |E|={self.num_edges}{w})"

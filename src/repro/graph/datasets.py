@@ -1,0 +1,107 @@
+"""Named input graphs: scaled stand-ins for the paper's Table III inputs.
+
+The paper evaluates on kron30 (synthetic Kronecker, graph500 weights) and
+four public web-crawls (gsh15, clueweb12, uk14, wdc12) of 17-129 billion
+edges.  Those cannot be stored or processed here, so each input is replaced
+by a deterministic synthetic stand-in that preserves the structural
+signature that drives partitioning behaviour:
+
+* the |E|/|V| ratio class of the original (Table III),
+* the relative size ordering (wdc largest, kron smallest vertex count among
+  crawls is preserved in spirit),
+* for the web crawls: extreme in-degree skew (max in-degree orders of
+  magnitude above max out-degree), via :func:`webcrawl_like`;
+* for kron: the actual graph500 RMAT recipe at a smaller scale.
+
+Three size presets are provided; ``tiny`` is for unit tests, ``small`` for
+quick runs, ``bench`` for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from .csr import CSRGraph
+from . import generators as gen
+
+__all__ = ["DATASETS", "SCALES", "get_dataset", "dataset_names", "DatasetSpec"]
+
+#: Size presets: multiplier applied to the node counts below.
+SCALES = {"tiny": 0.02, "small": 0.2, "bench": 1.0}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one named input graph."""
+
+    name: str
+    paper_name: str
+    builder: Callable[[float], CSRGraph]
+    description: str
+
+
+def _kron(scale_mult: float) -> CSRGraph:
+    # kron30: |E|/|V| = 16.7.  Scale 13 at bench size, graph500 weights.
+    log_scale = {0.02: 8, 0.2: 11, 1.0: 13}.get(scale_mult)
+    if log_scale is None:
+        log_scale = max(4, int(13 + round(3.3 * (scale_mult - 1))))
+    return gen.kronecker(scale=log_scale, edge_factor=17, seed=30)
+
+
+def _crawl(nodes: int, avg_deg: float, seed: int):
+    def build(scale_mult: float) -> CSRGraph:
+        n = max(64, int(nodes * scale_mult))
+        return gen.webcrawl_like(n, avg_degree=avg_deg, seed=seed)
+
+    return build
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "kron": DatasetSpec(
+        name="kron",
+        paper_name="kron30",
+        builder=_kron,
+        description="graph500 Kronecker/RMAT, weights .57/.19/.19/.05",
+    ),
+    "gsh": DatasetSpec(
+        name="gsh",
+        paper_name="gsh15",
+        builder=_crawl(28_000, 34.3, seed=15),
+        description="web-crawl stand-in, |E|/|V| ~ 34",
+    ),
+    "clueweb": DatasetSpec(
+        name="clueweb",
+        paper_name="clueweb12",
+        builder=_crawl(26_000, 43.5, seed=12),
+        description="web-crawl stand-in, |E|/|V| ~ 44",
+    ),
+    "uk": DatasetSpec(
+        name="uk",
+        paper_name="uk14",
+        builder=_crawl(21_000, 60.4, seed=14),
+        description="web-crawl stand-in, |E|/|V| ~ 60",
+    ),
+    "wdc": DatasetSpec(
+        name="wdc",
+        paper_name="wdc12",
+        builder=_crawl(60_000, 36.1, seed=34),
+        description="largest web-crawl stand-in, |E|/|V| ~ 36",
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """Names in the paper's Table III order."""
+    return list(DATASETS)
+
+
+@lru_cache(maxsize=32)
+def get_dataset(name: str, scale: str = "small") -> CSRGraph:
+    """Build (and memoize) the named dataset at the given size preset."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {dataset_names()}")
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; choose from {list(SCALES)}")
+    return DATASETS[name].builder(SCALES[scale])

@@ -1,0 +1,252 @@
+"""Synthetic graph generators.
+
+The paper evaluates on one synthetic Kronecker graph (kron30, generated with
+the graph500 weights 0.57/0.19/0.19/0.05) and four public web-crawls.  The
+web-crawls are not redistributable at this scale, so :mod:`repro.graph.datasets`
+builds scaled stand-ins from the generators here, matched on the structural
+properties Table III reports (|E|/|V| ratio, extreme in-degree skew with
+modest out-degree skew).
+
+All generators are deterministic given a ``seed`` and fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "kronecker",
+    "rmat",
+    "chung_lu",
+    "erdos_renyi",
+    "preferential_attachment",
+    "webcrawl_like",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "GRAPH500_WEIGHTS",
+]
+
+#: Edge-probability weights used by the graph500 reference RMAT generator,
+#: as cited in the paper (§V-A): a, b, c, d for the four quadrants.
+GRAPH500_WEIGHTS = (0.57, 0.19, 0.19, 0.05)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    weights: tuple[float, float, float, float] = GRAPH500_WEIGHTS,
+    seed: int = 0,
+    dedup: bool = False,
+) -> CSRGraph:
+    """Recursive-MATrix power-law generator.
+
+    Produces ``2**scale`` vertices and ``edge_factor * 2**scale`` directed
+    edges.  Each edge picks one of the four adjacency-matrix quadrants per
+    bit level according to ``weights``, which yields the skewed degree
+    distribution of the graph500 kron inputs.
+    """
+    if scale < 0:
+        raise ValueError("scale must be non-negative")
+    a, b, c, d = weights
+    total = a + b + c + d
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"weights must sum to 1 (got {total})")
+    n = 1 << scale
+    m = edge_factor * n
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        # Quadrant choice: bit of src set when r >= a + b (lower half),
+        # bit of dst set when r in [a, a+b) or [a+b+c, 1) (right half).
+        src_bit = r >= (a + b)
+        dst_bit = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        src |= src_bit.astype(np.int64) << level
+        dst |= dst_bit.astype(np.int64) << level
+    return CSRGraph.from_edges(src, dst, num_nodes=n, dedup=dedup)
+
+
+def kronecker(scale: int, edge_factor: int = 16, seed: int = 0) -> CSRGraph:
+    """The paper's kron30 recipe at an arbitrary scale (graph500 weights)."""
+    return rmat(scale, edge_factor=edge_factor, weights=GRAPH500_WEIGHTS, seed=seed)
+
+
+def chung_lu(
+    num_nodes: int,
+    num_edges: int,
+    out_exponent: float = 0.5,
+    in_exponent: float = 0.85,
+    seed: int = 0,
+) -> CSRGraph:
+    """Directed Chung-Lu graph with independent power-law degree weights.
+
+    Every edge samples its source from a distribution proportional to a
+    rank weight ``rank**-out_exponent`` and its destination with exponent
+    ``in_exponent``.  For exponents below 1 the top-ranked node's share of
+    edges scales like ``(1 - a) / n**(1 - a)``, so a *larger* exponent
+    yields a *heavier* tail.  Web crawls have much heavier in-degree tails
+    than out-degree tails (Table III), hence the asymmetric defaults.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_nodes + 1, dtype=np.float64)
+    out_w = ranks ** (-out_exponent)
+    in_w = ranks ** (-in_exponent)
+    out_p = out_w / out_w.sum()
+    in_p = in_w / in_w.sum()
+    # Random permutations decorrelate node id from degree so contiguous
+    # partitioning is not trivially balanced.
+    out_perm = rng.permutation(num_nodes)
+    in_perm = rng.permutation(num_nodes)
+    src = out_perm[rng.choice(num_nodes, size=num_edges, p=out_p)]
+    dst = in_perm[rng.choice(num_nodes, size=num_edges, p=in_p)]
+    return CSRGraph.from_edges(src, dst, num_nodes=num_nodes)
+
+
+def erdos_renyi(num_nodes: int, num_edges: int, seed: int = 0) -> CSRGraph:
+    """Uniform random directed multigraph with ``num_edges`` edges."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    return CSRGraph.from_edges(src, dst, num_nodes=num_nodes)
+
+
+def preferential_attachment(num_nodes: int, out_degree: int = 4, seed: int = 0) -> CSRGraph:
+    """Barabási–Albert-style generator (vectorized repeated-target trick).
+
+    Each new node emits ``out_degree`` edges whose destinations are sampled
+    from the current multiset of edge endpoints, which is equivalent to
+    degree-proportional attachment.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    rng = np.random.default_rng(seed)
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    # Endpoint pool seeded with node 0 so the first draws are valid.
+    pool = np.zeros(1, dtype=np.int64)
+    for v in range(1, num_nodes):
+        k = min(out_degree, v)
+        targets = pool[rng.integers(0, pool.size, size=k)]
+        srcs.append(np.full(k, v, dtype=np.int64))
+        dsts.append(targets)
+        pool = np.concatenate([pool, targets, np.full(k, v, dtype=np.int64)])
+    if not srcs:
+        return CSRGraph.empty(num_nodes)
+    return CSRGraph.from_edges(
+        np.concatenate(srcs), np.concatenate(dsts), num_nodes=num_nodes
+    )
+
+
+def webcrawl_like(
+    num_nodes: int,
+    avg_degree: float,
+    hub_fraction: float = 1e-3,
+    hub_boost: float = 8.0,
+    seed: int = 0,
+) -> CSRGraph:
+    """Stand-in for a web-crawl: power-law in-degree with extreme hubs.
+
+    A Chung-Lu base is augmented by promoting a tiny ``hub_fraction`` of
+    nodes to super-attractors (their in-weight multiplied by ``hub_boost``),
+    reproducing the Table III signature of max in-degree being orders of
+    magnitude above max out-degree.
+    """
+    num_edges = int(round(num_nodes * avg_degree))
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_nodes + 1, dtype=np.float64)
+    out_w = ranks ** (-0.45)
+    in_w = ranks ** (-0.7)
+    n_hubs = max(1, int(num_nodes * hub_fraction))
+    in_w[:n_hubs] *= hub_boost
+    out_p = out_w / out_w.sum()
+    in_p = in_w / in_w.sum()
+    out_perm = rng.permutation(num_nodes)
+    in_perm = rng.permutation(num_nodes)
+    src = out_perm[rng.choice(num_nodes, size=num_edges, p=out_p)]
+    dst = in_perm[rng.choice(num_nodes, size=num_edges, p=in_p)]
+    return CSRGraph.from_edges(src, dst, num_nodes=num_nodes)
+
+
+# ----------------------------------------------------------------------
+# Small deterministic graphs (testing / examples)
+# ----------------------------------------------------------------------
+
+def path_graph(num_nodes: int) -> CSRGraph:
+    """Directed path 0 -> 1 -> ... -> n-1."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    src = np.arange(num_nodes - 1, dtype=np.int64)
+    return CSRGraph.from_edges(src, src + 1, num_nodes=num_nodes)
+
+
+def cycle_graph(num_nodes: int) -> CSRGraph:
+    """Directed cycle over ``num_nodes`` vertices."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    src = np.arange(num_nodes, dtype=np.int64)
+    return CSRGraph.from_edges(src, (src + 1) % num_nodes, num_nodes=num_nodes)
+
+
+def star_graph(num_leaves: int) -> CSRGraph:
+    """Node 0 points at every leaf 1..num_leaves."""
+    src = np.zeros(num_leaves, dtype=np.int64)
+    dst = np.arange(1, num_leaves + 1, dtype=np.int64)
+    return CSRGraph.from_edges(src, dst, num_nodes=num_leaves + 1)
+
+
+def complete_graph(num_nodes: int) -> CSRGraph:
+    """All directed edges between distinct vertices."""
+    idx = np.arange(num_nodes, dtype=np.int64)
+    src = np.repeat(idx, num_nodes)
+    dst = np.tile(idx, num_nodes)
+    keep = src != dst
+    return CSRGraph.from_edges(src[keep], dst[keep], num_nodes=num_nodes)
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """2-D grid with right/down directed edges (row-major node ids)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_src = ids[:, :-1].ravel()
+    right_dst = ids[:, 1:].ravel()
+    down_src = ids[:-1, :].ravel()
+    down_dst = ids[1:, :].ravel()
+    return CSRGraph.from_edges(
+        np.concatenate([right_src, down_src]),
+        np.concatenate([right_dst, down_dst]),
+        num_nodes=rows * cols,
+    )
+
+
+def paper_figure1_graph() -> CSRGraph:
+    """The 10-vertex example graph of Figure 1a (vertices A..J -> 0..9).
+
+    Edges are read off the figure's partitioning examples: the EEC
+    partitions in Fig. 1b and the CVC adjacency matrix in Fig. 1c both
+    derive from this edge set.
+    """
+    # A=0 B=1 C=2 D=3 E=4 F=5 G=6 H=7 I=8 J=9
+    edges = [
+        (0, 1),  # A -> B
+        (1, 5),  # B -> F
+        (4, 5),  # E -> F
+        (5, 8),  # F -> I
+        (1, 6),  # B -> G
+        (2, 6),  # C -> G
+        (2, 3),  # C -> D
+        (3, 7),  # D -> H
+        (6, 9),  # G -> J
+        (7, 9),  # H -> J
+    ]
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    return CSRGraph.from_edges(src, dst, num_nodes=10)

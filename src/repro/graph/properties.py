@@ -1,0 +1,64 @@
+"""Structural graph properties (the Table III columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+from .formats import gr_file_size
+
+__all__ = ["GraphProperties", "compute_properties", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """The properties the paper reports per input graph (Table III)."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    size_on_disk: int  # bytes in the binary CSR format
+
+    def row(self) -> dict:
+        """Table III row, formatted like the paper."""
+        return {
+            "graph": self.name,
+            "|V|": self.num_nodes,
+            "|E|": self.num_edges,
+            "|E|/|V|": round(self.avg_degree, 1),
+            "MaxOutDegree": self.max_out_degree,
+            "MaxInDegree": self.max_in_degree,
+            "SizeOnDisk(MB)": round(self.size_on_disk / 2**20, 2),
+        }
+
+
+def compute_properties(graph: CSRGraph, name: str = "graph") -> GraphProperties:
+    """Compute the Table III properties of ``graph``."""
+    out_deg = graph.out_degree()
+    in_deg = graph.in_degree()
+    n, m = graph.num_nodes, graph.num_edges
+    return GraphProperties(
+        name=name,
+        num_nodes=n,
+        num_edges=m,
+        avg_degree=m / n if n else 0.0,
+        max_out_degree=int(out_deg.max(initial=0)),
+        max_in_degree=int(in_deg.max(initial=0)),
+        size_on_disk=gr_file_size(graph),
+    )
+
+
+def degree_histogram(graph: CSRGraph, direction: str = "out") -> np.ndarray:
+    """``hist[d]`` = number of nodes with degree ``d``."""
+    if direction == "out":
+        deg = graph.out_degree()
+    elif direction == "in":
+        deg = graph.in_degree()
+    else:
+        raise ValueError("direction must be 'out' or 'in'")
+    return np.bincount(deg)

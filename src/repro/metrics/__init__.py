@@ -1,0 +1,19 @@
+"""Partition quality metrics."""
+
+from .quality import (
+    PartitionQuality,
+    cut_fraction,
+    geomean,
+    master_agreement,
+    measure_quality,
+    migration_volume,
+)
+
+__all__ = [
+    "PartitionQuality",
+    "measure_quality",
+    "cut_fraction",
+    "geomean",
+    "master_agreement",
+    "migration_volume",
+]

@@ -1,0 +1,33 @@
+"""Simulated distributed runtime: cluster, message passing, cost model."""
+
+from .cluster import SimulatedCluster
+from .comm import Communicator, payload_nbytes
+from .cost_model import REPRO_CALIBRATED, SLOW_NETWORK, STAMPEDE2, CostModel
+from .stats import PhaseReport, PhaseStats, TimeBreakdown
+from .memory import (
+    MemoryBudgetExceeded,
+    check_memory,
+    cusp_peak_memory,
+    xtrapulp_peak_memory,
+)
+from .trace import breakdown_to_json, render_breakdown, render_comparison
+
+__all__ = [
+    "SimulatedCluster",
+    "Communicator",
+    "payload_nbytes",
+    "CostModel",
+    "STAMPEDE2",
+    "SLOW_NETWORK",
+    "REPRO_CALIBRATED",
+    "PhaseReport",
+    "PhaseStats",
+    "TimeBreakdown",
+    "render_breakdown",
+    "render_comparison",
+    "breakdown_to_json",
+    "MemoryBudgetExceeded",
+    "check_memory",
+    "cusp_peak_memory",
+    "xtrapulp_peak_memory",
+]

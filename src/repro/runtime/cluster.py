@@ -1,0 +1,99 @@
+"""The simulated distributed-memory cluster.
+
+A :class:`SimulatedCluster` stands in for the k Stampede2 hosts the paper
+partitions onto.  It owns the cost model and the message-buffer setting,
+hands out one :class:`~repro.runtime.stats.PhaseStats` (with a fresh
+:class:`~repro.runtime.comm.Communicator`) per named phase, and assembles
+the final :class:`~repro.runtime.stats.TimeBreakdown`.
+
+Usage::
+
+    cluster = SimulatedCluster(num_hosts=4)
+    with cluster.phase("graph reading") as ph:
+        ph.add_disk(host, nbytes)
+        ...
+    with cluster.phase("edge assignment") as ph:
+        ph.comm.send(src, dst, payload)
+        ...
+    breakdown = cluster.breakdown()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .comm import Communicator
+from .cost_model import STAMPEDE2, CostModel
+from .stats import PhaseStats, TimeBreakdown
+
+__all__ = ["SimulatedCluster"]
+
+
+class SimulatedCluster:
+    """k simulated hosts with a shared cost model and buffer setting."""
+
+    def __init__(
+        self,
+        num_hosts: int,
+        cost_model: CostModel = STAMPEDE2,
+        buffer_size: int = 8 << 20,
+        host_speeds=None,
+    ):
+        """``host_speeds`` optionally scales each host's compute rate (1.0
+        = nominal; 0.5 = half speed).  Stampede2 is homogeneous, but a
+        straggler ablation needs one slow host — and bulk-synchronous
+        phases wait for it."""
+        if num_hosts < 1:
+            raise ValueError("num_hosts must be >= 1")
+        cost_model.validate()
+        self.num_hosts = num_hosts
+        self.cost_model = cost_model
+        self.buffer_size = buffer_size
+        if host_speeds is None:
+            self.host_speeds = None
+        else:
+            import numpy as np
+
+            speeds = np.asarray(host_speeds, dtype=np.float64)
+            if speeds.shape != (num_hosts,) or np.any(speeds <= 0):
+                raise ValueError("host_speeds needs one positive entry per host")
+            self.host_speeds = speeds
+        self._phases: list[PhaseStats] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        """Open a named bulk-synchronous phase.
+
+        Phases are recorded in execution order; re-entering a name starts
+        a new record (names in a breakdown are expected to be unique per
+        partitioning run).
+        """
+        stats = PhaseStats(
+            name=name,
+            num_hosts=self.num_hosts,
+            comm=Communicator(self.num_hosts, buffer_size=self.buffer_size),
+            host_speeds=self.host_speeds,
+        )
+        self._phases.append(stats)
+        yield stats
+
+    def hosts(self) -> range:
+        return range(self.num_hosts)
+
+    def breakdown(self) -> TimeBreakdown:
+        """Simulated time of every recorded phase under the cost model."""
+        return TimeBreakdown(
+            phases=[p.report(self.cost_model) for p in self._phases]
+        )
+
+    def total_time(self) -> float:
+        return self.breakdown().total
+
+    def reset(self) -> None:
+        """Forget all recorded phases (e.g. between partitioning runs)."""
+        self._phases.clear()
+
+    @property
+    def phase_stats(self) -> list[PhaseStats]:
+        """Raw per-phase counters, in execution order."""
+        return list(self._phases)

@@ -1,0 +1,220 @@
+"""Simulated message passing with exact byte/message accounting.
+
+This is the reproduction's stand-in for MPI/LCI (paper §IV-D).  Hosts are
+slots in a single process; a :class:`Communicator` carries *real* payloads
+between them (so partitioning and analytics are functionally exact) while
+recording, per (source, destination) pair, the bytes and network messages
+the transfer would have cost on a real cluster.
+
+Message counting honours the paper's buffering optimization (§IV-D3):
+with a positive ``buffer_size`` a logical stream of ``nbytes`` to one peer
+costs ``ceil(nbytes / buffer_size)`` messages; with ``buffer_size == 0``
+each *logical* message (e.g. one node's serialized edge bundle) is sent
+immediately and costs one network message — which is exactly the 0 MB
+configuration of Figure 7.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict, deque
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["Communicator", "payload_nbytes"]
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Approximate serialized size of a payload in bytes.
+
+    NumPy arrays count their buffer size; containers count the sum of
+    their elements; Python scalars count 8 bytes (one machine word).
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items())
+    if isinstance(payload, (int, float, np.integer, np.floating, bool)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode())
+    raise TypeError(f"cannot size payload of type {type(payload).__name__}")
+
+
+class Communicator:
+    """Point-to-point and collective communication among ``num_hosts`` slots.
+
+    All accounting methods are cheap; payload delivery is by reference
+    (hosts must not mutate received arrays they do not own).
+    """
+
+    def __init__(self, num_hosts: int, buffer_size: int = 8 << 20):
+        if num_hosts < 1:
+            raise ValueError("num_hosts must be >= 1")
+        if buffer_size < 0:
+            raise ValueError("buffer_size must be >= 0")
+        self.num_hosts = num_hosts
+        self.buffer_size = buffer_size
+        self.sent_bytes = np.zeros((num_hosts, num_hosts), dtype=np.float64)
+        self.sent_messages = np.zeros((num_hosts, num_hosts), dtype=np.float64)
+        self.collective_events: list[tuple[str, float]] = []
+        self.barriers = 0
+        self._queues: dict[tuple[int, str], deque] = defaultdict(deque)
+        # Bytes sent with coalesce=True, per (src, dst): the dedicated
+        # communication thread batches consecutive small sends to the same
+        # peer into buffer-sized network messages (paper §IV-D3), so their
+        # message count is derived from the stream volume, not the number
+        # of send calls.
+        self._stream_bytes = np.zeros((num_hosts, num_hosts), dtype=np.float64)
+        self._stream_logical = np.zeros((num_hosts, num_hosts), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        tag: str = "default",
+        logical_messages: int = 1,
+        nbytes: int | None = None,
+        coalesce: bool = False,
+    ) -> None:
+        """Deliver ``payload`` from ``src`` to ``dst`` and account for it.
+
+        ``logical_messages`` is the number of application-level messages
+        in the stream (used only when unbuffered).  ``nbytes`` overrides
+        the automatic payload sizing (e.g. to model elided metadata).
+        ``coalesce=True`` marks the send as part of an ongoing stream to
+        this peer: the comm thread batches such sends, so the stream's
+        message count is ceil(total bytes / buffer) at the end rather than
+        one per call.  Local "sends" (src == dst) are delivered but cost
+        nothing: CuSP constructs local edges directly (§IV-B5).
+        """
+        self._check_host(src)
+        self._check_host(dst)
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        if src != dst:
+            self.sent_bytes[src, dst] += size
+            if coalesce:
+                self._stream_bytes[src, dst] += size
+                self._stream_logical[src, dst] += max(1, logical_messages)
+            else:
+                self.sent_messages[src, dst] += self._message_count(
+                    size, logical_messages
+                )
+        self._queues[(dst, tag)].append((src, payload))
+
+    def _stream_messages(self) -> np.ndarray:
+        """Network messages implied by the coalesced streams."""
+        if self.buffer_size > 0:
+            return np.ceil(self._stream_bytes / self.buffer_size)
+        return self._stream_logical
+
+    def _message_count(self, nbytes: int, logical_messages: int) -> int:
+        if self.buffer_size > 0:
+            return max(1, math.ceil(nbytes / self.buffer_size))
+        return max(1, logical_messages)
+
+    def recv_all(self, dst: int, tag: str = "default") -> list[tuple[int, Any]]:
+        """All messages queued for ``dst`` under ``tag`` (drains the queue)."""
+        self._check_host(dst)
+        q = self._queues.get((dst, tag))
+        if not q:
+            return []
+        out = list(q)
+        q.clear()
+        return out
+
+    def pending(self, dst: int, tag: str = "default") -> int:
+        """Number of undelivered messages for ``dst``."""
+        return len(self._queues.get((dst, tag), ()))
+
+    # ------------------------------------------------------------------
+    # Collectives (payload-carrying, with cost events)
+    # ------------------------------------------------------------------
+    def allreduce_sum(
+        self, contributions: Iterable[np.ndarray], blocking: bool = True
+    ) -> np.ndarray:
+        """Element-wise sum across hosts; every host gets the result.
+
+        ``blocking=False`` records the collective as asynchronous: hosts
+        do not wait at the round boundary (CuSP's master-assignment
+        synchronization, paper §IV-D5), so the cost model charges volume
+        but not a latency tree.
+        """
+        arrays = [np.asarray(c) for c in contributions]
+        if len(arrays) != self.num_hosts:
+            raise ValueError("one contribution per host required")
+        result = arrays[0].copy()
+        for a in arrays[1:]:
+            result = result + a
+        kind = "allreduce" if blocking else "allreduce-async"
+        self.collective_events.append((kind, float(result.nbytes)))
+        return result
+
+    def allreduce_max(self, contributions: Iterable[np.ndarray]) -> np.ndarray:
+        arrays = [np.asarray(c) for c in contributions]
+        if len(arrays) != self.num_hosts:
+            raise ValueError("one contribution per host required")
+        result = arrays[0].copy()
+        for a in arrays[1:]:
+            np.maximum(result, a, out=result)
+        self.collective_events.append(("allreduce", float(result.nbytes)))
+        return result
+
+    def allgather(self, contributions: list[Any]) -> list[Any]:
+        """Every host receives the list of all contributions."""
+        if len(contributions) != self.num_hosts:
+            raise ValueError("one contribution per host required")
+        nbytes = sum(payload_nbytes(c) for c in contributions)
+        self.collective_events.append(("allgather", float(nbytes)))
+        return list(contributions)
+
+    def barrier(self) -> None:
+        """Record a global synchronization point."""
+        self.barriers += 1
+
+    # ------------------------------------------------------------------
+    # Accounting queries
+    # ------------------------------------------------------------------
+    def total_bytes(self) -> float:
+        """All bytes sent between distinct hosts."""
+        return float(self.sent_bytes.sum())
+
+    def total_messages(self) -> float:
+        return float(self.sent_messages.sum() + self._stream_messages().sum())
+
+    def host_sent(self, host: int) -> float:
+        return float(self.sent_bytes[host, :].sum())
+
+    def host_received(self, host: int) -> float:
+        return float(self.sent_bytes[:, host].sum())
+
+    def host_messages(self, host: int) -> float:
+        """Messages originated by ``host``."""
+        return float(
+            self.sent_messages[host, :].sum()
+            + self._stream_messages()[host, :].sum()
+        )
+
+    def partners(self, host: int) -> int:
+        """Number of distinct peers ``host`` exchanged data with."""
+        out = np.count_nonzero(self.sent_bytes[host, :])
+        inc = np.count_nonzero(self.sent_bytes[:, host])
+        mask = (self.sent_bytes[host, :] > 0) | (self.sent_bytes[:, host] > 0)
+        mask[host] = False
+        del out, inc
+        return int(mask.sum())
+
+    def _check_host(self, h: int) -> None:
+        if not (0 <= h < self.num_hosts):
+            raise ValueError(f"host {h} out of range [0, {self.num_hosts})")

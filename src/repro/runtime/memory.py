@@ -1,0 +1,104 @@
+"""Per-host peak-memory estimation (the paper's OOM observations).
+
+Figure 3 has missing bars: "XtraPulp fails to allocate memory for certain
+large inputs, making it unable to run for some of our experiments at 32
+hosts and 64 hosts.  CuSP also runs out of memory in cases where
+imbalance of data exists among hosts" (§V-B).  This module estimates each
+host's peak working set for both systems so that behaviour is
+reproducible:
+
+* a CuSP host holds its read slice, the staging buffers for edges in
+  flight, and its constructed local partition;
+* an XtraPulp host holds its read slice, its share of the *undirected*
+  adjacency (label propagation needs both directions), and several
+  full-length global label/count vectors — the term that does not shrink
+  with host count and is what kills it at low k on billion-vertex inputs.
+
+``check_memory`` raises :class:`MemoryBudgetExceeded` when a capacity is
+given and any host's estimate exceeds it — the simulated analogue of the
+failed allocation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.partition import DistributedGraph
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "MemoryBudgetExceeded",
+    "cusp_peak_memory",
+    "xtrapulp_peak_memory",
+    "check_memory",
+]
+
+#: Full-length global vectors an XtraPulp host keeps: labels, proposed
+#: labels, degrees, two multi-constraint weight arrays, and LP scratch
+#: (PuLP's documented memory profile; this term does not shrink with k).
+_LABEL_VECTORS = 8
+
+
+class MemoryBudgetExceeded(MemoryError):
+    """A simulated host exceeded its memory capacity."""
+
+    def __init__(self, host: int, required: int, capacity: int):
+        self.host = host
+        self.required = required
+        self.capacity = capacity
+        super().__init__(
+            f"host {host} needs {required / 2**20:.1f} MB "
+            f"but has {capacity / 2**20:.1f} MB"
+        )
+
+
+def cusp_peak_memory(dg: DistributedGraph, graph: CSRGraph) -> np.ndarray:
+    """Per-host peak bytes for a CuSP partitioning of ``graph``.
+
+    Peak = read slice + constructed partition + proxy-sized lookup
+    tables.  Received edges are inserted directly into the preallocated
+    local arrays — the whole point of the separate allocation phase
+    (§IV-B4) — so in-flight message buffers are transient, bounded by the
+    8 MB threshold per peer, and excluded here.
+    """
+    from ..core.reading import compute_read_ranges, read_bytes_for_range
+
+    k = dg.num_partitions
+    ranges = compute_read_ranges(graph, k)
+    peaks = np.zeros(k, dtype=np.int64)
+    for p in dg.partitions:
+        start, stop = ranges[p.host]
+        read = read_bytes_for_range(graph, start, stop)
+        constructed = (
+            p.local_graph.nbytes()
+            + p.global_ids.nbytes
+            + p.master_host.nbytes
+            + p.num_proxies * 16  # global->local hash map entries
+        )
+        if p.local_csc is not None:
+            constructed += p.local_csc.nbytes()
+        peaks[p.host] = read + constructed
+    return peaks
+
+
+def xtrapulp_peak_memory(graph: CSRGraph, num_hosts: int) -> np.ndarray:
+    """Per-host peak bytes for the XtraPulp-style baseline.
+
+    Each host keeps its slice of the undirected adjacency (2x the
+    directed edges, 16 B per entry) plus ``_LABEL_VECTORS`` full-length
+    global vectors — the component that is independent of ``num_hosts``.
+    """
+    n, m = graph.num_nodes, graph.num_edges
+    per_host_edges = int(np.ceil(2 * m / num_hosts))
+    adjacency = per_host_edges * 16
+    global_vectors = _LABEL_VECTORS * n * 8
+    return np.full(num_hosts, adjacency + global_vectors, dtype=np.int64)
+
+
+def check_memory(peaks: np.ndarray, capacity: int | None) -> None:
+    """Raise :class:`MemoryBudgetExceeded` for the worst offending host."""
+    if capacity is None:
+        return
+    worst = int(np.argmax(peaks))
+    if peaks[worst] > capacity:
+        raise MemoryBudgetExceeded(worst, int(peaks[worst]), capacity)

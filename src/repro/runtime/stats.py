@@ -1,0 +1,125 @@
+"""Per-phase work accounting and simulated-time reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .comm import Communicator
+from .cost_model import CostModel
+
+__all__ = ["PhaseStats", "PhaseReport", "TimeBreakdown"]
+
+
+@dataclass
+class PhaseStats:
+    """Everything one bulk-synchronous phase did, exactly counted."""
+
+    name: str
+    num_hosts: int
+    comm: Communicator
+    disk_bytes: np.ndarray = field(default=None)
+    compute_units: np.ndarray = field(default=None)
+    #: Optional per-host compute speed factors (straggler modeling).
+    host_speeds: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.disk_bytes is None:
+            self.disk_bytes = np.zeros(self.num_hosts, dtype=np.float64)
+        if self.compute_units is None:
+            self.compute_units = np.zeros(self.num_hosts, dtype=np.float64)
+
+    def add_disk(self, host: int, nbytes: float) -> None:
+        self.disk_bytes[host] += nbytes
+
+    def add_compute(self, host: int, units: float) -> None:
+        self.compute_units[host] += units
+
+    def report(self, model: CostModel) -> "PhaseReport":
+        """Evaluate this phase under ``model``.
+
+        The phase is bulk-synchronous: its duration is the slowest host's
+        disk + compute + point-to-point communication time, plus the cost
+        of collectives and barriers (which involve every host).
+        """
+        disk_times = model.disk_time(list(self.disk_bytes))
+        per_host = np.zeros(self.num_hosts, dtype=np.float64)
+        disk_part = comp_part = comm_part = 0.0
+        slowest = 0
+        for h in range(self.num_hosts):
+            d = disk_times[h]
+            c = model.compute_time(float(self.compute_units[h]))
+            if self.host_speeds is not None:
+                c /= float(self.host_speeds[h])
+            m = model.comm_time(
+                self.comm.host_sent(h),
+                self.comm.host_received(h),
+                self.comm.host_messages(h),
+            )
+            # CuSP dedicates a communication hyperthread per host
+            # (paper §IV-D1), so communication overlaps computation: a
+            # host's phase time is its disk time plus whichever of
+            # compute/communication dominates.
+            per_host[h] = d + max(c, m)
+            if per_host[h] >= per_host[slowest]:
+                slowest = h
+                disk_part, comp_part, comm_part = d, c, m
+        collective = sum(
+            model.allreduce_time(
+                nbytes, self.num_hosts, blocking=(kind != "allreduce-async")
+            )
+            for kind, nbytes in self.comm.collective_events
+        )
+        collective += self.comm.barriers * model.barrier_latency
+        total = float(per_host.max(initial=0.0)) + collective
+        return PhaseReport(
+            name=self.name,
+            total=total,
+            disk=disk_part,
+            compute=comp_part,
+            comm=comm_part,
+            collective=collective,
+            comm_bytes=self.comm.total_bytes(),
+            comm_messages=self.comm.total_messages(),
+        )
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Simulated timing of one phase (one bar segment of Figure 4)."""
+
+    name: str
+    total: float
+    disk: float
+    compute: float
+    comm: float
+    collective: float
+    comm_bytes: float
+    comm_messages: float
+
+
+@dataclass
+class TimeBreakdown:
+    """Partitioning (or application) time split by phase (Figure 4)."""
+
+    phases: list[PhaseReport]
+
+    @property
+    def total(self) -> float:
+        return sum(p.total for p in self.phases)
+
+    def by_phase(self) -> dict[str, float]:
+        return {p.name: p.total for p in self.phases}
+
+    def phase(self, name: str) -> PhaseReport:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"no phase named {name!r}")
+
+    def comm_bytes(self, name: str | None = None) -> float:
+        """Bytes communicated, for one phase or in total."""
+        if name is None:
+            return sum(p.comm_bytes for p in self.phases)
+        return self.phase(name).comm_bytes

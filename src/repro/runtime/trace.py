@@ -1,0 +1,81 @@
+"""Human-readable and machine-readable rendering of simulated timings.
+
+Turns a :class:`~repro.runtime.stats.TimeBreakdown` into an ASCII bar
+chart (the textual analogue of the paper's Figure 4 stacked bars) or a
+JSON document for downstream tooling.  Used by the CLI's ``--trace``
+flag and handy in notebooks/tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .stats import PhaseReport, TimeBreakdown
+
+__all__ = ["render_breakdown", "breakdown_to_json", "render_comparison"]
+
+_BAR_WIDTH = 40
+
+
+def render_breakdown(breakdown: TimeBreakdown, title: str = "") -> str:
+    """ASCII stacked-bar rendering of a per-phase breakdown."""
+    total = breakdown.total
+    lines = []
+    if title:
+        lines.append(title)
+    if total <= 0:
+        lines.append("(no simulated time recorded)")
+        return "\n".join(lines)
+    name_width = max((len(p.name) for p in breakdown.phases), default=0)
+    for p in breakdown.phases:
+        frac = p.total / total
+        bar = "#" * max(1, round(frac * _BAR_WIDTH)) if p.total > 0 else ""
+        lines.append(
+            f"{p.name:<{name_width}}  {p.total * 1e3:10.3f} ms "
+            f"{frac * 100:5.1f}%  {bar}"
+        )
+    lines.append(f"{'TOTAL':<{name_width}}  {total * 1e3:10.3f} ms")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    breakdowns: dict[str, TimeBreakdown], phase: str | None = None
+) -> str:
+    """Side-by-side totals for several runs (e.g. policies)."""
+    rows = []
+    for label, bd in breakdowns.items():
+        value = bd.total if phase is None else bd.phase(phase).total
+        rows.append((label, value))
+    if not rows:
+        return "(nothing to compare)"
+    worst = max(v for _, v in rows)
+    width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        frac = value / worst if worst > 0 else 0.0
+        bar = "#" * max(1, round(frac * _BAR_WIDTH)) if value > 0 else ""
+        lines.append(f"{label:<{width}}  {value * 1e3:10.3f} ms  {bar}")
+    return "\n".join(lines)
+
+
+def _phase_dict(p: PhaseReport) -> dict:
+    return {
+        "name": p.name,
+        "total_s": p.total,
+        "disk_s": float(p.disk),
+        "compute_s": p.compute,
+        "comm_s": p.comm,
+        "collective_s": p.collective,
+        "comm_bytes": p.comm_bytes,
+        "comm_messages": p.comm_messages,
+    }
+
+
+def breakdown_to_json(breakdown: TimeBreakdown, **metadata) -> str:
+    """JSON document with per-phase detail plus caller metadata."""
+    doc = {
+        "total_s": breakdown.total,
+        "phases": [_phase_dict(p) for p in breakdown.phases],
+    }
+    doc.update(metadata)
+    return json.dumps(doc, indent=2)

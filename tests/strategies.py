@@ -1,0 +1,26 @@
+"""Shared hypothesis strategies for the test suite."""
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph
+
+__all__ = ["graphs"]
+
+
+@st.composite
+def graphs(draw, max_nodes=40, max_edges=120, weighted=False, min_nodes=1):
+    """An arbitrary directed multigraph (optionally with weights)."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    data = None
+    if weighted:
+        data = draw(st.lists(st.integers(1, 1000), min_size=m, max_size=m))
+    return CSRGraph.from_edges(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        num_nodes=n,
+        edge_data=np.array(data, dtype=np.int64) if weighted else None,
+    )

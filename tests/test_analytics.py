@@ -1,0 +1,235 @@
+"""Tests for the distributed analytics engine and applications.
+
+The core requirement: for every policy, the distributed execution over
+CuSP partitions computes exactly what a single-machine reference computes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    BFS,
+    ConnectedComponents,
+    Engine,
+    INF,
+    PageRank,
+    SSSP,
+    bfs_reference,
+    cc_reference,
+    default_source,
+    pagerank_reference,
+    sssp_reference,
+)
+from repro.baselines import XtraPulp
+from repro.core import CuSP
+from repro.graph import (
+    CSRGraph,
+    cycle_graph,
+    erdos_renyi,
+    get_dataset,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+POLICIES = ["EEC", "HVC", "CVC", "FEC", "GVC", "SVC", "DBH"]
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return get_dataset("gsh", "tiny")
+
+
+@pytest.fixture(scope="module")
+def crawl_sym(crawl):
+    return crawl.symmetrize()
+
+
+@pytest.fixture(scope="module")
+def crawl_weighted(crawl):
+    return crawl.with_random_weights(seed=11)
+
+
+class TestBFS:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_reference_all_policies(self, policy, crawl):
+        src = default_source(crawl)
+        dg = CuSP(4, policy, sync_rounds=3).partition(crawl)
+        res = Engine(dg).run(BFS(src))
+        assert np.array_equal(res.values, bfs_reference(crawl, src))
+
+    def test_xtrapulp_partitions_work_too(self, crawl):
+        src = default_source(crawl)
+        dg = XtraPulp(4).partition(crawl)
+        res = Engine(dg).run(BFS(src))
+        assert np.array_equal(res.values, bfs_reference(crawl, src))
+
+    def test_path_graph_distances(self):
+        g = path_graph(10)
+        dg = CuSP(3, "EEC").partition(g)
+        res = Engine(dg).run(BFS(0))
+        assert res.values.tolist() == list(range(10))
+
+    def test_unreachable_stays_inf(self):
+        g = CSRGraph.from_edges([0], [1], num_nodes=4)
+        dg = CuSP(2, "EEC").partition(g)
+        res = Engine(dg).run(BFS(0))
+        assert res.values[1] == 1
+        assert res.values[2] == INF and res.values[3] == INF
+
+    def test_source_only_component(self):
+        g = CSRGraph.empty(5)
+        dg = CuSP(2, "EEC").partition(g)
+        res = Engine(dg).run(BFS(2))
+        assert res.values[2] == 0
+        assert np.all(res.values[[0, 1, 3, 4]] == INF)
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 8])
+    def test_host_counts(self, k, crawl):
+        src = default_source(crawl)
+        dg = CuSP(k, "CVC").partition(crawl)
+        res = Engine(dg).run(BFS(src))
+        assert np.array_equal(res.values, bfs_reference(crawl, src))
+
+    def test_reference_matches_networkx(self, crawl):
+        nx = pytest.importorskip("networkx")
+        src = default_source(crawl)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(crawl.num_nodes))
+        G.add_edges_from(zip(*crawl.edges()))
+        lengths = nx.single_source_shortest_path_length(G, src)
+        ref = bfs_reference(crawl, src)
+        for v in range(crawl.num_nodes):
+            if v in lengths:
+                assert ref[v] == lengths[v]
+            else:
+                assert ref[v] == INF
+
+
+class TestSSSP:
+    @pytest.mark.parametrize("policy", ["EEC", "HVC", "CVC", "SVC"])
+    def test_matches_dijkstra(self, policy, crawl_weighted):
+        src = default_source(crawl_weighted)
+        dg = CuSP(4, policy, sync_rounds=3).partition(crawl_weighted)
+        res = Engine(dg).run(SSSP(src))
+        assert np.array_equal(res.values, sssp_reference(crawl_weighted, src))
+
+    def test_requires_weights(self, crawl):
+        dg = CuSP(2, "EEC").partition(crawl)
+        with pytest.raises(ValueError):
+            Engine(dg).run(SSSP(0))
+
+    def test_weighted_path(self):
+        g = path_graph(5).with_uniform_weights(3)
+        dg = CuSP(2, "EEC").partition(g)
+        res = Engine(dg).run(SSSP(0))
+        assert res.values.tolist() == [0, 3, 6, 9, 12]
+
+    def test_prefers_cheaper_long_route(self):
+        # 0->2 costs 10; 0->1->2 costs 2.
+        g = CSRGraph.from_edges(
+            [0, 0, 1], [2, 1, 2], num_nodes=3, edge_data=[10, 1, 1]
+        )
+        dg = CuSP(2, "HVC").partition(g)
+        res = Engine(dg).run(SSSP(0))
+        assert res.values.tolist() == [0, 1, 2]
+
+
+class TestCC:
+    @pytest.mark.parametrize("policy", ["EEC", "HVC", "CVC", "SVC"])
+    def test_matches_reference(self, policy, crawl_sym):
+        dg = CuSP(4, policy, sync_rounds=3).partition(crawl_sym)
+        res = Engine(dg).run(ConnectedComponents())
+        assert np.array_equal(res.values, cc_reference(crawl_sym))
+
+    def test_two_components(self):
+        g = CSRGraph.from_edges([0, 1, 3, 4], [1, 0, 4, 3], num_nodes=6)
+        dg = CuSP(3, "EEC").partition(g)
+        res = Engine(dg).run(ConnectedComponents())
+        assert res.values.tolist() == [0, 0, 2, 3, 3, 5]
+
+    def test_cycle_is_one_component(self):
+        g = cycle_graph(12).symmetrize()
+        dg = CuSP(4, "CVC").partition(g)
+        res = Engine(dg).run(ConnectedComponents())
+        assert np.all(res.values == 0)
+
+
+class TestPageRank:
+    @pytest.mark.parametrize("policy", ["EEC", "HVC", "CVC", "SVC"])
+    def test_close_to_reference(self, policy, crawl):
+        dg = CuSP(4, policy, sync_rounds=3).partition(crawl)
+        res = Engine(dg).run(PageRank())
+        ref = pagerank_reference(crawl)
+        # Broadcast elision below the tolerance lets mirror copies drift
+        # by O(rounds * tolerance); allow that much.
+        assert np.allclose(res.values, ref, atol=5e-4)
+
+    def test_exact_on_single_partition(self, crawl):
+        dg = CuSP(1, "EEC").partition(crawl)
+        res = Engine(dg).run(PageRank())
+        assert np.allclose(res.values, pagerank_reference(crawl), atol=1e-12)
+
+    def test_mass_roughly_conserved(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        res = Engine(dg).run(PageRank())
+        # Dangling mass is dropped, so sum <= 1 + drift.
+        assert 0.2 < res.values.sum() <= 1.01
+
+    def test_respects_max_rounds(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        res = Engine(dg).run(PageRank(max_rounds=3))
+        assert res.rounds <= 3
+
+    def test_grid_uniformity(self):
+        # A symmetric cycle gives equal rank everywhere.
+        g = cycle_graph(20)
+        dg = CuSP(4, "EEC").partition(g)
+        res = Engine(dg).run(PageRank())
+        assert np.allclose(res.values, 1.0 / 20, atol=1e-6)
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.5)
+
+
+class TestEngineCommunication:
+    def test_edge_cut_has_no_broadcast_traffic(self, crawl):
+        """Outgoing edge-cut mirrors are write-only: the broadcast
+        direction must vanish (Gluon's edge-cut optimization, §V-C)."""
+        src = default_source(crawl)
+        dg = CuSP(4, "EEC").partition(crawl)
+        engine = Engine(dg)
+        assert all(not targets for targets in engine.bcast)
+        res = engine.run(BFS(src))
+        assert res.comm_bytes > 0  # reduce direction still pays
+
+    def test_cvc_partner_restriction(self, crawl):
+        """CVC hosts only exchange with their grid row/column (§V-B)."""
+        from repro.core import grid_shape
+
+        k = 8
+        pr, pc = grid_shape(k)
+        dg = CuSP(k, "CVC").partition(crawl)
+        engine = Engine(dg)
+        for m in range(k):
+            for q in engine.bcast[m]:
+                same_row = (m // pc) == (q // pc)
+                same_col = (m % pc) == (q % pc)
+                assert same_row or same_col
+
+    def test_times_are_positive_and_rounds_counted(self, crawl):
+        dg = CuSP(4, "HVC").partition(crawl)
+        res = Engine(dg).run(BFS(default_source(crawl)))
+        assert res.time > 0
+        assert res.rounds >= 1
+        assert len(res.breakdown.phases) == res.rounds
+
+    def test_single_host_no_comm(self, crawl):
+        dg = CuSP(1, "EEC").partition(crawl)
+        res = Engine(dg).run(BFS(default_source(crawl)))
+        assert res.comm_bytes == 0
+
+    def test_default_source_is_max_out_degree(self, crawl):
+        src = default_source(crawl)
+        assert crawl.out_degree(src) == crawl.out_degree().max()

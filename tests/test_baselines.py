@@ -1,0 +1,131 @@
+"""Tests for the XtraPulp-style baseline and hash partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import XtraPulp, assemble_edge_cut, hash_partition
+from repro.core import CuSP
+from repro.graph import CSRGraph, erdos_renyi, get_dataset, grid_graph
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return get_dataset("gsh", "tiny")
+
+
+class TestAssembleEdgeCut:
+    def test_roundtrip(self, crawl):
+        labels = (np.arange(crawl.num_nodes) % 3).astype(np.int32)
+        dg = assemble_edge_cut(crawl, labels, 3, "test")
+        dg.validate(crawl)
+        assert dg.to_global_graph() == crawl
+
+    def test_edge_cut_invariant(self, crawl):
+        labels = (np.arange(crawl.num_nodes) % 4).astype(np.int32)
+        dg = assemble_edge_cut(crawl, labels, 4, "test")
+        for p in dg.partitions:
+            src, _ = p.global_edges()
+            assert np.all(dg.masters[src] == p.host)
+
+    def test_weighted(self):
+        g = erdos_renyi(20, 60, seed=1).with_random_weights(seed=1)
+        labels = (np.arange(20) % 2).astype(np.int32)
+        dg = assemble_edge_cut(g, labels, 2, "test")
+        dg.validate(g)
+        assert dg.to_global_graph() == g
+
+    def test_invalid_labels(self, crawl):
+        with pytest.raises(ValueError):
+            assemble_edge_cut(crawl, np.zeros(3, dtype=np.int32), 2, "t")
+        bad = np.full(crawl.num_nodes, 9, dtype=np.int32)
+        with pytest.raises(ValueError):
+            assemble_edge_cut(crawl, bad, 2, "t")
+
+
+class TestXtraPulp:
+    def test_valid_partition(self, crawl):
+        dg = XtraPulp(4).partition(crawl)
+        dg.validate(crawl)
+        assert dg.policy_name == "XtraPulp"
+        assert dg.invariant == "edge-cut"
+
+    def test_respects_balance_constraints(self, crawl):
+        dg = XtraPulp(4, vertex_imbalance=1.1, edge_imbalance=1.5).partition(crawl)
+        assert dg.node_balance() <= 1.1 + 1e-9
+        assert dg.edge_balance() <= 1.5 + 1e-9
+
+    def test_better_cut_than_hash(self, crawl):
+        src, dst = crawl.edges()
+
+        def cut(labels):
+            return float((labels[src] != labels[dst]).mean())
+
+        xp = XtraPulp(4).partition(crawl)
+        hp = hash_partition(crawl, 4)
+        assert cut(xp.masters) < cut(hp.masters)
+
+    def test_improves_on_structured_graph(self):
+        """On a grid, LP should find a far better cut than hashing."""
+        g = grid_graph(20, 20)
+        src, dst = g.edges()
+        xp = XtraPulp(4, outer_iters=4).partition(g)
+        hp = hash_partition(g, 4)
+        cut_xp = float((xp.masters[src] != xp.masters[dst]).mean())
+        cut_hash = float((hp.masters[src] != hp.masters[dst]).mean())
+        assert cut_xp < 0.5 * cut_hash
+
+    def test_deterministic(self, crawl):
+        a = XtraPulp(4).partition(crawl)
+        b = XtraPulp(4).partition(crawl)
+        assert np.array_equal(a.masters, b.masters)
+
+    def test_slower_than_cusp_streaming(self, crawl):
+        """Figure 3's headline: CuSP partitions faster than XtraPulp."""
+        xp_time = XtraPulp(4).partition(crawl).breakdown.total
+        for policy in ("EEC", "HVC", "CVC"):
+            cusp_time = CuSP(4, policy).partition(crawl).breakdown.total
+            assert xp_time > cusp_time
+
+    def test_more_iterations_cost_more(self, crawl):
+        fast = XtraPulp(4, outer_iters=1).partition(crawl).breakdown.total
+        slow = XtraPulp(4, outer_iters=6).partition(crawl).breakdown.total
+        assert slow > fast
+
+    def test_partition_labels_shape(self, crawl):
+        labels = XtraPulp(3).partition_labels(crawl)
+        assert labels.shape == (crawl.num_nodes,)
+        assert labels.min() >= 0 and labels.max() < 3
+
+    def test_single_partition(self, crawl):
+        dg = XtraPulp(1).partition(crawl)
+        dg.validate(crawl)
+        assert dg.replication_factor() == 1.0
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(8)
+        dg = XtraPulp(2).partition(g)
+        dg.validate(g)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            XtraPulp(0)
+        with pytest.raises(ValueError):
+            XtraPulp(2, outer_iters=0)
+        with pytest.raises(ValueError):
+            XtraPulp(2, vertex_imbalance=0.9)
+
+
+class TestHashPartition:
+    def test_valid(self, crawl):
+        dg = hash_partition(crawl, 4)
+        dg.validate(crawl)
+
+    def test_balanced_masters(self):
+        g = CSRGraph.empty(4000)
+        dg = hash_partition(g, 8)
+        counts = dg.master_counts()
+        assert counts.max() <= 1.2 * counts.mean()
+
+    def test_invalid(self, crawl):
+        with pytest.raises(ValueError):
+            hash_partition(crawl, 0)

@@ -1,0 +1,101 @@
+"""Tests for pull-model and direction-optimizing BFS."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    BFS,
+    BFSDirectionOptimizing,
+    BFSPull,
+    Engine,
+    bfs_reference,
+    default_source,
+)
+from repro.core import CuSP
+from repro.graph import CSRGraph, erdos_renyi, get_dataset, path_graph, star_graph
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return get_dataset("gsh", "tiny")
+
+
+class TestBFSPull:
+    @pytest.mark.parametrize("policy", ["EEC", "CVC", "HVC", "SVC"])
+    def test_matches_push_and_reference(self, policy, crawl):
+        src = default_source(crawl)
+        dg = CuSP(4, policy, sync_rounds=2).partition(crawl)
+        engine = Engine(dg)
+        pull = engine.run(BFSPull(src))
+        push = engine.run(BFS(src))
+        ref = bfs_reference(crawl, src)
+        assert np.array_equal(pull.values, ref)
+        assert np.array_equal(push.values, pull.values)
+
+    def test_deep_path(self):
+        g = path_graph(40)
+        dg = CuSP(3, "EEC").partition(g)
+        res = Engine(dg).run(BFSPull(0))
+        assert res.values.tolist() == list(range(40))
+
+    def test_unreachable(self):
+        g = CSRGraph.from_edges([0], [1], num_nodes=4)
+        dg = CuSP(2, "EEC").partition(g)
+        res = Engine(dg).run(BFSPull(0))
+        assert res.values[2] == res.values[3]  # both INF
+
+    def test_work_profile_differs_from_push(self, crawl):
+        """Pull scans unvisited in-edges: on a mostly-reached graph its
+        total compute differs from push's frontier-out-degree work."""
+        src = default_source(crawl)
+        dg = CuSP(2, "EEC").partition(crawl)
+        engine = Engine(dg)
+        pull = engine.run(BFSPull(src))
+        push = engine.run(BFS(src))
+        pull_compute = sum(p.compute for p in pull.breakdown.phases)
+        push_compute = sum(p.compute for p in push.breakdown.phases)
+        assert pull_compute != push_compute
+
+
+class TestDirectionOptimizing:
+    @pytest.mark.parametrize("policy", ["EEC", "CVC"])
+    def test_matches_reference(self, policy, crawl):
+        src = default_source(crawl)
+        dg = CuSP(4, policy).partition(crawl)
+        res = Engine(dg).run(BFSDirectionOptimizing(src))
+        assert np.array_equal(res.values, bfs_reference(crawl, src))
+
+    def test_switches_modes_on_expanding_frontier(self, crawl):
+        """A hub source floods the frontier: the controller must go pull."""
+        src = default_source(crawl)
+        dg = CuSP(2, "EEC").partition(crawl)
+        app = BFSDirectionOptimizing(src, alpha=0.05, beta=0.01)
+        Engine(dg).run(app)
+        assert "pull" in app.mode_history
+        assert "push" in app.mode_history
+
+    def test_stays_push_on_sparse_path(self):
+        g = path_graph(60)
+        dg = CuSP(2, "EEC").partition(g)
+        app = BFSDirectionOptimizing(0, alpha=0.5, beta=0.1)
+        res = Engine(dg).run(app)
+        assert np.array_equal(res.values, bfs_reference(g, 0))
+        assert set(app.mode_history) == {"push"}
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            BFSDirectionOptimizing(0, alpha=0.1, beta=0.5)
+        with pytest.raises(ValueError):
+            BFSDirectionOptimizing(0, alpha=1.5)
+
+    def test_random_graph_sweep(self):
+        g = erdos_renyi(100, 1200, seed=40)
+        dg = CuSP(4, "HVC").partition(g)
+        res = Engine(dg).run(BFSDirectionOptimizing(0))
+        assert np.array_equal(res.values, bfs_reference(g, 0))
+
+    def test_star_burst(self):
+        g = star_graph(200)
+        dg = CuSP(4, "CVC").partition(g)
+        res = Engine(dg).run(BFSDirectionOptimizing(0))
+        assert np.array_equal(res.values, bfs_reference(g, 0))

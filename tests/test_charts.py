@@ -1,0 +1,90 @@
+"""Tests for the ASCII chart rendering."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ExperimentResult
+from repro.experiments.charts import (
+    render_bars,
+    render_experiment,
+    render_series,
+)
+
+
+@pytest.fixture()
+def table():
+    return ExperimentResult(
+        experiment="T", title="demo",
+        columns=["graph", "a", "b"],
+        rows=[
+            {"graph": "x", "a": 1.0, "b": 4.0},
+            {"graph": "y", "a": 2.0, "b": 8.0},
+        ],
+    )
+
+
+class TestRenderBars:
+    def test_contains_labels_and_bars(self, table):
+        text = render_bars(table)
+        assert "x / a" in text and "y / b" in text
+        assert "#" in text
+
+    def test_largest_value_longest_bar(self, table):
+        lines = {l.split()[0] + " / " + l.split("/")[1].split()[0]: l
+                 for l in render_bars(table).splitlines() if "#" in l}
+        longest = max(lines.values(), key=lambda l: l.count("#"))
+        assert "y / b" in longest
+
+    def test_explicit_columns(self, table):
+        text = render_bars(table, value_columns=["a"])
+        assert "b" not in text.replace("== T: demo ==", "")
+
+    def test_empty(self):
+        r = ExperimentResult("E", "t", ["a"], [])
+        assert render_bars(r) == "(no data)"
+
+    def test_log_scale_noted(self, table):
+        assert "(log scale)" in render_bars(table, log=True)
+
+    def test_zero_values_ok(self):
+        r = ExperimentResult("E", "t", ["g", "v"],
+                             [{"g": "x", "v": 0.0}, {"g": "y", "v": 5.0}])
+        text = render_bars(r)
+        assert "0.000" in text
+
+
+class TestRenderSeries:
+    def test_axes_and_legend(self):
+        r = ExperimentResult(
+            "S", "sweep", columns=["x", "y1", "y2"],
+            rows=[{"x": 1, "y1": 10.0, "y2": 1.0},
+                  {"x": 2, "y1": 5.0, "y2": 2.0}],
+        )
+        text = render_series(r, x_column="x")
+        assert "legend" in text
+        assert "y1" in text and "y2" in text
+        assert "<- x" in text
+
+    def test_empty(self):
+        r = ExperimentResult("S", "t", ["x", "y"], [])
+        assert render_series(r, x_column="x") == "(no data)"
+
+
+class TestRenderExperiment:
+    def test_figure7_gets_series(self):
+        r = ExperimentResult(
+            "Figure 7", "t", columns=["batch size (KB)", "uk"],
+            rows=[{"batch size (KB)": 0.0, "uk": 3.0},
+                  {"batch size (KB)": 8.0, "uk": 1.0}],
+        )
+        assert "legend" in render_experiment(r)
+
+    def test_other_gets_bars(self, table):
+        assert "#" in render_experiment(table)
+
+
+class TestCliChart:
+    def test_experiment_chart_flag(self, capsys):
+        assert main(["experiment", "table3", "--scale", "tiny", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # bars rendered after the table

@@ -1,0 +1,83 @@
+"""Tests for stream coalescing, async collectives, and transport presets."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Communicator, CostModel, STAMPEDE2
+from repro.runtime.cost_model import LCI_TRANSPORT, MPI_TRANSPORT, REPRO_CALIBRATED
+
+
+class TestCoalescedStreams:
+    def test_stream_counts_by_volume_not_calls(self):
+        comm = Communicator(2, buffer_size=100)
+        for _ in range(10):
+            comm.send(0, 1, None, nbytes=30, coalesce=True)
+        # 300 bytes over a 100-byte buffer = 3 messages, not 10.
+        assert comm.total_messages() == 3
+        assert comm.total_bytes() == 300
+
+    def test_stream_unbuffered_counts_logical(self):
+        comm = Communicator(2, buffer_size=0)
+        for _ in range(5):
+            comm.send(0, 1, None, nbytes=30, coalesce=True, logical_messages=2)
+        assert comm.total_messages() == 10
+
+    def test_stream_and_plain_sends_combine(self):
+        comm = Communicator(2, buffer_size=1000)
+        comm.send(0, 1, None, nbytes=10)  # plain: 1 message
+        comm.send(0, 1, None, nbytes=10, coalesce=True)  # stream: ceil(10/1000)=1
+        assert comm.total_messages() == 2
+
+    def test_local_stream_free(self):
+        comm = Communicator(2, buffer_size=10)
+        comm.send(1, 1, None, nbytes=500, coalesce=True)
+        assert comm.total_messages() == 0
+
+    def test_host_messages_includes_streams(self):
+        comm = Communicator(3, buffer_size=10)
+        comm.send(0, 1, None, nbytes=25, coalesce=True)
+        assert comm.host_messages(0) == 3
+        assert comm.host_messages(1) == 0
+
+
+class TestAsyncCollectives:
+    def test_async_event_recorded(self):
+        comm = Communicator(2)
+        comm.allreduce_sum([np.zeros(4)] * 2, blocking=False)
+        assert comm.collective_events[0][0] == "allreduce-async"
+
+    def test_async_cheaper_than_blocking(self):
+        m = STAMPEDE2
+        blocking = m.allreduce_time(1024, 16, blocking=True)
+        async_ = m.allreduce_time(1024, 16, blocking=False)
+        assert async_ < blocking
+
+    def test_async_still_charges_volume(self):
+        m = CostModel(net_latency=0.0)
+        small = m.allreduce_time(1024, 4, blocking=False)
+        large = m.allreduce_time(1 << 20, 4, blocking=False)
+        assert large > small
+
+    def test_single_host_free(self):
+        assert STAMPEDE2.allreduce_time(1024, 1, blocking=False) == 0.0
+
+
+class TestTransportPresets:
+    def test_lci_latency_lower(self):
+        assert LCI_TRANSPORT.net_latency < MPI_TRANSPORT.net_latency
+        assert LCI_TRANSPORT.barrier_latency < MPI_TRANSPORT.barrier_latency
+
+    def test_same_bandwidth(self):
+        assert LCI_TRANSPORT.net_bandwidth == MPI_TRANSPORT.net_bandwidth
+
+    def test_mpi_is_repro_calibrated(self):
+        assert MPI_TRANSPORT is REPRO_CALIBRATED
+
+    def test_calibrated_latencies_below_stampede(self):
+        assert REPRO_CALIBRATED.net_latency < STAMPEDE2.net_latency
+        assert REPRO_CALIBRATED.barrier_latency < STAMPEDE2.barrier_latency
+        assert REPRO_CALIBRATED.disk_read_bw < STAMPEDE2.disk_read_bw
+
+    def test_presets_valid(self):
+        for preset in (STAMPEDE2, REPRO_CALIBRATED, LCI_TRANSPORT):
+            preset.validate()

@@ -1,0 +1,195 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+
+
+def small():
+    # 0->1, 0->2, 1->2, 2->0, 3 isolated
+    return CSRGraph.from_edges([0, 0, 1, 2], [1, 2, 2, 0], num_nodes=4)
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = small()
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+        assert g.edge_set() == {(0, 1), (0, 2), (1, 2), (2, 0)}
+
+    def test_from_edges_infers_num_nodes(self):
+        g = CSRGraph.from_edges([0, 5], [5, 0])
+        assert g.num_nodes == 6
+
+    def test_from_edges_sorts(self):
+        g = CSRGraph.from_edges([2, 0, 1, 0], [0, 2, 2, 1], num_nodes=3)
+        src, dst = g.edges()
+        assert src.tolist() == [0, 0, 1, 2]
+        assert dst.tolist() == [1, 2, 2, 0]
+
+    def test_from_edges_dedup(self):
+        g = CSRGraph.from_edges([0, 0, 0], [1, 1, 2], num_nodes=3, dedup=True)
+        assert g.num_edges == 2
+        assert g.edge_set() == {(0, 1), (0, 2)}
+
+    def test_from_edges_keeps_duplicates_by_default(self):
+        g = CSRGraph.from_edges([0, 0], [1, 1], num_nodes=2)
+        assert g.num_edges == 2
+
+    def test_dedup_keeps_first_payload(self):
+        g = CSRGraph.from_edges(
+            [0, 0], [1, 1], num_nodes=2, edge_data=[7, 9], dedup=True
+        )
+        assert g.edge_data.tolist() == [7]
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert g.out_degree().tolist() == [0] * 5
+
+    def test_zero_node_graph(self):
+        g = CSRGraph.empty(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_mismatched_src_dst_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([0, 1], [0])
+
+    def test_out_of_range_destination_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([0], [5], num_nodes=2)
+
+    def test_out_of_range_source_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([5], [0], num_nodes=2)
+
+    def test_negative_node_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([-1], [0], num_nodes=2)
+
+    def test_bad_indptr_raises(self):
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=np.array([1, 2]), indices=np.array([0]))
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=np.array([0, 2, 1]), indices=np.array([0, 0]))
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=np.array([0, 3]), indices=np.array([0]))
+
+    def test_float_indices_rejected(self):
+        with pytest.raises(TypeError):
+            CSRGraph(indptr=np.array([0, 1]), indices=np.array([0.5]))
+
+    def test_edge_data_length_checked(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([0], [1], num_nodes=2, edge_data=[1, 2])
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = small()
+        assert g.out_degree().tolist() == [2, 1, 1, 0]
+        assert g.in_degree().tolist() == [1, 1, 2, 0]
+        assert g.out_degree(0) == 2
+        assert g.out_degree(np.array([0, 3])).tolist() == [2, 0]
+
+    def test_neighbors(self):
+        g = small()
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(3).tolist() == []
+
+    def test_edge_sources_alignment(self):
+        g = small()
+        src = g.edge_sources()
+        assert src.tolist() == [0, 0, 1, 2]
+
+    def test_edge_weights(self):
+        g = CSRGraph.from_edges([0, 0], [1, 2], num_nodes=3, edge_data=[10, 20])
+        assert g.edge_weights(0).tolist() == [10, 20]
+        assert small().edge_weights(0) is None
+
+    def test_nbytes_positive(self):
+        assert small().nbytes() > 0
+
+
+class TestTransforms:
+    def test_transpose_roundtrip(self):
+        g = small()
+        assert g.transpose().transpose() == g
+
+    def test_transpose_reverses_edges(self):
+        g = small()
+        t = g.transpose()
+        assert t.edge_set() == {(d, s) for s, d in g.edge_set()}
+
+    def test_transpose_carries_weights(self):
+        g = CSRGraph.from_edges([0, 1], [1, 0], num_nodes=2, edge_data=[5, 7])
+        t = g.transpose()
+        # edge 0->1 (w=5) becomes 1->0? No: transpose of (0,1,w5) is (1,0,w5)
+        weights = {(s, d): w for s, d, w in zip(*t.edges(), t.edge_data.tolist())}
+        assert weights == {(1, 0): 5, (0, 1): 7}
+
+    def test_symmetrize(self):
+        g = CSRGraph.from_edges([0], [1], num_nodes=3)
+        s = g.symmetrize()
+        assert s.edge_set() == {(0, 1), (1, 0)}
+
+    def test_symmetrize_dedups_bidirectional(self):
+        g = CSRGraph.from_edges([0, 1], [1, 0], num_nodes=2)
+        assert g.symmetrize().num_edges == 2
+
+    def test_with_uniform_weights(self):
+        g = small().with_uniform_weights(3)
+        assert g.is_weighted
+        assert set(g.edge_data.tolist()) == {3}
+
+    def test_with_random_weights_deterministic(self):
+        a = small().with_random_weights(seed=42)
+        b = small().with_random_weights(seed=42)
+        assert np.array_equal(a.edge_data, b.edge_data)
+        assert a.edge_data.min() >= 1
+
+    def test_subgraph_rows(self):
+        g = small()
+        sub = g.subgraph_rows(0, 1)
+        assert sub.edge_set() == {(0, 1), (0, 2)}
+        assert sub.num_nodes == g.num_nodes
+
+    def test_subgraph_rows_middle(self):
+        g = small()
+        sub = g.subgraph_rows(1, 3)
+        assert sub.edge_set() == {(1, 2), (2, 0)}
+
+    def test_subgraph_rows_invalid(self):
+        with pytest.raises(ValueError):
+            small().subgraph_rows(3, 1)
+        with pytest.raises(ValueError):
+            small().subgraph_rows(0, 99)
+
+    def test_subgraph_rows_union_covers_graph(self):
+        g = small()
+        parts = [g.subgraph_rows(0, 2), g.subgraph_rows(2, 4)]
+        union = set()
+        for p in parts:
+            union |= p.edge_set()
+        assert union == g.edge_set()
+
+
+class TestEquality:
+    def test_eq(self):
+        assert small() == small()
+
+    def test_neq_different_edges(self):
+        a = CSRGraph.from_edges([0], [1], num_nodes=2)
+        b = CSRGraph.from_edges([1], [0], num_nodes=2)
+        assert a != b
+
+    def test_neq_weighted_vs_not(self):
+        a = CSRGraph.from_edges([0], [1], num_nodes=2)
+        b = CSRGraph.from_edges([0], [1], num_nodes=2, edge_data=[1])
+        assert a != b
+
+    def test_repr(self):
+        assert "|V|=4" in repr(small())

@@ -1,0 +1,100 @@
+"""Tests for named datasets and Table III property computation."""
+
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    compute_properties,
+    dataset_names,
+    degree_histogram,
+    get_dataset,
+)
+from repro.graph.datasets import DATASETS, SCALES
+
+
+class TestDatasets:
+    def test_names_match_paper_order(self):
+        assert dataset_names() == ["kron", "gsh", "clueweb", "uk", "wdc"]
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_tiny_datasets_build(self, name):
+        g = get_dataset(name, "tiny")
+        assert g.num_nodes > 0
+        assert g.num_edges > 0
+
+    def test_memoized(self):
+        assert get_dataset("kron", "tiny") is get_dataset("kron", "tiny")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_dataset("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_dataset("kron", "huge")
+
+    def test_wdc_is_largest_crawl(self):
+        sizes = {n: get_dataset(n, "tiny").num_nodes for n in dataset_names()}
+        crawls = {k: v for k, v in sizes.items() if k != "kron"}
+        assert max(crawls, key=crawls.get) == "wdc"
+
+    @pytest.mark.parametrize("name", ["gsh", "clueweb", "uk", "wdc"])
+    def test_crawls_have_in_degree_skew(self, name):
+        g = get_dataset(name, "tiny")
+        assert g.in_degree().max() > g.out_degree().max()
+
+    def test_avg_degree_ordering_tracks_paper(self):
+        # uk14 has the highest |E|/|V| among the crawls in Table III.
+        ratios = {
+            n: get_dataset(n, "tiny").num_edges / get_dataset(n, "tiny").num_nodes
+            for n in ["gsh", "clueweb", "uk", "wdc"]
+        }
+        assert max(ratios, key=ratios.get) == "uk"
+
+    def test_specs_have_paper_names(self):
+        assert DATASETS["kron"].paper_name == "kron30"
+        assert DATASETS["wdc"].paper_name == "wdc12"
+
+    def test_scales_increase(self):
+        assert SCALES["tiny"] < SCALES["small"] < SCALES["bench"]
+
+
+class TestProperties:
+    def test_compute_properties(self):
+        g = CSRGraph.from_edges([0, 0, 1], [1, 2, 2], num_nodes=3)
+        p = compute_properties(g, name="t")
+        assert p.num_nodes == 3
+        assert p.num_edges == 3
+        assert p.avg_degree == 1.0
+        assert p.max_out_degree == 2
+        assert p.max_in_degree == 2
+        assert p.size_on_disk > 0
+
+    def test_properties_row_keys(self):
+        g = CSRGraph.from_edges([0], [1], num_nodes=2)
+        row = compute_properties(g, "x").row()
+        assert row["graph"] == "x"
+        assert set(row) == {
+            "graph", "|V|", "|E|", "|E|/|V|",
+            "MaxOutDegree", "MaxInDegree", "SizeOnDisk(MB)",
+        }
+
+    def test_empty_graph_properties(self):
+        g = CSRGraph.empty(0)
+        p = compute_properties(g)
+        assert p.avg_degree == 0.0
+        assert p.max_out_degree == 0
+
+    def test_degree_histogram_out(self):
+        g = CSRGraph.from_edges([0, 0], [1, 2], num_nodes=3)
+        h = degree_histogram(g, "out")
+        assert h.tolist() == [2, 0, 1]  # two deg-0 nodes, one deg-2
+
+    def test_degree_histogram_in(self):
+        g = CSRGraph.from_edges([0, 0], [1, 2], num_nodes=3)
+        h = degree_histogram(g, "in")
+        assert h.tolist() == [1, 2]
+
+    def test_degree_histogram_invalid_direction(self):
+        with pytest.raises(ValueError):
+            degree_histogram(CSRGraph.empty(1), "sideways")

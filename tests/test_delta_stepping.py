@@ -1,0 +1,94 @@
+"""Tests for delta-stepping SSSP and the engine's quiescence hook."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    DeltaSteppingSSSP,
+    Engine,
+    SSSP,
+    default_source,
+    sssp_reference,
+)
+from repro.core import CuSP
+from repro.graph import CSRGraph, erdos_renyi, get_dataset, path_graph
+
+
+@pytest.fixture(scope="module")
+def weighted():
+    return get_dataset("kron", "tiny").with_random_weights(seed=9)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("delta", [1, 4, 32, 10**9])
+    def test_exact_for_any_delta(self, delta, weighted):
+        src = default_source(weighted)
+        dg = CuSP(4, "CVC").partition(weighted)
+        res = Engine(dg).run(DeltaSteppingSSSP(src, delta=delta))
+        assert np.array_equal(res.values, sssp_reference(weighted, src))
+
+    @pytest.mark.parametrize("policy", ["EEC", "HVC", "SVC"])
+    def test_across_policies(self, policy, weighted):
+        src = default_source(weighted)
+        dg = CuSP(4, policy, sync_rounds=2).partition(weighted)
+        res = Engine(dg).run(DeltaSteppingSSSP(src, delta=16))
+        assert np.array_equal(res.values, sssp_reference(weighted, src))
+
+    def test_matches_bellman_ford(self, weighted):
+        src = default_source(weighted)
+        dg = CuSP(3, "EEC").partition(weighted)
+        engine = Engine(dg)
+        a = engine.run(SSSP(src))
+        b = engine.run(DeltaSteppingSSSP(src, delta=8))
+        assert np.array_equal(a.values, b.values)
+
+    def test_weighted_path(self):
+        g = path_graph(10).with_uniform_weights(7)
+        dg = CuSP(2, "EEC").partition(g)
+        res = Engine(dg).run(DeltaSteppingSSSP(0, delta=5))
+        assert res.values.tolist() == [7 * i for i in range(10)]
+
+    def test_unreachable_stays_inf(self):
+        g = CSRGraph.from_edges([0], [1], num_nodes=4,
+                                edge_data=[3]).with_uniform_weights(3)
+        dg = CuSP(2, "EEC").partition(g)
+        res = Engine(dg).run(DeltaSteppingSSSP(0, delta=2))
+        assert res.values[1] == 3
+        assert res.values[2] == res.values[3]
+
+
+class TestScheduling:
+    def test_buckets_processed_counted(self, weighted):
+        src = default_source(weighted)
+        dg = CuSP(2, "EEC").partition(weighted)
+        app = DeltaSteppingSSSP(src, delta=8)
+        Engine(dg).run(app)
+        assert app.buckets_processed >= 2
+
+    def test_huge_delta_single_bucket(self, weighted):
+        """delta -> infinity degenerates to Bellman-Ford: one bucket."""
+        src = default_source(weighted)
+        dg = CuSP(2, "EEC").partition(weighted)
+        app = DeltaSteppingSSSP(src, delta=10**9)
+        res = Engine(dg).run(app)
+        assert app.buckets_processed == 1
+        bf = Engine(dg).run(SSSP(src))
+        assert res.rounds == bf.rounds  # identical schedule
+
+    def test_small_delta_reduces_rerelaxations(self):
+        """With a wide weight spread, bucketing avoids relaxing far
+        vertices with provisional distances that will improve anyway:
+        total reduce traffic shrinks even though rounds grow."""
+        g = erdos_renyi(300, 3000, seed=41).with_random_weights(1, 1000, seed=41)
+        src = 0
+        dg = CuSP(4, "HVC").partition(g)
+        engine = Engine(dg)
+        bf = engine.run(SSSP(src))
+        ds = engine.run(DeltaSteppingSSSP(src, delta=200))
+        assert np.array_equal(bf.values, ds.values)
+        assert ds.rounds >= bf.rounds  # more, finer-grained rounds
+        assert ds.comm_bytes <= bf.comm_bytes * 1.5  # but not a blowup
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            DeltaSteppingSSSP(0, delta=0)

@@ -1,0 +1,66 @@
+"""Tests for the double-sweep diameter approximation."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import approximate_diameter
+from repro.core import CuSP
+from repro.graph import (
+    CSRGraph,
+    cycle_graph,
+    get_dataset,
+    grid_graph,
+    path_graph,
+)
+
+
+class TestDiameter:
+    def test_path_exact(self):
+        g = path_graph(12).symmetrize()
+        dg = CuSP(3, "EEC").partition(g)
+        res = approximate_diameter(dg, start=5)
+        assert res.lower_bound == 11
+
+    def test_grid_exact(self):
+        # Diameter of an m x n grid (undirected) is (m-1) + (n-1).
+        g = grid_graph(6, 9).symmetrize()
+        dg = CuSP(4, "CVC").partition(g)
+        res = approximate_diameter(dg, start=0)
+        assert res.lower_bound == 5 + 8
+
+    def test_cycle(self):
+        g = cycle_graph(20).symmetrize()
+        dg = CuSP(2, "EEC").partition(g)
+        res = approximate_diameter(dg)
+        assert res.lower_bound == 10
+
+    def test_lower_bounds_true_diameter(self):
+        g = get_dataset("kron", "tiny").symmetrize()
+        dg = CuSP(4, "CVC").partition(g)
+        res = approximate_diameter(dg)
+        # True diameter via all-pairs on the small stand-in.
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import shortest_path
+
+        mat = csr_matrix(
+            (np.ones(g.num_edges), g.indices, g.indptr),
+            shape=(g.num_nodes, g.num_nodes),
+        )
+        dist = shortest_path(mat, method="D", directed=True, unweighted=True)
+        true_diameter = int(dist[np.isfinite(dist)].max())
+        assert res.lower_bound <= true_diameter
+        # Double sweep is usually tight; require at least half.
+        assert res.lower_bound >= true_diameter / 2
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        dg = CuSP(2, "EEC").partition(g)
+        res = approximate_diameter(dg, start=0)
+        assert res.lower_bound == 0
+
+    def test_default_start_is_max_degree(self):
+        g = path_graph(6).symmetrize()
+        dg = CuSP(2, "EEC").partition(g)
+        res = approximate_diameter(dg)
+        assert res.lower_bound == 5
+        assert res.time > 0

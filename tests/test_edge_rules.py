@@ -1,0 +1,176 @@
+"""Tests for getEdgeOwner rules (paper Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CartesianRule,
+    DegreeHashRule,
+    DestRule,
+    GraphProp,
+    HybridRule,
+    SourceRule,
+    grid_shape,
+    make_edge_rule,
+)
+from repro.graph import CSRGraph, erdos_renyi, star_graph
+
+
+def prop_for(graph, k):
+    return GraphProp(graph, k)
+
+
+class TestGridShape:
+    def test_perfect_square(self):
+        assert grid_shape(16) == (4, 4)
+
+    def test_rectangular(self):
+        assert grid_shape(8) == (2, 4)
+        assert grid_shape(12) == (3, 4)
+
+    def test_prime(self):
+        assert grid_shape(7) == (1, 7)
+
+    def test_one(self):
+        assert grid_shape(1) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_shape(0)
+
+
+class TestSourceDest:
+    def test_source_returns_src_master(self):
+        p = prop_for(CSRGraph.empty(4), 4)
+        assert SourceRule().owner(p, 0, 1, 2, 3) == 2
+
+    def test_dest_returns_dst_master(self):
+        p = prop_for(CSRGraph.empty(4), 4)
+        assert DestRule().owner(p, 0, 1, 2, 3) == 3
+
+    def test_batch(self):
+        p = prop_for(CSRGraph.empty(4), 4)
+        sm = np.array([0, 1])
+        dm = np.array([2, 3])
+        assert SourceRule().owner_batch(p, [0, 1], [2, 3], sm, dm).tolist() == [0, 1]
+        assert DestRule().owner_batch(p, [0, 1], [2, 3], sm, dm).tolist() == [2, 3]
+
+    def test_invariants(self):
+        assert SourceRule().invariant == "edge-cut"
+        assert DestRule().invariant == "edge-cut"
+
+
+class TestHybrid:
+    def test_low_degree_uses_source(self):
+        g = star_graph(2)  # leaf 1 has degree 0
+        p = prop_for(g, 2)
+        rule = HybridRule(degree_threshold=5)
+        assert rule.owner(p, 1, 2, src_master=0, dst_master=1) == 0
+
+    def test_high_degree_uses_dest(self):
+        g = star_graph(50)  # node 0 has degree 50
+        p = prop_for(g, 2)
+        rule = HybridRule(degree_threshold=5)
+        assert rule.owner(p, 0, 1, src_master=0, dst_master=1) == 1
+
+    def test_batch_matches_scalar(self):
+        g = erdos_renyi(30, 400, seed=6)
+        p = prop_for(g, 4)
+        rule = HybridRule(degree_threshold=int(g.out_degree().mean()))
+        src, dst = g.edges()
+        sm = (src % 4).astype(np.int32)
+        dm = (dst % 4).astype(np.int32)
+        batch = rule.owner_batch(p, src, dst, sm, dm)
+        scalar = [
+            rule.owner(p, int(s), int(d), int(a), int(b))
+            for s, d, a, b in zip(src, dst, sm, dm)
+        ]
+        assert batch.tolist() == scalar
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            HybridRule(degree_threshold=-1)
+
+
+class TestCartesian:
+    def test_paper_formula(self):
+        # k=4 -> grid 2x2. srcmaster=3, dstmaster=2:
+        # blockedRowOffset = (3 // 2) * 2 = 2; cyclic = 2 % 2 = 0 -> owner 2.
+        p = prop_for(CSRGraph.empty(8), 4)
+        assert CartesianRule().owner(p, 0, 1, 3, 2) == 2
+
+    def test_owner_in_range(self):
+        g = erdos_renyi(40, 600, seed=7)
+        for k in (2, 3, 4, 6, 8, 9):
+            p = prop_for(g, k)
+            src, dst = g.edges()
+            sm = (src % k).astype(np.int32)
+            dm = (dst % k).astype(np.int32)
+            owners = CartesianRule().owner_batch(p, src, dst, sm, dm)
+            assert owners.min() >= 0 and owners.max() < k
+
+    def test_row_column_structure(self):
+        """Edges from a fixed source master only land in that master's grid
+        row, which is the CVC communication invariant (paper §V-B)."""
+        k = 8
+        _, pc = grid_shape(k)
+        p = prop_for(CSRGraph.empty(k), k)
+        rule = CartesianRule()
+        for sm in range(k):
+            row = (sm // pc) * pc
+            owners = {rule.owner(p, 0, 1, sm, dm) for dm in range(k)}
+            assert owners == set(range(row, row + pc))
+
+    def test_batch_matches_scalar(self):
+        g = erdos_renyi(30, 300, seed=8)
+        p = prop_for(g, 6)
+        src, dst = g.edges()
+        sm = (src % 6).astype(np.int32)
+        dm = (dst % 6).astype(np.int32)
+        rule = CartesianRule()
+        batch = rule.owner_batch(p, src, dst, sm, dm)
+        scalar = [
+            rule.owner(p, int(s), int(d), int(a), int(b))
+            for s, d, a, b in zip(src, dst, sm, dm)
+        ]
+        assert batch.tolist() == scalar
+
+
+class TestDegreeHash:
+    def test_hashes_lower_degree_endpoint(self):
+        g = star_graph(50)
+        p = prop_for(g, 4)
+        rule = DegreeHashRule()
+        # node 0 (deg 50) -> leaf (deg 0): hash the leaf
+        owner = rule.owner(p, 0, 7, 0, 1)
+        assert owner == int(rule._hash(np.array([7]), 4)[0])
+
+    def test_batch_matches_scalar(self):
+        g = erdos_renyi(25, 250, seed=9)
+        p = prop_for(g, 4)
+        rule = DegreeHashRule()
+        src, dst = g.edges()
+        sm = np.zeros_like(src, dtype=np.int32)
+        dm = np.zeros_like(dst, dtype=np.int32)
+        batch = rule.owner_batch(p, src, dst, sm, dm)
+        scalar = [
+            rule.owner(p, int(s), int(d), 0, 0) for s, d in zip(src, dst)
+        ]
+        assert batch.tolist() == scalar
+
+    def test_hash_spreads(self):
+        vals = DegreeHashRule._hash(np.arange(1000), 8)
+        counts = np.bincount(vals.astype(int), minlength=8)
+        assert counts.min() > 50
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["Source", "Dest", "Hybrid", "Cartesian", "DegreeHash"]
+    )
+    def test_make(self, name):
+        assert make_edge_rule(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_edge_rule("Random")

@@ -1,0 +1,115 @@
+"""White-box tests of the analytics engine's mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import BFS, ConnectedComponents, Engine, VertexProgram
+from repro.core import CuSP
+from repro.graph import CSRGraph, erdos_renyi, get_dataset, path_graph
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return get_dataset("kron", "tiny")
+
+
+class TestAddressBooks:
+    def test_read_mask_matches_out_degree(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        engine = Engine(dg)
+        for q, part in enumerate(dg.partitions):
+            assert np.array_equal(
+                engine.read_mask[q], part.local_graph.out_degree() > 0
+            )
+
+    def test_bcast_book_alignment(self, crawl):
+        """Every (m_local, q_local) pair must name the same global vertex."""
+        dg = CuSP(4, "HVC").partition(crawl)
+        engine = Engine(dg)
+        for m, targets in enumerate(engine.bcast):
+            for q, (m_local, q_local) in targets.items():
+                m_g = dg.partitions[m].global_ids[m_local]
+                q_g = dg.partitions[q].global_ids[q_local]
+                assert np.array_equal(m_g, q_g)
+                # All targets are mirrors mastered at m and readable at q.
+                assert np.all(dg.masters[q_g] == m)
+                assert np.all(engine.read_mask[q][q_local])
+
+    def test_single_partition_book_empty(self, crawl):
+        dg = CuSP(1, "EEC").partition(crawl)
+        engine = Engine(dg)
+        assert engine.bcast == [{}]
+
+
+class TestRunMechanics:
+    def test_per_round_comm_monotone_then_quiet(self):
+        """BFS frontier grows then dies; the final round exchanges nothing
+        but the convergence collective."""
+        g = path_graph(20)
+        dg = CuSP(4, "EEC").partition(g)
+        res = Engine(dg).run(BFS(0))
+        per_round = res.per_round_comm_bytes()
+        assert len(per_round) == res.rounds
+        assert per_round[-1] == 0.0  # quiescent closing round
+
+    def test_round_limit_override(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        res = Engine(dg).run(ConnectedComponents(), max_rounds=1)
+        assert res.rounds == 1
+
+    def test_every_round_has_convergence_collective(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        res = Engine(dg).run(BFS(0))
+        for phase in res.breakdown.phases:
+            assert phase.collective > 0
+
+    def test_extract_prefers_masters(self, crawl):
+        """extract() must read canonical (master) values only."""
+        dg = CuSP(4, "HVC").partition(crawl)
+
+        class Marker(VertexProgram):
+            name = "marker"
+
+            def init_values(self, dg, engine):
+                vals = []
+                for part in dg.partitions:
+                    v = np.full(part.num_proxies, -1, dtype=np.int64)
+                    v[: part.num_masters] = part.master_global_ids
+                    vals.append(v)
+                return vals
+
+            def initial_frontier(self, dg):
+                return [np.zeros(p.num_proxies, dtype=bool) for p in dg.partitions]
+
+            def compute(self, part, values, frontier):
+                return np.zeros(part.num_proxies, dtype=bool), 0.0
+
+        res = Engine(dg).run(Marker())
+        assert np.array_equal(res.values, np.arange(crawl.num_nodes))
+
+    def test_engine_reusable_across_runs(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        engine = Engine(dg)
+        a = engine.run(BFS(0))
+        b = engine.run(BFS(0))
+        assert np.array_equal(a.values, b.values)
+
+    def test_buffer_size_affects_messages(self):
+        g = erdos_renyi(400, 4000, seed=33)
+        dg = CuSP(8, "HVC").partition(g)
+        big = Engine(dg, buffer_size=8 << 20).run(ConnectedComponents())
+        none = Engine(dg, buffer_size=0).run(ConnectedComponents())
+        msgs_big = sum(p.comm_messages for p in big.breakdown.phases)
+        msgs_none = sum(p.comm_messages for p in none.breakdown.phases)
+        assert msgs_none >= msgs_big
+        assert np.array_equal(big.values, none.values)
+
+
+class TestGlobalOutDegrees:
+    def test_sums_to_true_degree(self, crawl):
+        dg = CuSP(4, "HVC").partition(crawl)
+        engine = Engine(dg)
+        per_part = engine.global_out_degrees()
+        true_deg = crawl.out_degree()
+        for part, degs in zip(dg.partitions, per_part):
+            assert np.array_equal(degs, true_deg[part.global_ids])

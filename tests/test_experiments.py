@@ -1,0 +1,170 @@
+"""Tests for the experiment harness (tiny scale for speed)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentContext, ExperimentResult
+from repro.experiments import fig3, fig56, fig7, table3, table4, table5, table67
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale="tiny")
+
+
+class TestContext:
+    def test_graph_variants(self, ctx):
+        base = ctx.graph("kron")
+        sym = ctx.graph("kron", "sym")
+        weighted = ctx.graph("kron", "weighted")
+        assert sym.num_edges >= base.num_edges
+        assert weighted.is_weighted and not base.is_weighted
+
+    def test_unknown_variant(self, ctx):
+        with pytest.raises(KeyError):
+            ctx.graph("kron", "reversed")
+
+    def test_partition_cached(self, ctx):
+        a = ctx.partition("kron", "EEC", 4)
+        b = ctx.partition("kron", "EEC", 4)
+        assert a is b
+
+    def test_cache_distinguishes_parameters(self, ctx):
+        a = ctx.partition("kron", "SVC", 4, sync_rounds=1)
+        b = ctx.partition("kron", "SVC", 4, sync_rounds=2)
+        assert a is not b
+
+    def test_xtrapulp_partitioner(self, ctx):
+        dg = ctx.partition("kron", "XtraPulp", 4)
+        assert dg.policy_name == "XtraPulp"
+
+    def test_app_variants(self, ctx):
+        assert ctx.app_variant("cc") == "sym"
+        assert ctx.app_variant("sssp") == "weighted"
+        assert ctx.app_variant("bfs") == "base"
+
+    def test_run_app(self, ctx):
+        res = ctx.run_app("bfs", "kron", "EEC", 4)
+        assert res.name == "bfs"
+        assert res.time > 0
+
+    def test_unknown_app(self, ctx):
+        with pytest.raises(KeyError):
+            ctx.run_app("trianglecount", "kron", "EEC", 4)
+
+
+class TestExperimentResult:
+    def test_format_contains_rows_and_notes(self):
+        res = ExperimentResult(
+            experiment="X", title="t", columns=["a", "b"],
+            rows=[{"a": 1, "b": 2.5}], notes=["hello"],
+        )
+        text = res.format()
+        assert "== X: t ==" in text
+        assert "2.500" in text
+        assert "note: hello" in text
+
+    def test_format_missing_cell(self):
+        res = ExperimentResult("X", "t", ["a"], [{}])
+        assert "-" in res.format()
+
+    def test_column(self):
+        res = ExperimentResult("X", "t", ["a"], [{"a": 1}, {"a": 2}])
+        assert res.column("a") == [1, 2]
+
+
+class TestDrivers:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table3", "fig3", "table4", "fig4", "table5",
+            "fig5", "fig6", "fig7", "table6", "table7",
+            "supp_quality", "supp_vertex_order", "supp_scaling",
+            "supp_end_to_end", "supp_orientation", "supp_straggler",
+            "supp_schedulers", "supp_memory",
+        }
+
+    def test_supplementary_quality(self, ctx):
+        from repro.experiments import supplementary
+
+        res = supplementary.run_quality_table(
+            ctx, hosts=4, policies=["EEC", "CVC"]
+        )
+        assert len(res.rows) == 2
+
+    def test_supplementary_vertex_order(self, ctx):
+        from repro.experiments import supplementary
+
+        res = supplementary.run_vertex_order(ctx, scale="tiny", hosts=4)
+        assert len(res.rows) == 6
+
+    def test_supplementary_end_to_end(self, ctx):
+        from repro.experiments import motivation
+
+        res = motivation.run_end_to_end(ctx, hosts=4, app="bfs")
+        assert {r["partitioner"] for r in res.rows} == {
+            "XtraPulp", "EEC", "CVC", "SVC"
+        }
+        assert all(r["end-to-end ms"] > 0 for r in res.rows)
+
+    def test_supplementary_orientation(self, ctx):
+        from repro.experiments import motivation
+
+        res = motivation.run_orientation(ctx, hosts=4)
+        assert len(res.rows) == 2
+
+    def test_supplementary_straggler(self, ctx):
+        from repro.experiments import motivation
+
+        res = motivation.run_straggler(ctx, hosts=4, slow_factor=0.5)
+        assert all(r["slowdown"] > 1.0 for r in res.rows)
+
+    def test_supplementary_schedulers(self, ctx):
+        from repro.experiments import schedulers
+
+        res = schedulers.run_schedulers(ctx, hosts=4)
+        assert len(res.rows) == 5
+
+    def test_supplementary_scaling(self, ctx):
+        from repro.experiments import scaling
+
+        res = scaling.run_strong_scaling(ctx, hosts=[2, 4], policies=["EEC"])
+        assert len(res.rows) == 2
+
+    def test_table3(self, ctx):
+        res = table3.run(ctx)
+        assert len(res.rows) == 5
+
+    def test_fig3_small_slice(self, ctx):
+        res = fig3.run(ctx, graphs=["kron"], hosts=[4])
+        assert len(res.rows) == 1
+        assert all(res.rows[0][p] > 0 for p in ("XtraPulp", "EEC", "SVC"))
+
+    def test_table4_small_slice(self, ctx):
+        res = table4.run(ctx, graphs=["kron"], hosts=[4], apps=["bfs"])
+        assert {r["policy"] for r in res.rows} == {
+            "EEC", "HVC", "CVC", "FEC", "GVC", "SVC"
+        }
+        assert all(r["partitioning speedup"] > 0 for r in res.rows)
+
+    def test_table5_slice(self, ctx):
+        res = table5.run(ctx, graphs=["kron"], hosts=4)
+        assert len(res.rows) == 2
+
+    def test_fig56_slice(self, ctx):
+        res = fig56.run(ctx, hosts=4, graphs=["kron"], apps=["bfs"])
+        assert res.experiment == "Figure 5"
+        res16 = fig56.run(ctx, hosts=16, graphs=["kron"], apps=["bfs"])
+        assert res16.experiment == "Figure 6"
+
+    def test_fig7_slice(self, ctx):
+        res = fig7.run(ctx, graphs=["kron"], hosts=4, buffer_sizes=[0, 4096])
+        assert res.rows[0]["kron"] >= res.rows[1]["kron"]
+
+    def test_table6_slice(self, ctx):
+        res = table67.run_table6(ctx, graphs=["kron"], hosts=4, rounds=[1, 10])
+        assert len(res.rows) == 1
+
+    def test_table7_slice(self, ctx):
+        res = table67.run_table7(
+            ctx, graphs=["kron"], hosts=4, rounds=[1, 10], apps=["bfs"]
+        )
+        assert len(res.rows) == 1

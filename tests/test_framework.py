@@ -1,0 +1,250 @@
+"""End-to-end tests of the CuSP framework (paper §IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CuSP, PHASE_NAMES, make_policy
+from repro.graph import (
+    CSRGraph,
+    erdos_renyi,
+    get_dataset,
+    paper_figure1_graph,
+    star_graph,
+    write_gr,
+)
+
+ALL_POLICIES = ["EEC", "HVC", "CVC", "FEC", "GVC", "SVC", "CEC", "FVC", "DBH"]
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return get_dataset("clueweb", "tiny")
+
+
+class TestPartitionCorrectness:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_all_policies_validate(self, policy, crawl):
+        dg = CuSP(4, policy, sync_rounds=4).partition(crawl)
+        dg.validate(crawl)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_host_counts(self, k, crawl):
+        dg = CuSP(k, "CVC").partition(crawl)
+        dg.validate(crawl)
+        assert dg.num_partitions == k
+
+    def test_single_partition_holds_everything(self, crawl):
+        dg = CuSP(1, "EEC").partition(crawl)
+        p = dg.partitions[0]
+        assert p.num_masters == crawl.num_nodes
+        assert p.num_mirrors == 0
+        assert p.num_edges == crawl.num_edges
+        assert dg.replication_factor() == 1.0
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(16)
+        dg = CuSP(4, "EEC").partition(g)
+        dg.validate(g)
+        assert sum(p.num_masters for p in dg.partitions) == 16
+
+    def test_graph_smaller_than_cluster(self):
+        g = erdos_renyi(3, 5, seed=1)
+        dg = CuSP(8, "HVC").partition(g)
+        dg.validate(g)
+
+    def test_self_loops(self):
+        g = CSRGraph.from_edges([0, 1, 1], [0, 1, 0], num_nodes=2)
+        dg = CuSP(2, "CVC").partition(g)
+        dg.validate(g)
+
+    def test_duplicate_edges_preserved(self):
+        g = CSRGraph.from_edges([0, 0, 0], [1, 1, 1], num_nodes=2)
+        dg = CuSP(2, "EEC").partition(g)
+        dg.validate(g)
+        assert sum(p.num_edges for p in dg.partitions) == 3
+
+    def test_weighted_graph_carries_weights(self, crawl):
+        g = crawl.with_random_weights(seed=3)
+        dg = CuSP(4, "CVC").partition(g)
+        dg.validate(g)
+        rebuilt = dg.to_global_graph()
+        assert rebuilt == g
+
+    def test_from_disk(self, tmp_path, crawl):
+        path = tmp_path / "g.gr"
+        write_gr(crawl, path)
+        dg = CuSP(4, "EEC").partition(path)
+        dg.validate(crawl)
+
+    def test_deterministic(self, crawl):
+        a = CuSP(4, "SVC", sync_rounds=3).partition(crawl)
+        b = CuSP(4, "SVC", sync_rounds=3).partition(crawl)
+        assert np.array_equal(a.masters, b.masters)
+        for pa, pb in zip(a.partitions, b.partitions):
+            assert np.array_equal(pa.global_ids, pb.global_ids)
+            assert pa.local_graph == pb.local_graph
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CuSP(0, "EEC")
+        with pytest.raises(ValueError):
+            CuSP(2, "EEC", sync_rounds=0).partition(CSRGraph.empty(4))
+        with pytest.raises(ValueError):
+            CuSP(2, "EEC").partition(CSRGraph.empty(4), output="dense")
+
+
+class TestStructuralInvariants:
+    def test_eec_is_outgoing_edge_cut(self, crawl):
+        """Source rule: every edge lives where its source is mastered."""
+        dg = CuSP(4, "EEC").partition(crawl)
+        for p in dg.partitions:
+            src, _ = p.global_edges()
+            assert np.all(dg.masters[src] == p.host)
+
+    def test_fec_is_outgoing_edge_cut(self, crawl):
+        dg = CuSP(4, "FEC", sync_rounds=4).partition(crawl)
+        for p in dg.partitions:
+            src, _ = p.global_edges()
+            assert np.all(dg.masters[src] == p.host)
+
+    def test_cvc_row_column_partners(self, crawl):
+        """CVC: a partition only holds edges whose source master is in its
+        grid row and destination master in its grid column."""
+        from repro.core import grid_shape
+
+        k = 8
+        dg = CuSP(k, "CVC").partition(crawl)
+        pr, pc = grid_shape(k)
+        for p in dg.partitions:
+            src, dst = p.global_edges()
+            if src.size == 0:
+                continue
+            row = p.host // pc
+            col = p.host % pc
+            assert np.all(dg.masters[src] // pc == row)
+            assert np.all(dg.masters[dst] % pc == col)
+
+    def test_eec_masters_balanced_by_edges(self, crawl):
+        dg = CuSP(4, "EEC").partition(crawl)
+        assert dg.edge_balance() < 1.3
+
+    def test_eec_partition_is_locally_read_data(self, crawl):
+        """EEC: no edges move between hosts (paper §V-A)."""
+        dg = CuSP(4, "EEC").partition(crawl)
+        assert dg.breakdown.comm_bytes("Graph Construction") == 0
+
+    def test_hvc_spreads_hub_edges(self):
+        """A hub's out-edges land on multiple partitions under Hybrid.
+
+        The leaves need out-edges of their own so ContiguousEB spreads
+        their masters across partitions (zero-degree nodes all collapse
+        into the final edge block).
+        """
+        hub_src = np.zeros(400, dtype=np.int64)
+        hub_dst = np.arange(1, 401, dtype=np.int64)
+        ring_src = np.arange(1, 401, dtype=np.int64)
+        ring_dst = np.roll(ring_src, -1)
+        g = CSRGraph.from_edges(
+            np.concatenate([hub_src, ring_src]),
+            np.concatenate([hub_dst, ring_dst]),
+            num_nodes=401,
+        )
+        dg = CuSP(4, make_policy("HVC", degree_threshold=10)).partition(g)
+        dg.validate(g)
+        hub_edge_hosts = set()
+        for p in dg.partitions:
+            src, _ = p.global_edges()
+            if np.any(src == 0):
+                hub_edge_hosts.add(p.host)
+        # The hub's own edges fill ~2 of the 4 edge blocks, so leaf
+        # masters (and hence hub edges) spread over the remaining 3.
+        assert len(hub_edge_hosts) >= 3
+
+    def test_eec_keeps_hub_edges_together(self):
+        g = star_graph(400)
+        dg = CuSP(4, "EEC").partition(g)
+        with_edges = sum(1 for p in dg.partitions if p.num_edges > 0)
+        assert with_edges == 1
+
+
+class TestOutputFormats:
+    def test_csc_output_is_transpose(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl, output="csc")
+        for p in dg.partitions:
+            assert p.local_csc is not None
+            assert p.local_csc == p.local_graph.transpose()
+
+    def test_csr_output_has_no_csc(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        assert all(p.local_csc is None for p in dg.partitions)
+
+    def test_csc_input_partitions_transpose(self, crawl):
+        """Reading CSC streams incoming edges: the partitioned edge set is
+        the transpose of the original (paper §III-B)."""
+        dg = CuSP(4, make_policy("HVC", input_format="csc")).partition(crawl)
+        dg.validate(crawl.transpose())
+
+    def test_csc_input_same_node_count(self, crawl):
+        dg = CuSP(4, make_policy("EEC", input_format="csc")).partition(crawl)
+        assert dg.num_global_nodes == crawl.num_nodes
+
+
+class TestTimingBreakdown:
+    def test_all_phases_present(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        assert [p.name for p in dg.breakdown.phases] == PHASE_NAMES
+
+    def test_total_positive(self, crawl):
+        assert CuSP(4, "CVC").partition(crawl).breakdown.total > 0
+
+    def test_fennel_master_phase_dominates(self, crawl):
+        """FennelEB's master assignment is the bottleneck (Figure 4)."""
+        dg = CuSP(4, "SVC", sync_rounds=10).partition(crawl)
+        by = dg.breakdown.by_phase()
+        assert by["Master Assignment"] > by["Edge Assignment"]
+
+    def test_pure_master_phase_is_cheap(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        ma = dg.breakdown.phase("Master Assignment")
+        assert ma.comm_bytes == 0  # replicated computation, no messages
+
+    def test_more_sync_rounds_more_collectives(self, crawl):
+        t1 = CuSP(4, "SVC", sync_rounds=1).partition(crawl)
+        t50 = CuSP(4, "SVC", sync_rounds=50).partition(crawl)
+        c1 = t1.breakdown.phase("Master Assignment").collective
+        c50 = t50.breakdown.phase("Master Assignment").collective
+        assert c50 > c1
+
+    def test_buffer_size_changes_message_count(self, crawl):
+        big = CuSP(4, "CVC", buffer_size=8 << 20).partition(crawl)
+        none = CuSP(4, "CVC", buffer_size=0).partition(crawl)
+        mb = big.breakdown.phase("Graph Construction").comm_messages
+        mn = none.breakdown.phase("Graph Construction").comm_messages
+        assert mn > mb
+
+    def test_hvc_sends_more_than_cvc(self):
+        """Table V: HVC communicates more data than CVC."""
+        g = get_dataset("uk", "tiny")
+        k = 8
+        hvc = CuSP(k, make_policy("HVC", degree_threshold=30)).partition(g)
+        cvc = CuSP(k, "CVC").partition(g)
+        hvc_bytes = hvc.breakdown.comm_bytes("Graph Construction")
+        cvc_bytes = cvc.breakdown.comm_bytes("Graph Construction")
+        assert hvc_bytes > cvc_bytes
+
+
+class TestPaperFigure1:
+    def test_eec_partitions_follow_figure(self):
+        """EEC on the Figure 1 graph: contiguous edge-balanced blocks."""
+        g = paper_figure1_graph()
+        dg = CuSP(4, "EEC").partition(g)
+        dg.validate(g)
+        # 10 edges over 4 hosts: every host gets 2-3 edges.
+        counts = sorted(p.num_edges for p in dg.partitions)
+        assert sum(counts) == 10
+        assert counts[-1] <= 3
+
+    def test_cvc_partitions_validate(self):
+        g = paper_figure1_graph()
+        dg = CuSP(4, "CVC").partition(g)
+        dg.validate(g)

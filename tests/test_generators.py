@@ -1,0 +1,156 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    chung_lu,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    kronecker,
+    paper_figure1_graph,
+    path_graph,
+    preferential_attachment,
+    rmat,
+    star_graph,
+    webcrawl_like,
+)
+from repro.graph.generators import GRAPH500_WEIGHTS
+
+
+class TestRMAT:
+    def test_sizes(self):
+        g = rmat(scale=8, edge_factor=8, seed=1)
+        assert g.num_nodes == 256
+        assert g.num_edges == 8 * 256
+
+    def test_deterministic(self):
+        a = rmat(scale=6, seed=7)
+        b = rmat(scale=6, seed=7)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        assert rmat(scale=6, seed=1) != rmat(scale=6, seed=2)
+
+    def test_skewed_degrees(self):
+        # graph500 weights concentrate edges on low-id nodes: the max
+        # degree should far exceed the average.
+        g = rmat(scale=10, edge_factor=16, seed=3)
+        assert g.out_degree().max() > 8 * 16
+
+    def test_dedup_reduces_edges(self):
+        g = rmat(scale=6, edge_factor=16, seed=3, dedup=True)
+        h = rmat(scale=6, edge_factor=16, seed=3, dedup=False)
+        assert g.num_edges <= h.num_edges
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            rmat(scale=4, weights=(0.5, 0.5, 0.5, 0.5))
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            rmat(scale=-1)
+
+    def test_scale_zero(self):
+        g = rmat(scale=0, edge_factor=3, seed=0)
+        assert g.num_nodes == 1
+        assert g.num_edges == 3  # all self loops on the single node
+
+    def test_kronecker_uses_graph500_weights(self):
+        assert kronecker(scale=5, seed=9) == rmat(
+            scale=5, weights=GRAPH500_WEIGHTS, seed=9
+        )
+
+
+class TestRandomModels:
+    def test_chung_lu_sizes(self):
+        g = chung_lu(500, 5000, seed=2)
+        assert g.num_nodes == 500
+        assert g.num_edges == 5000
+
+    def test_chung_lu_heavier_in_tail(self):
+        g = chung_lu(2000, 40000, out_exponent=0.4, in_exponent=0.9, seed=5)
+        assert g.in_degree().max() > g.out_degree().max()
+
+    def test_chung_lu_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            chung_lu(0, 10)
+
+    def test_erdos_renyi(self):
+        g = erdos_renyi(100, 1000, seed=0)
+        assert g.num_nodes == 100
+        assert g.num_edges == 1000
+
+    def test_erdos_renyi_roughly_uniform(self):
+        g = erdos_renyi(50, 50_000, seed=1)
+        deg = g.out_degree()
+        assert deg.min() > 500  # expected 1000 each
+
+    def test_preferential_attachment(self):
+        g = preferential_attachment(200, out_degree=3, seed=4)
+        assert g.num_nodes == 200
+        # node v >= 3 emits exactly 3 edges
+        assert g.num_edges == 1 + 2 + 3 * 197
+        # hub formation: max in-degree well above out_degree
+        assert g.in_degree().max() > 10
+
+    def test_preferential_attachment_single_node(self):
+        g = preferential_attachment(1)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_webcrawl_like_signature(self):
+        g = webcrawl_like(5000, avg_degree=20, seed=8)
+        assert g.num_edges == 100_000
+        # Table III signature: extreme in-degree skew vs out-degree.
+        assert g.in_degree().max() > 3 * g.out_degree().max()
+
+    def test_webcrawl_deterministic(self):
+        assert webcrawl_like(300, 10, seed=1) == webcrawl_like(300, 10, seed=1)
+
+
+class TestDeterministicGraphs:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.edge_set() == {(0, 1), (1, 2), (2, 3)}
+
+    def test_path_single(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_cycle(self):
+        g = cycle_graph(3)
+        assert g.edge_set() == {(0, 1), (1, 2), (2, 0)}
+
+    def test_star(self):
+        g = star_graph(3)
+        assert g.edge_set() == {(0, 1), (0, 2), (0, 3)}
+
+    def test_complete(self):
+        g = complete_graph(3)
+        assert g.num_edges == 6
+        assert (0, 0) not in g.edge_set()
+
+    def test_grid(self):
+        g = grid_graph(2, 2)
+        assert g.edge_set() == {(0, 1), (2, 3), (0, 2), (1, 3)}
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+        with pytest.raises(ValueError):
+            cycle_graph(0)
+
+    def test_paper_figure1(self):
+        g = paper_figure1_graph()
+        assert g.num_nodes == 10
+        assert g.num_edges == 10
+        # spot-check some edges from the figure
+        assert (0, 1) in g.edge_set()  # A -> B
+        assert (6, 9) in g.edge_set()  # G -> J

@@ -1,0 +1,250 @@
+"""Tests for getMaster rules (paper Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Contiguous,
+    ContiguousEB,
+    Fennel,
+    FennelEB,
+    GraphProp,
+    make_master_rule,
+)
+from repro.graph import CSRGraph, erdos_renyi, star_graph
+
+
+def prop_for(graph, k):
+    return GraphProp(graph, k)
+
+
+class TestContiguous:
+    def test_blocks(self):
+        g = CSRGraph.empty(10)
+        p = prop_for(g, 3)  # blocksize = ceil(10/3) = 4
+        rule = Contiguous()
+        got = [rule.assign(p, v, None) for v in range(10)]
+        assert got == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+    def test_batch_matches_scalar(self):
+        g = erdos_renyi(50, 200, seed=1)
+        p = prop_for(g, 4)
+        rule = Contiguous()
+        ids = np.arange(50)
+        batch = rule.assign_batch(p, ids, None)
+        scalar = [rule.assign(p, int(v), None) for v in ids]
+        assert batch.tolist() == scalar
+
+    def test_pure(self):
+        assert Contiguous().is_pure
+
+
+class TestContiguousEB:
+    def test_balances_edges_not_nodes(self):
+        # star: node 0 has all 9 edges; EB puts node 0 alone-ish.
+        g = star_graph(9)
+        p = prop_for(g, 2)
+        rule = ContiguousEB()
+        got = rule.assign_batch(p, np.arange(10), None)
+        # edge block = ceil(10/2) = 5; node 0 first edge 0 -> partition 0;
+        # all leaves have first edge id 9 -> partition 1.
+        assert got[0] == 0
+        assert set(got[1:].tolist()) == {1}
+
+    def test_batch_matches_scalar(self):
+        g = erdos_renyi(30, 300, seed=2)
+        p = prop_for(g, 3)
+        rule = ContiguousEB()
+        ids = np.arange(30)
+        assert rule.assign_batch(p, ids, None).tolist() == [
+            rule.assign(p, int(v), None) for v in ids
+        ]
+
+    def test_roughly_equal_edge_loads(self):
+        g = erdos_renyi(200, 4000, seed=3)
+        p = prop_for(g, 4)
+        rule = ContiguousEB()
+        parts = rule.assign_batch(p, np.arange(200), None)
+        loads = np.zeros(4)
+        np.add.at(loads, parts, g.out_degree())
+        assert loads.max() <= 1.3 * loads.mean()
+
+    def test_pure(self):
+        assert ContiguousEB().is_pure
+
+
+class TestFennel:
+    def make(self, n=40, m=300, k=4, seed=5):
+        g = erdos_renyi(n, m, seed=seed)
+        p = prop_for(g, k)
+        rule = Fennel()
+        state = rule.make_state(k, 1)
+        return g, p, rule, state
+
+    def test_not_pure(self):
+        rule = Fennel()
+        assert rule.uses_masters and rule.stateful and not rule.is_pure
+
+    def test_assign_updates_state(self):
+        g, p, rule, state = self.make()
+        view = state.host_view(0)
+        masters = np.full(g.num_nodes, -1, dtype=np.int32)
+        part = rule.assign(p, 0, view, masters)
+        assert 0 <= part < 4
+        assert view.numNodes.sum() == 1
+
+    def test_load_balancing_pressure(self):
+        # With no neighbor information (masters=None), only the load
+        # penalty acts and Fennel must spread nodes across partitions
+        # round-robin rather than piling onto one.
+        g, p, rule, state = self.make(n=100, m=400, k=4)
+        view = state.host_view(0)
+        placed = np.empty(100, dtype=np.int32)
+        for v in range(100):
+            placed[v] = rule.assign(p, v, view, masters=None)
+        counts = np.bincount(placed, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_neighbor_affinity(self):
+        # A node whose neighbors all sit on partition 2 should join them
+        # when loads are equal.
+        g = star_graph(4)  # 0 -> 1..4
+        p = prop_for(g, 4)
+        rule = Fennel()
+        state = rule.make_state(4, 1)
+        view = state.host_view(0)
+        masters = np.full(5, -1, dtype=np.int32)
+        masters[1:] = 2
+        assert rule.assign(p, 0, view, masters) == 2
+
+    def test_deterministic(self):
+        g, p, rule, _ = self.make()
+        out = []
+        for _ in range(2):
+            state = rule.make_state(4, 1)
+            view = state.host_view(0)
+            masters = np.full(g.num_nodes, -1, dtype=np.int32)
+            for v in range(g.num_nodes):
+                masters[v] = rule.assign(p, v, view, masters)
+            out.append(masters.copy())
+        assert np.array_equal(out[0], out[1])
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            Fennel(gamma=1.0)
+
+    def test_compute_units_scale_with_k(self):
+        assert Fennel().compute_units(100, 0, 8) > Fennel().compute_units(100, 0, 2)
+
+
+class TestFennelEB:
+    def test_high_degree_short_circuits_to_contiguous_eb(self):
+        g = star_graph(50)  # node 0 has degree 50
+        p = prop_for(g, 2)
+        rule = FennelEB(degree_threshold=10)
+        state = rule.make_state(2, 1)
+        view = state.host_view(0)
+        masters = np.full(51, -1, dtype=np.int32)
+        part = rule.assign(p, 0, view, masters)
+        assert part == ContiguousEB().assign(p, 0, None)
+        # short-circuit must not charge state
+        assert view.numNodes.sum() == 0
+
+    def test_low_degree_charges_node_and_edges(self):
+        g = star_graph(3)
+        p = prop_for(g, 2)
+        rule = FennelEB(degree_threshold=10)
+        state = rule.make_state(2, 1)
+        view = state.host_view(0)
+        part = rule.assign(p, 0, view, np.full(4, -1, dtype=np.int32))
+        assert view.numNodes.sum() == 1
+        assert view.numEdges.sum() == 3  # out-degree of node 0
+
+    def test_balances_by_edges(self):
+        g = erdos_renyi(120, 2400, seed=9)
+        p = prop_for(g, 4)
+        rule = FennelEB(degree_threshold=10**9)  # never short-circuit
+        state = rule.make_state(4, 1)
+        view = state.host_view(0)
+        masters = np.full(120, -1, dtype=np.int32)
+        for v in range(120):
+            masters[v] = rule.assign(p, v, view, masters)
+        edge_loads = np.zeros(4)
+        np.add.at(edge_loads, masters, g.out_degree())
+        assert edge_loads.max() <= 1.6 * edge_loads.mean()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FennelEB(gamma=0.5)
+        with pytest.raises(ValueError):
+            FennelEB(degree_threshold=-1)
+
+
+class TestBatchScalarEquivalence:
+    """The hoisted batch loops must replay the paper's scalar semantics."""
+
+    @pytest.mark.parametrize("rule_name", ["Fennel", "FennelEB"])
+    def test_batch_equals_scalar_sequence(self, rule_name):
+        g = erdos_renyi(80, 900, seed=11)
+        k = 4
+        p = prop_for(g, k)
+        kwargs = {"degree_threshold": 15} if rule_name == "FennelEB" else {}
+        ids = np.arange(80)
+
+        batch_rule = make_master_rule(rule_name, **kwargs)
+        state = batch_rule.make_state(k, 1)
+        masters_b = np.full(80, -1, dtype=np.int32)
+        view = state.host_view(0)
+        masters_b[:] = -1
+        got_batch = batch_rule.assign_batch(p, ids, view, masters_b)
+        # NOTE: scalar path feeds masters incrementally; replicate that
+        # for the batch by assigning in chunks of 1 with updates.
+        scalar_rule = make_master_rule(rule_name, **kwargs)
+        state2 = scalar_rule.make_state(k, 1)
+        view2 = state2.host_view(0)
+        masters_s = np.full(80, -1, dtype=np.int32)
+        got_scalar = np.empty(80, dtype=np.int32)
+        for v in ids:
+            got_scalar[v] = scalar_rule.assign(p, int(v), view2, masters_s)
+            masters_s[v] = got_scalar[v]
+        # Batch sees a fixed masters snapshot while scalar updates it per
+        # node, so compare under the same protocol: re-run batch per-node.
+        per_node_rule = make_master_rule(rule_name, **kwargs)
+        state3 = per_node_rule.make_state(k, 1)
+        view3 = state3.host_view(0)
+        masters_p = np.full(80, -1, dtype=np.int32)
+        got_per_node = np.empty(80, dtype=np.int32)
+        for v in ids:
+            got_per_node[v] = per_node_rule.assign_batch(
+                p, np.array([v]), view3, masters_p
+            )[0]
+            masters_p[v] = got_per_node[v]
+        assert np.array_equal(got_per_node, got_scalar)
+        # State totals agree regardless of protocol.
+        assert state3.totals()[0].sum() == state2.totals()[0].sum()
+
+    def test_batch_state_updates_match_scalar(self):
+        g = erdos_renyi(50, 400, seed=12)
+        p = prop_for(g, 3)
+        rule = make_master_rule("FennelEB", degree_threshold=10)
+        state = rule.make_state(3, 1)
+        view = state.host_view(0)
+        rule.assign_batch(p, np.arange(50), view, None)
+        nodes, edges = state.totals()
+        low_degree = g.out_degree() <= 10
+        assert nodes.sum() == int(low_degree.sum())
+        assert edges.sum() == int(g.out_degree()[low_degree].sum())
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["Contiguous", "ContiguousEB", "Fennel", "FennelEB"])
+    def test_make(self, name):
+        assert make_master_rule(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_master_rule("Magic")
+
+    def test_kwargs_forwarded(self):
+        rule = make_master_rule("FennelEB", degree_threshold=7)
+        assert rule.degree_threshold == 7

@@ -1,0 +1,70 @@
+"""Tests for per-host memory estimation (the paper's OOM observations)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CuSP
+from repro.graph import get_dataset
+from repro.runtime import (
+    MemoryBudgetExceeded,
+    check_memory,
+    cusp_peak_memory,
+    xtrapulp_peak_memory,
+)
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return get_dataset("wdc", "tiny")
+
+
+class TestEstimates:
+    def test_cusp_peak_positive_and_per_host(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        peaks = cusp_peak_memory(dg, crawl)
+        assert peaks.shape == (4,)
+        assert np.all(peaks > 0)
+
+    def test_cusp_peak_shrinks_with_hosts(self, crawl):
+        small = cusp_peak_memory(CuSP(2, "EEC").partition(crawl), crawl)
+        large = cusp_peak_memory(CuSP(8, "EEC").partition(crawl), crawl)
+        assert large.max() < small.max()
+
+    def test_csc_output_costs_more(self, crawl):
+        csr = cusp_peak_memory(CuSP(4, "EEC").partition(crawl), crawl)
+        csc = cusp_peak_memory(
+            CuSP(4, "EEC").partition(crawl, output="csc"), crawl
+        )
+        assert csc.max() > csr.max()
+
+    def test_xtrapulp_has_host_independent_floor(self, crawl):
+        at2 = xtrapulp_peak_memory(crawl, 2)[0]
+        at64 = xtrapulp_peak_memory(crawl, 64)[0]
+        floor = 8 * crawl.num_nodes * 8  # the global label vectors
+        assert at64 >= floor
+        assert at2 > at64
+
+    def test_paper_oom_asymmetry(self, crawl):
+        """At the lowest host count XtraPulp exceeds a capacity that CuSP
+        fits within — Figure 3's missing bars (SV-B)."""
+        from repro.experiments.memory_study import scaled_capacity
+
+        capacity = scaled_capacity(crawl)
+        dg = CuSP(2, "EEC").partition(crawl)
+        assert xtrapulp_peak_memory(crawl, 2).max() > capacity
+        assert cusp_peak_memory(dg, crawl).max() <= capacity
+
+
+class TestCheckMemory:
+    def test_unlimited_never_raises(self):
+        check_memory(np.array([10**12]), None)
+
+    def test_raises_with_details(self):
+        with pytest.raises(MemoryBudgetExceeded) as exc:
+            check_memory(np.array([100, 300]), capacity=200)
+        assert exc.value.host == 1
+        assert exc.value.required == 300
+        assert "MB" in str(exc.value)
+
+    def test_passes_under_capacity(self):
+        check_memory(np.array([100, 150]), capacity=200)

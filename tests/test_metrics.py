@@ -1,0 +1,92 @@
+"""Tests for partition quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import CuSP
+from repro.graph import CSRGraph, erdos_renyi, get_dataset
+from repro.metrics import cut_fraction, geomean, measure_quality
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return get_dataset("kron", "tiny")
+
+
+class TestCutFraction:
+    def test_no_cut_single_partition(self, crawl):
+        masters = np.zeros(crawl.num_nodes, dtype=np.int32)
+        assert cut_fraction(crawl, masters) == 0.0
+
+    def test_all_cut(self):
+        g = CSRGraph.from_edges([0, 1], [1, 0], num_nodes=2)
+        masters = np.array([0, 1], dtype=np.int32)
+        assert cut_fraction(g, masters) == 1.0
+
+    def test_partial(self):
+        g = CSRGraph.from_edges([0, 0], [1, 2], num_nodes=3)
+        masters = np.array([0, 0, 1], dtype=np.int32)
+        assert cut_fraction(g, masters) == 0.5
+
+    def test_empty_graph(self):
+        assert cut_fraction(CSRGraph.empty(3), np.zeros(3, dtype=np.int32)) == 0.0
+
+
+class TestMeasureQuality:
+    def test_fields(self, crawl):
+        dg = CuSP(4, "CVC").partition(crawl)
+        q = measure_quality(dg, crawl)
+        assert q.policy == "CVC"
+        assert q.num_partitions == 4
+        assert 1.0 <= q.replication_factor <= 4.0
+        assert q.node_balance >= 1.0
+        assert q.edge_balance >= 1.0
+        assert 0.0 <= q.cut_fraction <= 1.0
+        assert 0 <= q.max_partners <= 3
+
+    def test_single_partition_is_trivial(self, crawl):
+        dg = CuSP(1, "EEC").partition(crawl)
+        q = measure_quality(dg, crawl)
+        assert q.replication_factor == 1.0
+        assert q.cut_fraction == 0.0
+        assert q.max_partners == 0
+
+    def test_cvc_partner_bound(self, crawl):
+        """CVC's partner count is bounded by its grid row + column."""
+        from repro.core import grid_shape
+
+        k = 16
+        dg = CuSP(k, "CVC").partition(crawl)
+        q = measure_quality(dg, crawl)
+        pr, pc = grid_shape(k)
+        assert q.max_partners <= (pr - 1) + (pc - 1) + 1
+
+    def test_row_keys(self, crawl):
+        dg = CuSP(2, "EEC").partition(crawl)
+        row = measure_quality(dg, crawl).row()
+        assert set(row) == {
+            "policy", "k", "replication", "node_balance", "edge_balance",
+            "cut_fraction", "max_partners",
+        }
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(geomean([]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([-1.0])
+
+    def test_generator_input(self):
+        assert geomean(x for x in (2.0, 8.0)) == pytest.approx(4.0)

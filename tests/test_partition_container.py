@@ -1,0 +1,145 @@
+"""Focused tests for the partition containers and phase internals."""
+
+import numpy as np
+import pytest
+
+from repro.core import CuSP, GraphProp, compute_read_ranges, make_policy
+from repro.core.assignment_phase import run_edge_assignment
+from repro.core.masters_phase import run_master_assignment
+from repro.graph import CSRGraph, erdos_renyi, get_dataset
+from repro.runtime import Communicator
+from repro.runtime.stats import PhaseStats
+
+
+@pytest.fixture(scope="module")
+def dg_and_graph():
+    g = get_dataset("kron", "tiny")
+    return CuSP(4, "CVC").partition(g), g
+
+
+class TestLocalPartition:
+    def test_masters_precede_mirrors(self, dg_and_graph):
+        dg, _ = dg_and_graph
+        for p in dg.partitions:
+            assert np.all(p.master_host[: p.num_masters] == p.host)
+            if p.num_mirrors:
+                assert np.all(p.master_host[p.num_masters :] != p.host)
+
+    def test_global_ids_sorted_within_sections(self, dg_and_graph):
+        dg, _ = dg_and_graph
+        for p in dg.partitions:
+            m = p.master_global_ids
+            mi = p.mirror_global_ids
+            assert np.all(np.diff(m) > 0)
+            if mi.size > 1:
+                assert np.all(np.diff(mi) > 0)
+
+    def test_to_local_inverse_of_global_ids(self, dg_and_graph):
+        dg, _ = dg_and_graph
+        for p in dg.partitions:
+            locals_ = p.to_local(p.global_ids)
+            assert np.array_equal(locals_, np.arange(p.num_proxies))
+
+    def test_to_local_missing_is_negative(self, dg_and_graph):
+        dg, g = dg_and_graph
+        for p in dg.partitions:
+            absent = np.setdiff1d(np.arange(g.num_nodes), p.global_ids)
+            if absent.size:
+                assert np.all(p.to_local(absent[:5]) == -1)
+
+    def test_has_proxy_and_is_master(self, dg_and_graph):
+        dg, _ = dg_and_graph
+        p = dg.partitions[0]
+        gid = int(p.master_global_ids[0])
+        assert p.has_proxy(gid)
+        assert p.is_master(int(p.to_local(np.array([gid]))[0]))
+
+    def test_global_edges_use_proxy_ids(self, dg_and_graph):
+        dg, g = dg_and_graph
+        for p in dg.partitions:
+            src, dst = p.global_edges()
+            assert set(src.tolist()) <= set(p.global_ids.tolist())
+            assert set(dst.tolist()) <= set(p.global_ids.tolist())
+
+
+class TestDistributedGraph:
+    def test_counts_sum(self, dg_and_graph):
+        dg, g = dg_and_graph
+        assert dg.edge_counts().sum() == g.num_edges
+        assert dg.master_counts().sum() == g.num_nodes
+
+    def test_partition_of_master(self, dg_and_graph):
+        dg, _ = dg_and_graph
+        for v in (0, 7, 100):
+            p = dg.partition_of_master(v)
+            assert v in set(p.master_global_ids.tolist())
+
+    def test_to_global_graph_roundtrip(self, dg_and_graph):
+        dg, g = dg_and_graph
+        assert dg.to_global_graph() == g
+
+    def test_repr_mentions_policy(self, dg_and_graph):
+        dg, _ = dg_and_graph
+        assert "CVC" in repr(dg)
+
+    def test_validate_catches_bad_master_map(self, dg_and_graph):
+        dg, g = dg_and_graph
+        saved = dg.masters.copy()
+        try:
+            dg.masters = (dg.masters + 1) % dg.num_partitions
+            with pytest.raises(AssertionError):
+                dg.validate()
+        finally:
+            dg.masters = saved
+
+    def test_balance_on_empty_partitions(self):
+        g = CSRGraph.empty(4)
+        dg = CuSP(2, "EEC").partition(g)
+        assert dg.edge_balance() == 1.0  # no edges anywhere
+
+
+class TestPhaseInternals:
+    def test_master_assignment_covers_all_nodes(self):
+        g = erdos_renyi(200, 1500, seed=3)
+        prop = GraphProp(g, 4)
+        ranges = compute_read_ranges(g, 4)
+        phase = PhaseStats("m", 4, Communicator(4))
+        ma = run_master_assignment(phase, prop, make_policy("SVC"), ranges,
+                                   sync_rounds=3)
+        assert ma.masters.min() >= 0
+        assert ma.masters.max() < 4
+
+    def test_edge_assignment_to_receive_consistent(self):
+        g = erdos_renyi(150, 1200, seed=4)
+        prop = GraphProp(g, 4)
+        ranges = compute_read_ranges(g, 4)
+        phase = PhaseStats("m", 4, Communicator(4))
+        policy = make_policy("CVC")
+        ma = run_master_assignment(phase, prop, policy, ranges)
+        phase2 = PhaseStats("e", 4, Communicator(4))
+        ea = run_edge_assignment(phase2, prop, policy, ranges, ma.masters)
+        # Row sums = edges each host read; column sums = edges received.
+        assert ea.edges_to.sum() == g.num_edges
+        assert np.array_equal(ea.to_receive, ea.edges_to.sum(axis=0))
+
+    def test_owner_arrays_within_range(self):
+        g = erdos_renyi(100, 900, seed=5)
+        prop = GraphProp(g, 5)
+        ranges = compute_read_ranges(g, 5)
+        phase = PhaseStats("m", 5, Communicator(5))
+        policy = make_policy("HVC", degree_threshold=5)
+        ma = run_master_assignment(phase, prop, policy, ranges)
+        phase2 = PhaseStats("e", 5, Communicator(5))
+        ea = run_edge_assignment(phase2, prop, policy, ranges, ma.masters)
+        for owners in ea.owners:
+            if owners.size:
+                assert owners.min() >= 0 and owners.max() < 5
+
+    def test_sync_rounds_validation(self):
+        g = erdos_renyi(10, 20, seed=6)
+        prop = GraphProp(g, 2)
+        ranges = compute_read_ranges(g, 2)
+        phase = PhaseStats("m", 2, Communicator(2))
+        with pytest.raises(ValueError):
+            run_master_assignment(phase, prop, make_policy("EEC"), ranges,
+                                  sync_rounds=0)

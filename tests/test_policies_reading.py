@@ -1,0 +1,148 @@
+"""Tests for policy composition (Table II) and the graph-reading split."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_POLICIES,
+    POLICY_TABLE,
+    Policy,
+    compute_read_ranges,
+    make_edge_rule,
+    make_master_rule,
+    make_policy,
+    policy_names,
+    read_bytes_for_range,
+)
+from repro.graph import CSRGraph, erdos_renyi, star_graph
+
+
+class TestPolicyTable:
+    def test_paper_table_ii(self):
+        assert POLICY_TABLE["EEC"] == ("ContiguousEB", "Source")
+        assert POLICY_TABLE["HVC"] == ("ContiguousEB", "Hybrid")
+        assert POLICY_TABLE["CVC"] == ("ContiguousEB", "Cartesian")
+        assert POLICY_TABLE["FEC"] == ("FennelEB", "Source")
+        assert POLICY_TABLE["GVC"] == ("FennelEB", "Hybrid")
+        assert POLICY_TABLE["SVC"] == ("FennelEB", "Cartesian")
+
+    def test_paper_policies_subset(self):
+        assert set(PAPER_POLICIES) <= set(policy_names())
+
+    @pytest.mark.parametrize("name", policy_names())
+    def test_make_all(self, name):
+        policy = make_policy(name)
+        assert policy.name == name
+        assert policy.input_format == "csr"
+
+    def test_invariants(self):
+        assert make_policy("EEC").invariant == "edge-cut"
+        assert make_policy("FEC").invariant == "edge-cut"
+        assert make_policy("CVC").invariant == "2d-cut"
+        assert make_policy("SVC").invariant == "2d-cut"
+        assert make_policy("HVC").invariant == "vertex-cut"
+        assert make_policy("GVC").invariant == "vertex-cut"
+
+    def test_csc_variant(self):
+        policy = make_policy("HVC", input_format="csc")
+        assert policy.input_format == "csc"
+
+    def test_invalid_input_format(self):
+        with pytest.raises(ValueError):
+            Policy("x", make_master_rule("Contiguous"), make_edge_rule("Source"),
+                   input_format="coo")
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            make_policy("XYZ")
+
+    def test_threshold_and_gamma_forwarded(self):
+        policy = make_policy("GVC", degree_threshold=42, gamma=1.25)
+        assert policy.master_rule.degree_threshold == 42
+        assert policy.master_rule.gamma == 1.25
+        assert policy.edge_rule.degree_threshold == 42
+
+    def test_describe(self):
+        text = make_policy("CVC").describe()
+        assert "ContiguousEB" in text and "Cartesian" in text
+
+
+class TestReadRanges:
+    def test_cover_and_disjoint(self):
+        g = erdos_renyi(100, 1000, seed=1)
+        ranges = compute_read_ranges(g, 4)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 100
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+            assert a <= b
+
+    def test_edge_balanced_default(self):
+        g = erdos_renyi(300, 6000, seed=2)
+        ranges = compute_read_ranges(g, 4)
+        loads = [int(g.indptr[b] - g.indptr[a]) for a, b in ranges]
+        assert max(loads) <= 1.25 * (sum(loads) / 4)
+
+    def test_matches_contiguous_eb_blocks(self):
+        """The default split must coincide with ContiguousEB masters so
+        that EEC needs no communication (paper §V-A)."""
+        from repro.core import ContiguousEB, GraphProp
+
+        g = erdos_renyi(123, 2345, seed=3)
+        k = 5
+        ranges = compute_read_ranges(g, k)
+        rule = ContiguousEB()
+        parts = rule.assign_batch(GraphProp(g, k), np.arange(123), None)
+        for h, (a, b) in enumerate(ranges):
+            assert np.all(parts[a:b] == h)
+
+    def test_node_balanced(self):
+        g = star_graph(99)  # all edges on node 0
+        ranges = compute_read_ranges(g, 4, node_weight=1, edge_weight=0)
+        sizes = [b - a for a, b in ranges]
+        # ceil'd block arithmetic: equal blocks with a short tail.
+        assert sizes[:-1] == [26, 26, 26]
+        assert sizes[-1] <= sizes[0]
+
+    def test_never_splits_a_node(self):
+        # A node's edges stay on one host by construction (ranges are in
+        # node coordinates); check boundaries are valid node indices.
+        g = star_graph(50)
+        ranges = compute_read_ranges(g, 8)
+        assert all(0 <= a <= b <= 51 for a, b in ranges)
+
+    def test_more_hosts_than_nodes(self):
+        g = erdos_renyi(3, 6, seed=4)
+        ranges = compute_read_ranges(g, 8)
+        assert ranges[-1][1] == 3
+        total = sum(b - a for a, b in ranges)
+        assert total == 3  # some hosts get nothing
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(10)
+        ranges = compute_read_ranges(g, 2)
+        assert ranges[0] == (0, 5)
+        assert ranges[1] == (5, 10)
+
+    def test_single_host(self):
+        g = erdos_renyi(10, 20, seed=5)
+        assert compute_read_ranges(g, 1) == [(0, 10)]
+
+    def test_invalid_args(self):
+        g = CSRGraph.empty(4)
+        with pytest.raises(ValueError):
+            compute_read_ranges(g, 0)
+        with pytest.raises(ValueError):
+            compute_read_ranges(g, 2, node_weight=0, edge_weight=0)
+        with pytest.raises(ValueError):
+            compute_read_ranges(g, 2, node_weight=-1)
+
+    def test_read_bytes(self):
+        g = erdos_renyi(10, 40, seed=6)
+        full = read_bytes_for_range(g, 0, 10)
+        assert full == 11 * 8 + 40 * 8
+        assert read_bytes_for_range(g, 3, 3) == 0
+
+    def test_read_bytes_weighted(self):
+        g = erdos_renyi(10, 40, seed=6).with_uniform_weights()
+        assert read_bytes_for_range(g, 0, 10) == 11 * 8 + 40 * 16

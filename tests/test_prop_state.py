@@ -1,0 +1,104 @@
+"""Tests for GraphProp and partitioning state."""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphProp, PartitionLoadState, VoidState
+from repro.graph import CSRGraph
+from repro.runtime import Communicator
+
+
+def graph():
+    # 0->1, 0->2, 1->2, 3 isolated
+    return CSRGraph.from_edges([0, 0, 1], [1, 2, 2], num_nodes=4)
+
+
+class TestGraphProp:
+    def test_paper_accessors(self):
+        p = GraphProp(graph(), 2)
+        assert p.getNumNodes() == 4
+        assert p.getNumEdges() == 3
+        assert p.getNumPartitions() == 2
+        assert p.getNodeOutDegree(0) == 2
+        assert p.getNodeOutDegree(3) == 0
+        assert p.getNodeOutNeighbors(0).tolist() == [1, 2]
+        assert p.getNodeOutEdge(0, 0) == 0
+        assert p.getNodeOutEdge(0, 1) == 1
+        assert p.getNodeOutEdge(1, 0) == 2
+
+    def test_out_edge_of_empty_node(self):
+        p = GraphProp(graph(), 2)
+        # Well-defined for ContiguousEB: position where edges would start.
+        assert p.getNodeOutEdge(3, 0) == 3
+
+    def test_out_edge_index_error(self):
+        p = GraphProp(graph(), 2)
+        with pytest.raises(IndexError):
+            p.getNodeOutEdge(1, 5)
+
+    def test_vectorized_accessors(self):
+        p = GraphProp(graph(), 2)
+        assert p.out_degrees(np.array([0, 1, 3])).tolist() == [2, 1, 0]
+        assert p.first_out_edges(np.array([0, 1, 2, 3])).tolist() == [0, 2, 3, 3]
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            GraphProp(graph(), 0)
+
+
+class TestVoidState:
+    def test_noop(self):
+        s = VoidState()
+        assert not s.stateful
+        comm = Communicator(2)
+        s.sync_round(comm)  # no-op
+        assert comm.collective_events == []
+        s.reset()
+        assert s.host_view(0) is s
+
+
+class TestPartitionLoadState:
+    def test_local_updates_invisible_until_sync(self):
+        s = PartitionLoadState(num_partitions=3, num_hosts=2)
+        v0, v1 = s.host_view(0), s.host_view(1)
+        v0.add_node(1)
+        assert v0.numNodes.tolist() == [0, 1, 0]  # own update visible
+        assert v1.numNodes.tolist() == [0, 0, 0]  # peer does not see it
+
+    def test_sync_round_merges(self):
+        s = PartitionLoadState(3, 2)
+        s.host_view(0).add_node(1)
+        s.host_view(1).add_node(1)
+        s.host_view(1).add_edges(2, 10)
+        comm = Communicator(2)
+        s.sync_round(comm)
+        for h in range(2):
+            assert s.host_view(h).numNodes.tolist() == [0, 2, 0]
+            assert s.host_view(h).numEdges.tolist() == [0, 0, 10]
+        # exactly one allreduce + one barrier per round
+        assert len(comm.collective_events) == 1
+        assert comm.barriers == 1
+
+    def test_reset(self):
+        s = PartitionLoadState(2, 1)
+        s.host_view(0).add_node(0)
+        s.sync_round(Communicator(1))
+        s.reset()
+        assert s.host_view(0).numNodes.tolist() == [0, 0]
+
+    def test_totals_ignores_sync(self):
+        s = PartitionLoadState(2, 2)
+        s.host_view(0).add_node(0)
+        s.host_view(1).add_node(1)
+        nodes, edges = s.totals()
+        assert nodes.tolist() == [1, 1]
+        assert edges.tolist() == [0, 0]
+
+    def test_invalid_host_view(self):
+        s = PartitionLoadState(2, 2)
+        with pytest.raises(ValueError):
+            s.host_view(5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PartitionLoadState(0, 1)

@@ -1,0 +1,87 @@
+"""Property-based tests: distributed analytics equal references on
+arbitrary graphs, policies, and host counts."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics import (
+    BFS,
+    ConnectedComponents,
+    Engine,
+    INF,
+    SSSP,
+    bfs_reference,
+    cc_reference,
+    sssp_reference,
+)
+from repro.core import CuSP
+from repro.graph import CSRGraph
+
+
+@st.composite
+def graphs(draw, max_nodes=30, max_edges=90):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return CSRGraph.from_edges(
+        np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64), num_nodes=n
+    )
+
+
+POLICY = st.sampled_from(["EEC", "HVC", "CVC", "DBH"])
+HOSTS = st.integers(min_value=1, max_value=5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), HOSTS, POLICY, st.data())
+def test_bfs_matches_reference(graph, k, policy, data):
+    source = data.draw(st.integers(0, graph.num_nodes - 1))
+    dg = CuSP(k, policy).partition(graph)
+    res = Engine(dg).run(BFS(source))
+    assert np.array_equal(res.values, bfs_reference(graph, source))
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(), HOSTS, POLICY)
+def test_cc_matches_reference(graph, k, policy):
+    sym = graph.symmetrize()
+    dg = CuSP(k, policy).partition(sym)
+    res = Engine(dg).run(ConnectedComponents())
+    assert np.array_equal(res.values, cc_reference(sym))
+
+
+@settings(max_examples=20, deadline=None)
+@given(graphs(max_edges=60), HOSTS, st.data())
+def test_sssp_matches_dijkstra(graph, k, data):
+    weighted = graph.with_random_weights(seed=5)
+    source = data.draw(st.integers(0, graph.num_nodes - 1))
+    dg = CuSP(k, "CVC").partition(weighted)
+    res = Engine(dg).run(SSSP(source))
+    assert np.array_equal(res.values, sssp_reference(weighted, source))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.data())
+def test_bfs_triangle_inequality(graph, data):
+    """dist[d] <= dist[s] + 1 for every edge (s, d) — a BFS invariant."""
+    source = data.draw(st.integers(0, graph.num_nodes - 1))
+    dg = CuSP(3, "EEC").partition(graph)
+    dist = Engine(dg).run(BFS(source)).values
+    src, dst = graph.edges()
+    reachable = dist[src] < INF
+    assert np.all(dist[dst[reachable]] <= dist[src[reachable]] + 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(), HOSTS)
+def test_cc_labels_are_component_minima(graph, k):
+    sym = graph.symmetrize()
+    dg = CuSP(k, "HVC").partition(sym)
+    labels = Engine(dg).run(ConnectedComponents()).values
+    src, dst = sym.edges()
+    # Endpoints of every edge share a label; each label is a member of
+    # its own component and is minimal there.
+    assert np.all(labels[src] == labels[dst])
+    assert np.all(labels <= np.arange(sym.num_nodes))
+    assert np.all(labels[labels] == labels)

@@ -1,0 +1,107 @@
+"""Property-based tests for graph storage, transforms, and formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    CSRGraph,
+    read_edgelist,
+    read_gr,
+    read_gr_slice,
+    write_edgelist,
+    write_gr,
+)
+
+
+@st.composite
+def graphs(draw, max_nodes=50, max_edges=200, weighted=False):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    data = None
+    if weighted:
+        data = draw(st.lists(st.integers(1, 1000), min_size=m, max_size=m))
+    return CSRGraph.from_edges(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        num_nodes=n,
+        edge_data=np.array(data, dtype=np.int64) if weighted else None,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_transpose_involution(g):
+    assert g.transpose().transpose() == g
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_transpose_preserves_degree_sums(g):
+    t = g.transpose()
+    assert np.array_equal(g.out_degree(), t.in_degree())
+    assert np.array_equal(g.in_degree(), t.out_degree())
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_symmetrize_idempotent(g):
+    s = g.symmetrize()
+    assert s.symmetrize() == s
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_symmetrize_contains_original_simple_edges(g):
+    s = g.symmetrize()
+    assert g.edge_set() <= s.edge_set()
+    # symmetric: edge set closed under reversal
+    assert {(b, a) for a, b in s.edge_set()} == s.edge_set()
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=graphs(weighted=True))
+def test_gr_roundtrip(g, tmp_path_factory):
+    path = tmp_path_factory.mktemp("gr") / "g.gr"
+    write_gr(g, path)
+    assert read_gr(path) == g
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=graphs())
+def test_edgelist_roundtrip(g, tmp_path_factory):
+    path = tmp_path_factory.mktemp("el") / "g.el"
+    write_edgelist(g, path)
+    assert read_edgelist(path, num_nodes=g.num_nodes) == g
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=graphs(), data=st.data())
+def test_gr_slice_matches_full_read(g, data, tmp_path_factory):
+    path = tmp_path_factory.mktemp("slice") / "g.gr"
+    write_gr(g, path)
+    start = data.draw(st.integers(0, g.num_nodes))
+    stop = data.draw(st.integers(start, g.num_nodes))
+    _, indptr, indices, _ = read_gr_slice(path, start, stop)
+    assert np.array_equal(indptr, g.indptr[start : stop + 1])
+    lo, hi = g.indptr[start], g.indptr[stop]
+    assert np.array_equal(indices, g.indices[lo:hi])
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.data())
+def test_subgraph_rows_partition_of_edges(g, data):
+    cut = data.draw(st.integers(0, g.num_nodes))
+    left = g.subgraph_rows(0, cut)
+    right = g.subgraph_rows(cut, g.num_nodes)
+    assert left.num_edges + right.num_edges == g.num_edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_edge_sources_matches_indptr(g):
+    src = g.edge_sources()
+    for v in range(g.num_nodes):
+        assert np.all(src[g.indptr[v] : g.indptr[v + 1]] == v)

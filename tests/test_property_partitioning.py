@@ -1,0 +1,103 @@
+"""Property-based tests: partitioning invariants over arbitrary graphs.
+
+For any graph, any policy, and any host count, CuSP must produce a
+partition where (paper §II): every edge is owned by exactly one host,
+every vertex has exactly one master, mirrors are never local masters, and
+the union of the subgraphs is the input graph.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CuSP, make_policy, policy_names
+from repro.graph import CSRGraph
+
+
+@st.composite
+def graphs(draw, max_nodes=40, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    if m:
+        src = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=m, max_size=m,
+            )
+        )
+        dst = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=m, max_size=m,
+            )
+        )
+    else:
+        src, dst = [], []
+    return CSRGraph.from_edges(
+        np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64), num_nodes=n
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs(), k=st.integers(min_value=1, max_value=6),
+       policy=st.sampled_from(["EEC", "HVC", "CVC", "CEC", "DBH"]))
+def test_stateless_policies_preserve_graph(graph, k, policy):
+    dg = CuSP(k, make_policy(policy, degree_threshold=3)).partition(graph)
+    dg.validate(graph)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=graphs(max_nodes=25, max_edges=60),
+       k=st.integers(min_value=1, max_value=4),
+       rounds=st.integers(min_value=1, max_value=5),
+       policy=st.sampled_from(["FEC", "GVC", "SVC", "FVC"]))
+def test_stateful_policies_preserve_graph(graph, k, rounds, policy):
+    dg = CuSP(k, make_policy(policy, degree_threshold=3),
+              sync_rounds=rounds).partition(graph)
+    dg.validate(graph)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs(), k=st.integers(min_value=1, max_value=6))
+def test_replication_factor_bounds(graph, k):
+    """1 <= replication factor <= k for any partitioning."""
+    dg = CuSP(k, "CVC").partition(graph)
+    rep = dg.replication_factor()
+    assert 1.0 <= rep <= k + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs(), k=st.integers(min_value=1, max_value=5))
+def test_edge_cut_invariant_holds_for_source_rule(graph, k):
+    """Source-rule partitions co-locate every edge with its source master."""
+    dg = CuSP(k, "EEC").partition(graph)
+    for p in dg.partitions:
+        src, _ = p.global_edges()
+        assert np.all(dg.masters[src] == p.host)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs(max_nodes=30, max_edges=80),
+       k=st.integers(min_value=1, max_value=5))
+def test_determinism(graph, k):
+    a = CuSP(k, "SVC", sync_rounds=2).partition(graph)
+    b = CuSP(k, "SVC", sync_rounds=2).partition(graph)
+    assert np.array_equal(a.masters, b.masters)
+    for pa, pb in zip(a.partitions, b.partitions):
+        assert pa.local_graph == pb.local_graph
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graphs(), k=st.integers(min_value=1, max_value=6))
+def test_csc_output_transposes_locally(graph, k):
+    dg = CuSP(k, "HVC").partition(graph, output="csc")
+    for p in dg.partitions:
+        assert p.local_csc == p.local_graph.transpose()
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=graphs())
+def test_single_host_partition_is_whole_graph(graph):
+    dg = CuSP(1, "EEC").partition(graph)
+    assert dg.partitions[0].num_edges == graph.num_edges
+    assert dg.replication_factor() == 1.0

@@ -1,0 +1,85 @@
+"""Tests for straggler modeling and partition-comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import CuSP
+from repro.graph import CSRGraph, get_dataset
+from repro.metrics import master_agreement, migration_volume
+from repro.runtime import SimulatedCluster
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return get_dataset("kron", "tiny")
+
+
+class TestStraggler:
+    def test_one_slow_host_slows_every_phase(self, crawl):
+        fast = CuSP(4, "CVC").partition(crawl)
+        slow = CuSP(4, "CVC", host_speeds=[1, 1, 1, 0.2]).partition(crawl)
+        assert slow.breakdown.total > fast.breakdown.total
+        # The partitions themselves are identical (timing-only effect).
+        assert np.array_equal(fast.masters, slow.masters)
+
+    def test_uniform_speeds_are_nominal(self, crawl):
+        base = CuSP(4, "CVC").partition(crawl)
+        same = CuSP(4, "CVC", host_speeds=[1.0] * 4).partition(crawl)
+        assert same.breakdown.total == pytest.approx(base.breakdown.total)
+
+    def test_faster_hosts_speed_up(self, crawl):
+        base = CuSP(4, "SVC", sync_rounds=2).partition(crawl)
+        turbo = CuSP(4, "SVC", sync_rounds=2,
+                     host_speeds=[4.0] * 4).partition(crawl)
+        assert turbo.breakdown.total < base.breakdown.total
+
+    def test_invalid_speeds(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(2, host_speeds=[1.0])
+        with pytest.raises(ValueError):
+            SimulatedCluster(2, host_speeds=[1.0, -1.0])
+
+    def test_slowdown_bounded_by_compute_share(self, crawl):
+        """A 5x slower host can at most 5x the compute-bound phases."""
+        fast = CuSP(4, "EEC").partition(crawl)
+        slow = CuSP(4, "EEC", host_speeds=[0.2, 1, 1, 1]).partition(crawl)
+        assert slow.breakdown.total <= 5 * fast.breakdown.total
+
+
+class TestPartitionComparison:
+    def test_agreement_with_itself(self, crawl):
+        a = CuSP(4, "CVC").partition(crawl)
+        assert master_agreement(a, a) == 1.0
+        assert migration_volume(a, a) == 0
+
+    def test_agreement_detects_difference(self, crawl):
+        a = CuSP(4, "EEC").partition(crawl)
+        b = CuSP(4, "CEC").partition(crawl)  # different master blocks
+        assert master_agreement(a, b) < 1.0
+
+    def test_migration_counts_moved_edges(self):
+        g = CSRGraph.from_edges([0, 1], [1, 0], num_nodes=2)
+        a = CuSP(2, "EEC").partition(g)
+        b = CuSP(2, "CEC").partition(g)
+        vol = migration_volume(a, b)
+        assert 0 <= vol <= g.num_edges
+
+    def test_sync_rounds_change_svc_partitions(self, crawl):
+        """Tables VI/VII's premise: round count changes the partitioning."""
+        a = CuSP(4, "SVC", sync_rounds=1).partition(crawl)
+        b = CuSP(4, "SVC", sync_rounds=50).partition(crawl)
+        assert master_agreement(a, b) < 1.0
+        assert migration_volume(a, b) > 0
+
+    def test_mismatched_graphs_rejected(self, crawl):
+        a = CuSP(2, "EEC").partition(crawl)
+        small = CuSP(2, "EEC").partition(CSRGraph.empty(3))
+        with pytest.raises(ValueError):
+            master_agreement(a, small)
+        with pytest.raises(ValueError):
+            migration_volume(a, small)
+
+    def test_empty_graph_agreement(self):
+        g = CSRGraph.empty(0)
+        a = CuSP(1, "EEC").partition(g)
+        assert master_agreement(a, a) == 1.0

@@ -1,0 +1,88 @@
+"""Tests for the streaming-window (ADWISE-style) partitioner extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import WindowedPartitioner
+from repro.graph import CSRGraph, erdos_renyi, get_dataset
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    return get_dataset("kron", "tiny")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("window", [1, 4, 32])
+    def test_valid_partition(self, window, crawl):
+        dg = WindowedPartitioner(4, window_size=window).partition(crawl)
+        dg.validate(crawl)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 8])
+    def test_host_counts(self, k, crawl):
+        dg = WindowedPartitioner(k, window_size=8).partition(crawl)
+        dg.validate(crawl)
+        assert dg.num_partitions == k
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(6)
+        dg = WindowedPartitioner(2).partition(g)
+        dg.validate(g)
+
+    def test_weighted_graph(self):
+        g = erdos_renyi(40, 200, seed=1).with_random_weights(seed=1)
+        dg = WindowedPartitioner(3, window_size=8).partition(g)
+        dg.validate(g)
+        assert dg.to_global_graph() == g
+
+    def test_deterministic(self, crawl):
+        a = WindowedPartitioner(4, window_size=16).partition(crawl)
+        b = WindowedPartitioner(4, window_size=16).partition(crawl)
+        assert np.array_equal(a.masters, b.masters)
+        for pa, pb in zip(a.partitions, b.partitions):
+            assert pa.local_graph == pb.local_graph
+
+    def test_policy_name_mentions_window(self, crawl):
+        dg = WindowedPartitioner(2, window_size=7).partition(crawl)
+        assert "7" in dg.policy_name
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WindowedPartitioner(0)
+        with pytest.raises(ValueError):
+            WindowedPartitioner(2, window_size=0)
+        with pytest.raises(ValueError):
+            WindowedPartitioner(2, balance_weight=-1)
+
+
+class TestQuality:
+    def test_larger_window_improves_replication(self, crawl):
+        """ADWISE's central claim: a bigger window buys better placement
+        at the same balance pressure."""
+        small = WindowedPartitioner(4, window_size=1).partition(crawl)
+        large = WindowedPartitioner(4, window_size=64).partition(crawl)
+        assert large.replication_factor() <= small.replication_factor()
+
+    def test_balance_pressure_works(self, crawl):
+        dg = WindowedPartitioner(4, window_size=16, balance_weight=8.0).partition(crawl)
+        assert dg.edge_balance() < 1.5
+
+    def test_zero_balance_weight_clusters_hard(self, crawl):
+        """Without the balance term everything piles onto one partition."""
+        dg = WindowedPartitioner(4, window_size=8, balance_weight=0.0).partition(crawl)
+        counts = dg.edge_counts()
+        assert counts.max() > 0.9 * crawl.num_edges
+
+    def test_breakdown_phases_present(self, crawl):
+        dg = WindowedPartitioner(4).partition(crawl)
+        names = [p.name for p in dg.breakdown.phases]
+        assert "Graph Reading" in names
+        assert "Graph Construction" in names
+
+    def test_analytics_run_on_window_partitions(self, crawl):
+        from repro.analytics import BFS, Engine, bfs_reference, default_source
+
+        src = default_source(crawl)
+        dg = WindowedPartitioner(4, window_size=16).partition(crawl)
+        res = Engine(dg).run(BFS(src))
+        assert np.array_equal(res.values, bfs_reference(crawl, src))

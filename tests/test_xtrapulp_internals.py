@@ -1,0 +1,105 @@
+"""White-box tests for the XtraPulp baseline's internals."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.xtrapulp import XtraPulp
+from repro.graph import CSRGraph, cycle_graph, erdos_renyi, grid_graph
+
+
+def make(k=2, **kw):
+    return XtraPulp(k, **kw)
+
+
+class TestInitialLabels:
+    def test_contiguous_blocks(self):
+        xp = make(k=3)
+        g = CSRGraph.empty(9)
+        labels = xp._initial_labels(g)
+        assert labels.tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_uneven(self):
+        xp = make(k=4)
+        labels = xp._initial_labels(CSRGraph.empty(10))
+        assert labels.max() == 3
+        counts = np.bincount(labels, minlength=4)
+        assert counts.max() - counts.min() <= 3
+
+
+class TestAdjacency:
+    def test_both_ways_doubles_edges(self):
+        g = CSRGraph.from_edges([0, 1], [1, 2], num_nodes=3)
+        u, v = XtraPulp._adjacency_both_ways(g)
+        assert u.size == 4
+        pairs = set(zip(u.tolist(), v.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+
+class TestLPPass:
+    def test_noop_when_no_gain(self):
+        # Perfectly partitioned two cliques: LP must not move anything.
+        src = [0, 1, 2, 3, 4, 5]
+        dst = [1, 2, 0, 4, 5, 3]
+        g = CSRGraph.from_edges(src, dst, num_nodes=6)
+        xp = make(k=2)
+        und = XtraPulp._adjacency_both_ways(g)
+        labels = np.array([0, 0, 0, 1, 1, 1], dtype=np.int64)
+        ones = np.ones(6, dtype=np.int64)
+        out = xp._lp_pass(g, und, labels, [(ones, 1.1)])
+        assert np.array_equal(out, labels)
+
+    def test_pulls_lone_vertex_home(self):
+        # Vertex 3 starts on partition 1 but all neighbors are on 0.
+        g = CSRGraph.from_edges([0, 1, 2], [3, 3, 3], num_nodes=6)
+        xp = make(k=2, vertex_imbalance=2.0)
+        und = XtraPulp._adjacency_both_ways(g)
+        labels = np.array([0, 0, 0, 1, 1, 1], dtype=np.int64)
+        ones = np.ones(6, dtype=np.int64)
+        out = xp._lp_pass(g, und, labels, [(ones, 2.0)])
+        assert out[3] == 0
+
+    def test_capacity_blocks_moves(self):
+        # Everything wants partition 0 but capacity forbids it.
+        g = cycle_graph(8).symmetrize()
+        xp = make(k=2, vertex_imbalance=1.0)  # zero slack
+        und = XtraPulp._adjacency_both_ways(g)
+        labels = (np.arange(8) // 4).astype(np.int64)
+        ones = np.ones(8, dtype=np.int64)
+        out = xp._lp_pass(g, und, labels, [(ones, 1.0)])
+        counts = np.bincount(out, minlength=2)
+        assert counts.max() <= 4  # capacity = 1.0 * 8 / 2
+
+    def test_empty_graph_passthrough(self):
+        g = CSRGraph.empty(0)
+        xp = make(k=2)
+        labels = np.zeros(0, dtype=np.int64)
+        out = xp._lp_pass(g, (np.empty(0, np.int64), np.empty(0, np.int64)),
+                          labels, [(np.zeros(0, np.int64), 1.1)])
+        assert out.size == 0
+
+
+class TestChargeAccounting:
+    def test_passes_charge_compute_everywhere(self):
+        g = erdos_renyi(60, 600, seed=30)
+        dg = make(k=3).partition(g)
+        lp = dg.breakdown.phase("Label Propagation")
+        assert lp.compute > 0
+        assert lp.collective > 0  # per-pass allreduce
+
+    def test_boundary_bytes_scale_with_cut(self):
+        # A grid (tiny cut after LP) vs a random graph (huge cut).
+        grid = grid_graph(16, 16).symmetrize()
+        rand = erdos_renyi(256, 2048, seed=31)
+        grid_bytes = make(k=4).partition(grid).breakdown.comm_bytes(
+            "Label Propagation"
+        )
+        rand_bytes = make(k=4).partition(rand).breakdown.comm_bytes(
+            "Label Propagation"
+        )
+        assert rand_bytes > grid_bytes
+
+    def test_refinement_phase_present(self):
+        g = erdos_renyi(40, 200, seed=32)
+        dg = make(k=2).partition(g)
+        names = [p.name for p in dg.breakdown.phases]
+        assert names == ["Graph Reading", "Label Propagation", "Refinement"]
