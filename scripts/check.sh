@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Full correctness gate: tier-1 suite, the dedicated fault/recovery
+# suite, and end-to-end CLI exit-code checks (a corrupted partition
+# directory must make `cusp validate` exit non-zero).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: unit + integration + property tests =="
+python -m pytest -x -q
+
+echo "== fault-injection and crash-recovery suite =="
+python -m pytest -x -q -m faults
+
+echo "== CLI exit-code checks =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+python -m repro generate er "$tmp/g.gr" --nodes 300 --degree 8 --seed 3 >/dev/null
+
+# Faulty run must recover, validate, and exit 0.
+python -m repro partition "$tmp/g.gr" -k 4 -p CVC \
+    --inject-faults "seed=42,send-fail=0.05,crash=1@2" \
+    --checkpoint-dir "$tmp/ckpt" --validate --save "$tmp/parts" >/dev/null
+
+# A clean saved directory validates.
+python -m repro validate "$tmp/parts" "$tmp/g.gr" >/dev/null
+
+# A corrupted master map must exit non-zero.
+python - "$tmp/parts" <<'EOF'
+import sys
+import numpy as np
+path = sys.argv[1] + "/masters.npy"
+m = np.load(path)
+m[:5] = (m[:5] + 1) % 4
+np.save(path, m)
+EOF
+if python -m repro validate "$tmp/parts" "$tmp/g.gr" >/dev/null 2>&1; then
+    echo "FAIL: validate accepted a corrupted partition directory" >&2
+    exit 1
+fi
+
+# A directory that cannot be loaded must exit non-zero too.
+mkdir -p "$tmp/bogus"
+echo '{ not json' > "$tmp/bogus/meta.json"
+if python -m repro validate "$tmp/bogus" >/dev/null 2>&1; then
+    echo "FAIL: validate accepted an unloadable directory" >&2
+    exit 1
+fi
+
+echo "all checks passed"

@@ -5,8 +5,11 @@ Subcommands:
 ``convert``     convert between graph formats (.gr / .el / .metis)
 ``generate``    write a synthetic graph to disk
 ``partition``   partition a graph file and report quality + timing
+                (``--inject-faults`` exercises crash recovery,
+                ``--validate`` runs the full invariant checker)
 ``experiment``  regenerate one of the paper's tables/figures
 ``info``        print a graph file's Table III properties
+``validate``    check a saved partition directory (exit 1 if invalid)
 """
 
 from __future__ import annotations
@@ -71,6 +74,27 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="render an ASCII phase-breakdown bar chart")
     p.add_argument("--trace-json", metavar="FILE",
                    help="write the phase breakdown as JSON to FILE")
+    p.add_argument(
+        "--validate", action="store_true",
+        help="run the full invariant checker on the result (exit 1 on failure)",
+    )
+    p.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help=(
+            "inject deterministic faults and recover from them; SPEC is "
+            "'@plan.json', inline JSON, or e.g. "
+            "'seed=42,send-fail=0.05,drop=0.01,crash=1@2,slow=3:0.5' "
+            "(crash=HOST@PHASEINDEX[:OPS])"
+        ),
+    )
+    p.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="durable per-phase checkpoints under DIR (in-memory otherwise)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=3,
+        help="retry budget per send and per phase replay (default 3)",
+    )
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", help="e.g. table3, fig3, fig7 (or 'all')")
@@ -95,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
 def _run_partitioner(graph, args):
     """Dispatch the ``partition`` subcommand's --policy string."""
     spec = args.policy.lower()
+    fault_extras = spec.startswith("window") or spec in ("xtrapulp", "multilevel")
+    if fault_extras and (args.inject_faults or args.checkpoint_dir):
+        raise SystemExit(
+            "--inject-faults/--checkpoint-dir only apply to CuSP policies, "
+            f"not to {args.policy!r}"
+        )
     if spec.startswith("window"):
         from .core import WindowedPartitioner
 
@@ -113,13 +143,39 @@ def _run_partitioner(graph, args):
         ml = MultilevelPartitioner(args.partitions)
         return ml.partition(graph), "multilevel baseline"
     policy = make_policy(args.policy, degree_threshold=args.degree_threshold)
-    cusp = CuSP(
-        args.partitions,
-        policy,
-        sync_rounds=args.sync_rounds,
-        buffer_size=args.buffer_size,
-    )
-    return cusp.partition(graph, output=args.output_format), policy.describe()
+    fault_plan = None
+    if args.inject_faults:
+        from .runtime.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_spec(args.inject_faults)
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"invalid --inject-faults spec: {exc}")
+    try:
+        cusp = CuSP(
+            args.partitions,
+            policy,
+            sync_rounds=args.sync_rounds,
+            buffer_size=args.buffer_size,
+            fault_plan=fault_plan,
+            checkpoint_dir=args.checkpoint_dir,
+            max_retries=args.max_retries,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    dg = cusp.partition(graph, output=args.output_format)
+    if cusp.last_fault_report is not None:
+        print(f"fault injection    : {cusp.last_fault_report.summary()}")
+        if dg.breakdown is not None and dg.breakdown.retry_bytes():
+            print(
+                f"recovery traffic   : "
+                f"{dg.breakdown.retry_bytes():.0f} retry bytes in "
+                f"{dg.breakdown.retry_messages():.0f} retransmissions"
+            )
+        replayed = [p.name for p in dg.breakdown.failed_phases()]
+        if replayed:
+            print(f"replayed phases    : {', '.join(replayed)}")
+    return dg, policy.describe()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -156,9 +212,23 @@ def _dispatch(argv: list[str] | None = None) -> int:
         print(f"wrote {graph} to {args.out}")
 
     elif args.command == "partition":
+        from .runtime.faults import FaultError
+
         graph = read_gr(args.graph)
-        dg, description = _run_partitioner(graph, args)
-        dg.validate(graph)
+        try:
+            dg, description = _run_partitioner(graph, args)
+        except FaultError as exc:
+            print(f"partitioning failed: {exc}", file=sys.stderr)
+            return 1
+        if args.validate:
+            from .core import check_partition
+
+            report = check_partition(dg, original=graph)
+            print(f"validation         : {report.summary()}")
+            if not report.ok:
+                return 1
+        else:
+            dg.validate(graph)
         q = measure_quality(dg, graph)
         print(f"partitioned {graph} with {description}")
         print(f"replication factor : {q.replication_factor:.3f}")
@@ -222,18 +292,22 @@ def _dispatch(argv: list[str] | None = None) -> int:
             print(f"results appended to {args.out}")
 
     elif args.command == "validate":
-        from .core import load_partitions
+        from .core import check_partition, load_partitions
 
-        dg = load_partitions(args.partition_dir)
-        reference = read_gr(args.graph) if args.graph else None
         try:
-            dg.validate(reference)
-        except AssertionError as exc:
-            print(f"INVALID: {exc}", file=sys.stderr)
+            dg = load_partitions(args.partition_dir)
+        except Exception as exc:
+            print(f"INVALID: cannot load {args.partition_dir}: {exc}",
+                  file=sys.stderr)
+            return 1
+        reference = read_gr(args.graph) if args.graph else None
+        report = check_partition(dg, original=reference)
+        if not report.ok:
+            print(f"INVALID: {report.summary()}", file=sys.stderr)
             return 1
         print(
-            f"OK: {dg} "
-            + ("(edge multiset matches the input graph)" if reference else "")
+            f"OK: {dg} — {report.summary()}"
+            + (" (edge multiset matches the input graph)" if reference else "")
         )
 
     elif args.command == "info":

@@ -14,7 +14,7 @@ from .edge_rules import (
     make_edge_rule,
 )
 from .framework import PHASE_NAMES, CuSP
-from .partition_io import load_partitions, save_partitions
+from .partition_io import PartitionCheckpoint, load_partitions, save_partitions
 from .window import WindowedPartitioner
 from .master_rules import (
     LDG,
@@ -29,9 +29,14 @@ from .master_rules import (
 from .partition import DistributedGraph, LocalPartition
 from .policies import PAPER_POLICIES, POLICY_TABLE, Policy, make_policy, policy_names
 from .prop import GraphProp
-from .reading import compute_read_ranges, read_bytes_for_range
+from .reading import (
+    compute_read_ranges,
+    read_bytes_for_range,
+    read_bytes_for_ranges,
+)
 from .state import PartitioningState, PartitionLoadState, VoidState
 from .streaming_rules import GreedyVertexCut, HDRFRule, ReplicationState
+from .validate import ValidationReport, check_csr, check_partition
 
 __all__ = [
     "CuSP",
@@ -74,4 +79,9 @@ __all__ = [
     "ReplicationState",
     "compute_read_ranges",
     "read_bytes_for_range",
+    "read_bytes_for_ranges",
+    "PartitionCheckpoint",
+    "ValidationReport",
+    "check_csr",
+    "check_partition",
 ]

@@ -24,7 +24,12 @@ from ..runtime.stats import PhaseStats
 from .policies import Policy
 from .prop import GraphProp
 
-__all__ = ["run_edge_assignment", "EdgeAssignment"]
+__all__ = [
+    "run_edge_assignment",
+    "EdgeAssignment",
+    "assignment_from_owners",
+    "host_edge_slice",
+]
 
 _EMPTY_MESSAGE_BYTES = 8
 _MIRROR_ENTRY_BYTES = 12  # node id + master partition
@@ -44,6 +49,51 @@ class EdgeAssignment:
         self.edges_to = np.zeros((num_hosts, num_hosts), dtype=np.int64)
         #: toReceive[j] = total edges host j expects (Algorithm 3 line 13).
         self.to_receive = np.zeros(num_hosts, dtype=np.int64)
+
+
+def host_edge_slice(
+    graph, start: int, stop: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """The (src, dst, weights) arrays a host reads for nodes [start, stop)."""
+    lo, hi = int(graph.indptr[start]), int(graph.indptr[stop])
+    dst = graph.indices[lo:hi]
+    src = np.repeat(
+        np.arange(start, stop, dtype=np.int64),
+        np.diff(graph.indptr[start : stop + 1]),
+    )
+    weights = graph.edge_data[lo:hi] if graph.is_weighted else None
+    return src, dst, weights
+
+
+def assignment_from_owners(
+    prop: GraphProp,
+    ranges: list[tuple[int, int]],
+    owners: list[np.ndarray],
+) -> EdgeAssignment:
+    """Rebuild the edge-assignment result from checkpointed owner arrays.
+
+    The per-host edge arrays are a pure function of the graph and the
+    read ranges, so only the owner decisions need to be persisted; this
+    reconstructs the same :class:`EdgeAssignment` the live phase
+    produced (used when replaying phases 4/5 from a checkpoint).
+    """
+    num_hosts = len(ranges)
+    result = EdgeAssignment(num_hosts)
+    for h, (start, stop) in enumerate(ranges):
+        src, dst, weights = host_edge_slice(prop.graph, start, stop)
+        owner = np.asarray(owners[h])
+        if owner.size != src.size:
+            raise ValueError(
+                f"host {h}: checkpointed {owner.size} owners for "
+                f"{src.size} edges"
+            )
+        result.owners[h] = owner
+        result.edges[h] = (src, dst, weights)
+        result.edges_to[h, :] = np.bincount(
+            owner, minlength=num_hosts
+        ).astype(np.int64)
+    result.to_receive[:] = result.edges_to.sum(axis=0)
+    return result
 
 
 def run_edge_assignment(
@@ -68,13 +118,7 @@ def run_edge_assignment(
             estate = rule.make_state(k, num_hosts)
 
     for h, (start, stop) in enumerate(ranges):
-        lo, hi = int(graph.indptr[start]), int(graph.indptr[stop])
-        dst = graph.indices[lo:hi]
-        src = np.repeat(
-            np.arange(start, stop, dtype=np.int64),
-            np.diff(graph.indptr[start : stop + 1]),
-        )
-        weights = graph.edge_data[lo:hi] if graph.is_weighted else None
+        src, dst, weights = host_edge_slice(graph, start, stop)
         estate_view = estate.host_view(h) if estate is not None else None
         owner = rule.owner_batch(
             prop, src, dst, masters[src], masters[dst], estate_view

@@ -10,6 +10,19 @@ The result is a :class:`~repro.core.partition.DistributedGraph` whose
 Figure 4.
 
 As in the paper, CuSP runs on as many hosts as desired partitions.
+
+Unlike the paper, the partitioner is *crash-recoverable*: attach a
+:class:`~repro.runtime.faults.FaultPlan` and the run survives transient
+send failures (retried with backoff by the communicator), message
+drops/duplication, slow hosts, and host crashes.  Every phase checkpoints
+its output (:class:`~repro.core.partition_io.PartitionCheckpoint`); when
+a host crashes, its read slice is handed to the least-loaded survivor —
+the *logical* phase schedule never changes — the aborted phase is
+replayed from the last checkpoint, and the survivor is charged the
+re-read of the dead host's graph slice plus all replayed work.  Because
+the schedule is preserved, the recovered partition is bit-identical to
+the fault-free one (masters and edge assignment alike), which
+:mod:`repro.core.validate` can prove after the fact.
 """
 
 from __future__ import annotations
@@ -23,13 +36,26 @@ from ..graph.csr import CSRGraph
 from ..graph.formats import read_gr
 from ..runtime.cluster import SimulatedCluster
 from ..runtime.cost_model import STAMPEDE2, CostModel
-from .assignment_phase import run_edge_assignment
+from ..runtime.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    HostCrashError,
+    RecoveryManager,
+    UnrecoverableClusterError,
+)
+from .assignment_phase import assignment_from_owners, run_edge_assignment
 from .construction_phase import run_allocation, run_construction
 from .masters_phase import run_master_assignment
 from .partition import DistributedGraph
+from .partition_io import PartitionCheckpoint
 from .policies import Policy, make_policy
 from .prop import GraphProp
-from .reading import compute_read_ranges, read_bytes_for_range
+from .reading import (
+    compute_read_ranges,
+    read_bytes_for_range,
+    read_bytes_for_ranges,
+)
 
 __all__ = ["CuSP", "PHASE_NAMES"]
 
@@ -67,6 +93,16 @@ class CuSP:
     node_balance_weight / edge_balance_weight:
         Importance of node vs edge counts when dividing the input among
         hosts for reading (§IV-B1's command-line knobs).
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan`; the run then
+        injects (and survives) the planned faults, and
+        :attr:`last_fault_report` describes what happened.
+    checkpoint_dir:
+        Directory for durable per-phase checkpoints (in-memory snapshots
+        when ``None``).
+    max_retries:
+        Retry budget, both per send (transient failures/drops) and per
+        phase (crash replays).
     """
 
     def __init__(
@@ -80,9 +116,14 @@ class CuSP:
         edge_balance_weight: float = 1.0,
         elide_master_communication: bool = True,
         host_speeds=None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
+        max_retries: int = 3,
     ):
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.num_partitions = num_partitions
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.cost_model = cost_model
@@ -95,6 +136,41 @@ class CuSP:
         self.elide_master_communication = elide_master_communication
         #: Optional per-host compute speed factors (straggler modeling).
         self.host_speeds = host_speeds
+        if fault_plan is not None:
+            fault_plan.validate()
+            for crash in fault_plan.crashes:
+                if crash.host >= num_partitions:
+                    raise ValueError(
+                        f"fault plan crashes host {crash.host}, but only "
+                        f"{num_partitions} hosts exist"
+                    )
+            for host in fault_plan.slow_hosts:
+                if not (0 <= int(host) < num_partitions):
+                    raise ValueError(
+                        f"fault plan slows host {host}, but only "
+                        f"{num_partitions} hosts exist"
+                    )
+        self.fault_plan = fault_plan
+        self.checkpoint_dir = checkpoint_dir
+        self.max_retries = max_retries
+        #: :class:`~repro.runtime.faults.FaultReport` of the most recent
+        #: :meth:`partition` call (None before the first call, or when no
+        #: fault plan is attached).
+        self.last_fault_report: FaultReport | None = None
+
+    def _effective_host_speeds(self):
+        """Merge the straggler knob with the fault plan's slow hosts."""
+        plan = self.fault_plan
+        if plan is None or not plan.slow_hosts:
+            return self.host_speeds
+        speeds = (
+            np.ones(self.num_partitions, dtype=np.float64)
+            if self.host_speeds is None
+            else np.asarray(self.host_speeds, dtype=np.float64).copy()
+        )
+        for host, factor in plan.slow_hosts.items():
+            speeds[int(host)] *= float(factor)
+        return speeds
 
     def partition(
         self, graph: CSRGraph | str | os.PathLike, output: str = "csr"
@@ -121,48 +197,144 @@ class CuSP:
             # for reading that file and is not charged to any phase.)
             graph = graph.transpose()
 
+        k = self.num_partitions
+        injector = (
+            FaultInjector(self.fault_plan) if self.fault_plan is not None else None
+        )
         cluster = SimulatedCluster(
-            self.num_partitions,
+            k,
             cost_model=self.cost_model,
             buffer_size=self.buffer_size,
-            host_speeds=self.host_speeds,
+            host_speeds=self._effective_host_speeds(),
+            injector=injector,
+            max_send_retries=self.max_retries,
         )
-        prop = GraphProp(graph, self.num_partitions)
+        recovery = RecoveryManager(k)
+        checkpoint = PartitionCheckpoint(
+            self.checkpoint_dir,
+            meta={
+                "policy": self.policy.name,
+                "num_partitions": k,
+                "num_nodes": graph.num_nodes,
+                "num_edges": graph.num_edges,
+            },
+        )
+        prop = GraphProp(graph, k)
+
+        def recoverable(name, body, charge_reread=True):
+            """Run one phase; on a host crash, reassign and replay.
+
+            The replay re-executes the phase from checkpointed inputs on
+            the surviving hosts.  ``charge_reread`` additionally bills
+            the survivor the disk re-read of every adopted slice (the
+            reading phase re-reads inside its own body, so it opts out).
+            """
+            attempt = 0
+            while True:
+                try:
+                    with cluster.phase(name, host_map=recovery.executors()) as ph:
+                        adopted = recovery.drain_rereads()
+                        if charge_reread:
+                            executors = recovery.executors()
+                            for slot in adopted:
+                                start, stop = ranges[slot]
+                                ph.add_disk(
+                                    int(executors[slot]),
+                                    read_bytes_for_range(graph, start, stop),
+                                )
+                        result = body(ph)
+                    return result
+                except HostCrashError as exc:
+                    attempt += 1
+                    if attempt > self.max_retries:
+                        raise UnrecoverableClusterError(
+                            f"phase {name!r} crashed {attempt} times; "
+                            f"retry budget ({self.max_retries}) exhausted"
+                        ) from exc
+                    recovery.on_crash(exc.host, name)
+                    logger.warning(
+                        "host %d crashed during %r; replaying from "
+                        "checkpoint (%d host(s) dead, attempt %d/%d)",
+                        exc.host, name, recovery.num_dead, attempt,
+                        self.max_retries,
+                    )
 
         # Phase 1: graph reading.
         ranges = compute_read_ranges(
             graph,
-            self.num_partitions,
+            k,
             node_weight=self.node_balance_weight,
             edge_weight=self.edge_balance_weight,
         )
-        with cluster.phase(PHASE_NAMES[0]) as ph:
-            for h, (start, stop) in enumerate(ranges):
-                ph.add_disk(h, read_bytes_for_range(graph, start, stop))
+
+        def phase_reading(ph):
+            for h, nbytes in enumerate(read_bytes_for_ranges(graph, ranges)):
+                ph.add_disk(h, nbytes)
+
+        recoverable(PHASE_NAMES[0], phase_reading, charge_reread=False)
+        ranges = [
+            (int(start), int(stop))
+            for start, stop in checkpoint.roundtrip(
+                "reading", ranges=np.asarray(ranges, dtype=np.int64)
+            )["ranges"]
+        ]
 
         # Phase 2: master assignment.
-        with cluster.phase(PHASE_NAMES[1]) as ph:
-            ma = run_master_assignment(
+        def phase_masters(ph):
+            return run_master_assignment(
                 ph, prop, self.policy, ranges,
                 sync_rounds=self.sync_rounds,
                 elide_master_communication=self.elide_master_communication,
             )
 
+        ma = recoverable(PHASE_NAMES[1], phase_masters)
+        masters = checkpoint.roundtrip("masters", masters=ma.masters)["masters"]
+
         # Phase 3: edge assignment.
-        with cluster.phase(PHASE_NAMES[2]) as ph:
-            assignment = run_edge_assignment(ph, prop, self.policy, ranges, ma.masters)
+        def phase_edges(ph):
+            return run_edge_assignment(ph, prop, self.policy, ranges, masters)
+
+        assignment = recoverable(PHASE_NAMES[2], phase_edges)
+        owner_blob = checkpoint.roundtrip(
+            "assignment",
+            **{f"owners_{h}": assignment.owners[h] for h in range(k)},
+        )
+        assignment = assignment_from_owners(
+            prop, ranges, [owner_blob[f"owners_{h}"] for h in range(k)]
+        )
 
         # Phase 4: graph allocation.  Partitioning state is reset so rule
         # re-evaluation during construction reproduces the same decisions.
-        with cluster.phase(PHASE_NAMES[3]) as ph:
+        def phase_alloc(ph):
             ma.state.reset()
-            proxies = run_allocation(ph, prop, assignment, ma.masters)
+            return run_allocation(ph, prop, assignment, masters)
+
+        proxies = recoverable(PHASE_NAMES[3], phase_alloc)
+        proxy_blob = checkpoint.roundtrip(
+            "allocation", **{f"proxies_{h}": proxies[h] for h in range(k)}
+        )
+        proxies = [proxy_blob[f"proxies_{h}"] for h in range(k)]
 
         # Phase 5: graph construction.
-        with cluster.phase(PHASE_NAMES[4]) as ph:
-            partitions = run_construction(
-                ph, prop, self.policy, assignment, ma.masters, proxies, output=output
+        def phase_construct(ph):
+            return run_construction(
+                ph, prop, self.policy, assignment, masters, proxies,
+                output=output,
             )
+
+        partitions = recoverable(PHASE_NAMES[4], phase_construct)
+
+        if injector is not None:
+            self.last_fault_report = FaultReport(
+                plan=self.fault_plan,
+                events=tuple(injector.events),
+                crash_log=tuple(recovery.crash_log),
+                replays=recovery.replays,
+            )
+            if injector.events:
+                logger.info("fault report: %s", self.last_fault_report.summary())
+        else:
+            self.last_fault_report = None
 
         breakdown = cluster.breakdown()
         logger.info(
@@ -173,7 +345,7 @@ class CuSP:
         )
         return DistributedGraph(
             partitions=partitions,
-            masters=ma.masters,
+            masters=masters,
             num_global_nodes=original.num_nodes,
             num_global_edges=original.num_edges,
             policy_name=self.policy.name,

@@ -41,8 +41,10 @@ class LocalPartition:
     local_graph: CSRGraph
     #: Optional CSC (transposed) view, built by in-memory transpose.
     local_csc: CSRGraph | None = None
-    #: Dense global-id -> local-id map (-1 where the node has no proxy here).
-    _lookup: np.ndarray = field(default=None, repr=False)
+    #: Dense global-id -> local-id map (-1 where the node has no proxy
+    #: here).  Built by the construction phase / partition loader; call
+    #: :meth:`build_lookup` for hand-assembled partitions.
+    _lookup: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def num_proxies(self) -> int:
@@ -67,12 +69,28 @@ class LocalPartition:
     def mirror_global_ids(self) -> np.ndarray:
         return self.global_ids[self.num_masters :]
 
+    def _require_lookup(self) -> np.ndarray:
+        if self._lookup is None:
+            raise RuntimeError(
+                f"LocalPartition(host={self.host}) has no global->local lookup "
+                "table: it was constructed by hand.  Call build_lookup("
+                "num_global_nodes) first, or obtain partitions from "
+                "CuSP.partition / load_partitions, which build it."
+            )
+        return self._lookup
+
+    def build_lookup(self, num_global_nodes: int) -> None:
+        """Build the dense global-id -> local-id map for this partition."""
+        lookup = np.full(int(num_global_nodes), -1, dtype=np.int64)
+        lookup[self.global_ids] = np.arange(self.global_ids.size, dtype=np.int64)
+        self._lookup = lookup
+
     def to_local(self, global_ids: np.ndarray) -> np.ndarray:
         """Local ids of the given global ids (-1 where absent)."""
-        return self._lookup[np.asarray(global_ids)]
+        return self._require_lookup()[np.asarray(global_ids)]
 
     def has_proxy(self, global_id: int) -> bool:
-        return bool(self._lookup[global_id] >= 0)
+        return bool(self._require_lookup()[global_id] >= 0)
 
     def global_edges(self) -> tuple[np.ndarray, np.ndarray]:
         """This partition's edges in global ids."""

@@ -10,6 +10,15 @@ to feed XtraPulp partitions into D-Galois).  The layout is one directory:
 <dir>/part<i>.gr           partition i's local graph, binary CSR
 <dir>/part<i>.npz          partition i's proxy table (global ids, counts)
 ```
+
+The same directory-of-numpy-blobs layout backs
+:class:`PartitionCheckpoint`, the per-phase checkpoint store the
+crash-recovery machinery replays from:
+
+```
+<dir>/checkpoint.json      run identity + completed stages
+<dir>/<stage>.npz          one stage's output arrays
+```
 """
 
 from __future__ import annotations
@@ -23,9 +32,10 @@ import numpy as np
 from ..graph.formats import read_gr, write_gr
 from .partition import DistributedGraph, LocalPartition
 
-__all__ = ["save_partitions", "load_partitions"]
+__all__ = ["save_partitions", "load_partitions", "PartitionCheckpoint"]
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_VERSION = 1
 
 
 def save_partitions(dg: DistributedGraph, directory: str | os.PathLike) -> None:
@@ -98,3 +108,96 @@ def load_partitions(directory: str | os.PathLike) -> DistributedGraph:
         invariant=str(meta["invariant"]),
         breakdown=None,
     )
+
+
+class PartitionCheckpoint:
+    """Per-phase checkpoint store for crash-recoverable partitioning.
+
+    Each completed phase saves its output arrays under a *stage* key;
+    a crash replay reloads the inputs it needs from the last completed
+    stage.  With a ``directory`` the store is durable on disk (same
+    numpy-blob layout family as :func:`save_partitions`) and every load
+    round-trips through the files; without one it degrades to an
+    in-memory snapshot store (still copy-isolated, so a replay can never
+    observe mutations made after the save).
+
+    A durable checkpoint directory records the run's identity (policy,
+    partition count, graph size).  Re-opening a directory written by a
+    *different* run discards the stale contents rather than replaying
+    someone else's state.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike | None = None, meta: dict | None = None
+    ):
+        self.meta = {"checkpoint_version": _CHECKPOINT_VERSION, **(meta or {})}
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, dict[str, np.ndarray]] = {}
+        self._completed: list[str] = []
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._adopt_or_reset_directory()
+
+    def _manifest_path(self) -> Path:
+        return self.directory / "checkpoint.json"
+
+    def _adopt_or_reset_directory(self) -> None:
+        path = self._manifest_path()
+        if not path.exists():
+            self._write_manifest()
+            return
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            doc = None
+        if doc is not None and doc.get("meta") == self.meta:
+            stages = [s for s in doc.get("completed", ())
+                      if (self.directory / f"{s}.npz").exists()]
+            self._completed = stages
+            return
+        # Stale or foreign checkpoint: start fresh.
+        for stale in self.directory.glob("*.npz"):
+            stale.unlink()
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        self._manifest_path().write_text(
+            json.dumps({"meta": self.meta, "completed": self._completed}, indent=2)
+        )
+
+    def save(self, stage: str, **arrays: np.ndarray) -> None:
+        """Record ``stage`` as completed with its output ``arrays``."""
+        arrays = {k: np.asarray(v) for k, v in arrays.items()}
+        if self.directory is not None:
+            np.savez(self.directory / f"{stage}.npz", **arrays)
+        else:
+            self._memory[stage] = {k: v.copy() for k, v in arrays.items()}
+        if stage not in self._completed:
+            self._completed.append(stage)
+        if self.directory is not None:
+            self._write_manifest()
+
+    def load(self, stage: str) -> dict[str, np.ndarray]:
+        """The arrays saved for ``stage`` (copies; mutation-safe)."""
+        if stage not in self._completed:
+            raise KeyError(f"stage {stage!r} was never checkpointed")
+        if self.directory is not None:
+            with np.load(self.directory / f"{stage}.npz") as blob:
+                return {k: blob[k].copy() for k in blob.files}
+        return {k: v.copy() for k, v in self._memory[stage].items()}
+
+    def roundtrip(self, stage: str, **arrays: np.ndarray) -> dict[str, np.ndarray]:
+        """Save ``stage`` and hand back the checkpointed copies.
+
+        The partitioner feeds every phase from the round-tripped arrays,
+        so a crash replay reads exactly what recovery would read — the
+        checkpoint layer is exercised on every run, not only on failure.
+        """
+        self.save(stage, **arrays)
+        return self.load(stage)
+
+    def has(self, stage: str) -> bool:
+        return stage in self._completed
+
+    def completed(self) -> list[str]:
+        return list(self._completed)

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 
-__all__ = ["compute_read_ranges", "read_bytes_for_range"]
+__all__ = ["compute_read_ranges", "read_bytes_for_range", "read_bytes_for_ranges"]
 
 
 def compute_read_ranges(
@@ -68,3 +68,14 @@ def read_bytes_for_range(graph: CSRGraph, start: int, stop: int) -> int:
     edges = int(graph.indptr[stop] - graph.indptr[start]) if stop > start else 0
     per_edge = 16 if graph.is_weighted else 8
     return nodes * 8 + edges * per_edge
+
+
+def read_bytes_for_ranges(
+    graph: CSRGraph, ranges: list[tuple[int, int]]
+) -> list[int]:
+    """Per-host disk bytes for a full list of read ranges.
+
+    Also used by crash recovery: when a host dies, its slice must be
+    re-read from disk by whichever survivor adopts it.
+    """
+    return [read_bytes_for_range(graph, start, stop) for start, stop in ranges]

@@ -1,8 +1,20 @@
-"""Simulated distributed runtime: cluster, message passing, cost model."""
+"""Simulated distributed runtime: cluster, message passing, cost model,
+and deterministic fault injection."""
 
 from .cluster import SimulatedCluster
 from .comm import Communicator, payload_nbytes
 from .cost_model import REPRO_CALIBRATED, SLOW_NETWORK, STAMPEDE2, CostModel
+from .faults import (
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    HostCrash,
+    HostCrashError,
+    RecoveryManager,
+    SendRetriesExhausted,
+    UnrecoverableClusterError,
+)
 from .stats import PhaseReport, PhaseStats, TimeBreakdown
 from .memory import (
     MemoryBudgetExceeded,
@@ -23,6 +35,15 @@ __all__ = [
     "PhaseReport",
     "PhaseStats",
     "TimeBreakdown",
+    "FaultPlan",
+    "HostCrash",
+    "FaultInjector",
+    "FaultReport",
+    "RecoveryManager",
+    "FaultError",
+    "HostCrashError",
+    "SendRetriesExhausted",
+    "UnrecoverableClusterError",
     "render_breakdown",
     "render_comparison",
     "breakdown_to_json",

@@ -16,6 +16,14 @@ Usage::
         ph.comm.send(src, dst, payload)
         ...
     breakdown = cluster.breakdown()
+
+An optional :class:`~repro.runtime.faults.FaultInjector` threads seeded
+faults through every phase: sends may fail transiently (retried and
+charged by the communicator) and hosts may crash mid-phase or at the
+phase boundary, in which case the phase raises
+:class:`~repro.runtime.faults.HostCrashError` with its stats marked
+``failed``.  A phase body that raises for *any* reason is likewise marked
+failed, so aborted phases never silently pollute :meth:`total_time`.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from contextlib import contextmanager
 
 from .comm import Communicator
 from .cost_model import STAMPEDE2, CostModel
+from .faults import FaultInjector
 from .stats import PhaseStats, TimeBreakdown
 
 __all__ = ["SimulatedCluster"]
@@ -38,17 +47,22 @@ class SimulatedCluster:
         cost_model: CostModel = STAMPEDE2,
         buffer_size: int = 8 << 20,
         host_speeds=None,
+        injector: FaultInjector | None = None,
+        max_send_retries: int = 5,
     ):
         """``host_speeds`` optionally scales each host's compute rate (1.0
         = nominal; 0.5 = half speed).  Stampede2 is homogeneous, but a
         straggler ablation needs one slow host — and bulk-synchronous
-        phases wait for it."""
+        phases wait for it.  ``injector`` attaches a seeded fault plan;
+        ``max_send_retries`` bounds per-send retransmission attempts."""
         if num_hosts < 1:
             raise ValueError("num_hosts must be >= 1")
         cost_model.validate()
         self.num_hosts = num_hosts
         self.cost_model = cost_model
         self.buffer_size = buffer_size
+        self.injector = injector
+        self.max_send_retries = max_send_retries
         if host_speeds is None:
             self.host_speeds = None
         else:
@@ -61,21 +75,39 @@ class SimulatedCluster:
         self._phases: list[PhaseStats] = []
 
     @contextmanager
-    def phase(self, name: str):
+    def phase(self, name: str, host_map=None):
         """Open a named bulk-synchronous phase.
 
         Phases are recorded in execution order; re-entering a name starts
-        a new record (names in a breakdown are expected to be unique per
-        partitioning run).
+        a new record (a crash-recovery replay of a phase produces a fresh
+        record after the aborted one, which is marked ``failed``).
+        ``host_map`` optionally maps each logical slot to the physical
+        host executing it (crash recovery).
         """
+        if self.injector is not None:
+            self.injector.begin_phase(name)
         stats = PhaseStats(
             name=name,
             num_hosts=self.num_hosts,
-            comm=Communicator(self.num_hosts, buffer_size=self.buffer_size),
+            comm=Communicator(
+                self.num_hosts,
+                buffer_size=self.buffer_size,
+                injector=self.injector,
+                max_retries=self.max_send_retries,
+            ),
             host_speeds=self.host_speeds,
+            host_map=host_map,
         )
         self._phases.append(stats)
-        yield stats
+        try:
+            yield stats
+            # A host planned to die at this phase's boundary takes the
+            # phase's uncommitted output with it: the phase is aborted.
+            if self.injector is not None:
+                self.injector.phase_boundary()
+        except BaseException:
+            stats.failed = True
+            raise
 
     def hosts(self) -> range:
         return range(self.num_hosts)
@@ -87,6 +119,7 @@ class SimulatedCluster:
         )
 
     def total_time(self) -> float:
+        """Total simulated time of all *completed* phases."""
         return self.breakdown().total
 
     def reset(self) -> None:

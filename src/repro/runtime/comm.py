@@ -12,6 +12,14 @@ costs ``ceil(nbytes / buffer_size)`` messages; with ``buffer_size == 0``
 each *logical* message (e.g. one node's serialized edge bundle) is sent
 immediately and costs one network message — which is exactly the 0 MB
 configuration of Figure 7.
+
+When a :class:`~repro.runtime.faults.FaultInjector` is attached, sends
+run over a *reliable transport on a lossy fabric*: transient failures,
+in-flight drops and duplicated deliveries never corrupt or lose the
+payload (delivery stays exactly-once), but every retransmission is
+charged to dedicated retry counters — extra bytes, extra messages, and
+exponential-backoff stalls — so recovery overhead is visible in the
+simulated breakdown.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from collections import defaultdict, deque
 from typing import Any, Iterable
 
 import numpy as np
+
+from .faults import FaultInjector, SendRetriesExhausted
 
 __all__ = ["Communicator", "payload_nbytes"]
 
@@ -55,15 +65,32 @@ class Communicator:
     (hosts must not mutate received arrays they do not own).
     """
 
-    def __init__(self, num_hosts: int, buffer_size: int = 8 << 20):
+    def __init__(
+        self,
+        num_hosts: int,
+        buffer_size: int = 8 << 20,
+        injector: FaultInjector | None = None,
+        max_retries: int = 5,
+    ):
         if num_hosts < 1:
             raise ValueError("num_hosts must be >= 1")
         if buffer_size < 0:
             raise ValueError("buffer_size must be >= 0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.num_hosts = num_hosts
         self.buffer_size = buffer_size
+        self.injector = injector
+        self.max_retries = max_retries
         self.sent_bytes = np.zeros((num_hosts, num_hosts), dtype=np.float64)
         self.sent_messages = np.zeros((num_hosts, num_hosts), dtype=np.float64)
+        # Retransmissions caused by injected faults: charged on top of the
+        # first-attempt accounting so recovery cost shows up per phase.
+        self.retry_bytes = np.zeros((num_hosts, num_hosts), dtype=np.float64)
+        self.retry_messages = np.zeros((num_hosts, num_hosts), dtype=np.float64)
+        #: Per-source exponential-backoff units (sum of 2**attempt over
+        #: failed attempts); the cost model converts them to stall time.
+        self.backoff_units = np.zeros(num_hosts, dtype=np.float64)
         self.collective_events: list[tuple[str, float]] = []
         self.barriers = 0
         self._queues: dict[tuple[int, str], deque] = defaultdict(deque)
@@ -102,6 +129,8 @@ class Communicator:
         self._check_host(src)
         self._check_host(dst)
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        if src != dst and self.injector is not None:
+            self._run_faulty_transport(src, dst, size)
         if src != dst:
             self.sent_bytes[src, dst] += size
             if coalesce:
@@ -112,6 +141,42 @@ class Communicator:
                     size, logical_messages
                 )
         self._queues[(dst, tag)].append((src, payload))
+
+    def _run_faulty_transport(self, src: int, dst: int, size: int) -> None:
+        """Subject one remote send to the attached fault injector.
+
+        May raise :class:`~repro.runtime.faults.HostCrashError` (a
+        mid-phase crash triggered by this operation) or
+        :class:`~repro.runtime.faults.SendRetriesExhausted`.  Charges
+        every wasted attempt to the retry counters.
+        """
+        self.injector.tick()
+        attempt = 0
+        # Sender-side NACKs: retry with exponential backoff.
+        while self.injector.transient_send_failure(src, dst):
+            self._charge_retry(src, dst, size, attempt)
+            attempt += 1
+            if attempt > self.max_retries:
+                raise SendRetriesExhausted(
+                    f"send {src}->{dst} failed after {self.max_retries} retries"
+                )
+        # In-flight drops: ack timeout, then retransmit (which may drop too).
+        while self.injector.dropped(src, dst):
+            self._charge_retry(src, dst, size, attempt)
+            attempt += 1
+            if attempt > self.max_retries:
+                raise SendRetriesExhausted(
+                    f"send {src}->{dst} dropped {self.max_retries} times"
+                )
+        # Duplicated delivery: the receiver dedups, the wire paid twice.
+        if self.injector.duplicated(src, dst):
+            self.retry_bytes[src, dst] += size
+            self.retry_messages[src, dst] += 1
+
+    def _charge_retry(self, src: int, dst: int, size: int, attempt: int) -> None:
+        self.retry_bytes[src, dst] += size
+        self.retry_messages[src, dst] += 1
+        self.backoff_units[src] += 2.0 ** attempt
 
     def _stream_messages(self) -> np.ndarray:
         """Network messages implied by the coalesced streams."""
@@ -187,32 +252,41 @@ class Communicator:
     # Accounting queries
     # ------------------------------------------------------------------
     def total_bytes(self) -> float:
-        """All bytes sent between distinct hosts."""
-        return float(self.sent_bytes.sum())
+        """All bytes sent between distinct hosts, retransmissions included."""
+        return float(self.sent_bytes.sum() + self.retry_bytes.sum())
 
     def total_messages(self) -> float:
-        return float(self.sent_messages.sum() + self._stream_messages().sum())
+        return float(
+            self.sent_messages.sum()
+            + self._stream_messages().sum()
+            + self.retry_messages.sum()
+        )
+
+    def total_retry_bytes(self) -> float:
+        """Bytes spent on fault-induced retransmissions only."""
+        return float(self.retry_bytes.sum())
+
+    def total_retry_messages(self) -> float:
+        return float(self.retry_messages.sum())
 
     def host_sent(self, host: int) -> float:
-        return float(self.sent_bytes[host, :].sum())
+        return float(self.sent_bytes[host, :].sum() + self.retry_bytes[host, :].sum())
 
     def host_received(self, host: int) -> float:
-        return float(self.sent_bytes[:, host].sum())
+        return float(self.sent_bytes[:, host].sum() + self.retry_bytes[:, host].sum())
 
     def host_messages(self, host: int) -> float:
         """Messages originated by ``host``."""
         return float(
             self.sent_messages[host, :].sum()
             + self._stream_messages()[host, :].sum()
+            + self.retry_messages[host, :].sum()
         )
 
     def partners(self, host: int) -> int:
         """Number of distinct peers ``host`` exchanged data with."""
-        out = np.count_nonzero(self.sent_bytes[host, :])
-        inc = np.count_nonzero(self.sent_bytes[:, host])
         mask = (self.sent_bytes[host, :] > 0) | (self.sent_bytes[:, host] > 0)
         mask[host] = False
-        del out, inc
         return int(mask.sum())
 
     def _check_host(self, h: int) -> None:

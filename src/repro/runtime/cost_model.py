@@ -65,6 +65,9 @@ class CostModel:
     #: Per-entry cost factor applied to allreduce payloads (software
     #: reduction), units per byte.
     reduce_units_per_byte: float = 0.25
+    #: Base exponential-backoff stall charged per failed send attempt,
+    #: seconds per backoff unit (a send's n-th retry waits 2**n units).
+    retry_backoff: float = 100e-6
 
     def validate(self) -> None:
         for name in (
@@ -77,6 +80,8 @@ class CostModel:
                 raise ValueError(f"{name} must be positive")
         if self.net_latency < 0 or self.barrier_latency < 0:
             raise ValueError("latencies must be non-negative")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
 
     # ------------------------------------------------------------------
     # Elementary time conversions
@@ -158,7 +163,8 @@ SLOW_NETWORK = CostModel(net_bandwidth=1.2e9, net_latency=300e-6)
 #: makes graph reading the dominant phase for communication-free policies
 #: exactly as in the paper's Figure 4.
 REPRO_CALIBRATED = CostModel(
-    net_latency=2e-6, barrier_latency=5e-7, disk_read_bw=4e8
+    net_latency=2e-6, barrier_latency=5e-7, disk_read_bw=4e8,
+    retry_backoff=5e-6,
 )
 
 #: Transport presets (paper §IV-D1: the communication thread can use MPI

@@ -1,0 +1,431 @@
+"""Deterministic fault injection for the simulated cluster.
+
+CuSP's five phases assume a fault-free bulk-synchronous cluster; a
+production streaming partitioner cannot.  This module provides the fault
+model the recovery machinery in :mod:`repro.core.framework` is tested
+against:
+
+* **transient send failures** — a point-to-point send is NACKed at the
+  sender and must be retried (with exponential backoff);
+* **message drops** — a message is lost in flight and retransmitted
+  after an ack timeout;
+* **message duplication** — the network delivers a message twice; the
+  receiver deduplicates by sequence number, but the wire carried it;
+* **host crashes** — a host dies at a phase boundary (its phase output
+  is never committed) or mid-phase (after a given number of accounting
+  operations), and the run must replay from the last checkpoint;
+* **slow hosts** — per-host compute-speed factors, generalizing the
+  ``host_speeds`` straggler knob.
+
+Everything is driven by a single seeded :class:`numpy.random.Generator`
+inside :class:`FaultInjector`, so a given (:class:`FaultPlan`, seed)
+produces the *identical* fault sequence on every run — which is what
+makes the recovery guarantee testable: a faulty run must converge to the
+same partition as the fault-free run.
+
+Functional payloads are never corrupted: retries, retransmissions and
+duplicates are charged to the byte/message accounting (and therefore to
+the simulated breakdown) while delivery stays exactly-once, mirroring a
+reliable transport over a lossy fabric.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "FaultPlan",
+    "HostCrash",
+    "FaultInjector",
+    "RecoveryManager",
+    "FaultReport",
+    "FaultError",
+    "HostCrashError",
+    "SendRetriesExhausted",
+    "UnrecoverableClusterError",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for injected-fault failures."""
+
+
+class HostCrashError(FaultError):
+    """A simulated host died; the current phase must be replayed."""
+
+    def __init__(self, host: int, phase: str | None):
+        super().__init__(f"host {host} crashed during phase {phase!r}")
+        self.host = int(host)
+        self.phase = phase
+
+
+class SendRetriesExhausted(FaultError):
+    """A point-to-point send kept failing past the retry budget."""
+
+
+class UnrecoverableClusterError(FaultError):
+    """Recovery is impossible (no survivors, or retry budget exhausted)."""
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """One planned host crash.
+
+    ``phase`` is a phase name (e.g. ``"Edge Assignment"``) or an index
+    into the run's phase order (0 = first phase opened).  ``op_count``
+    selects the crash point: ``None`` crashes at the phase *boundary*
+    (after the phase's work, before its output is committed); a positive
+    integer crashes mid-phase, once that many accounting operations
+    (sends, compute/disk charges) have been recorded.  A mid-phase crash
+    whose phase finishes with fewer operations fires at that phase's
+    boundary instead — a planned crash always happens.
+    """
+
+    host: int
+    phase: str | int
+    op_count: int | None = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seed-deterministic description of injected faults."""
+
+    seed: int = 0
+    #: Probability that one send attempt is NACKed at the sender.
+    send_failure_rate: float = 0.0
+    #: Probability that a sent message is lost in flight (retransmitted).
+    drop_rate: float = 0.0
+    #: Probability that a delivered message arrives twice on the wire.
+    duplicate_rate: float = 0.0
+    crashes: tuple[HostCrash, ...] = ()
+    #: Per-host compute-speed factors (host -> factor, 0 < factor <= 1
+    #: slows the host down; factors multiply any ``host_speeds`` setting).
+    slow_hosts: Mapping[int, float] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        for name in ("send_failure_rate", "drop_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate < 1.0):
+                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        for crash in self.crashes:
+            if crash.host < 0:
+                raise ValueError(f"crash host must be >= 0, got {crash.host}")
+            if crash.op_count is not None and crash.op_count < 1:
+                raise ValueError("crash op_count must be >= 1 or None")
+            if isinstance(crash.phase, int) and crash.phase < 0:
+                raise ValueError("crash phase index must be >= 0")
+        for host, factor in self.slow_hosts.items():
+            if int(host) < 0 or not float(factor) > 0:
+                raise ValueError("slow_hosts needs host >= 0 and factor > 0")
+
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.send_failure_rate == 0.0
+            and self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and not self.crashes
+            and not self.slow_hosts
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Parsing (CLI --inject-faults)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a plan from a CLI spec.
+
+        Three forms are accepted:
+
+        * ``@plan.json`` — read a JSON document from the named file;
+        * ``{...}`` — an inline JSON document with the field names of
+          this class (``crashes`` is a list of ``{"host", "phase",
+          "op_count"}`` objects, ``slow_hosts`` maps host -> factor);
+        * a compact ``key=value`` list:
+          ``seed=42,send-fail=0.05,drop=0.01,dup=0.01,crash=1@2,``
+          ``crash=0@3:25,slow=3:0.5`` where ``crash=HOST@PHASE[:OPS]``
+          uses a phase index and ``slow=HOST:FACTOR``.
+        """
+        spec = spec.strip()
+        if spec.startswith("@"):
+            with open(spec[1:]) as f:
+                return cls.from_json(f.read())
+        if spec.startswith("{"):
+            return cls.from_json(spec)
+        return cls._from_compact(spec)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        if not isinstance(doc, dict):
+            raise ValueError("fault plan JSON must be an object")
+        crashes = tuple(
+            HostCrash(
+                host=int(c["host"]),
+                phase=c["phase"] if isinstance(c["phase"], str) else int(c["phase"]),
+                op_count=None if c.get("op_count") is None else int(c["op_count"]),
+            )
+            for c in doc.get("crashes", ())
+        )
+        slow = {int(h): float(f) for h, f in doc.get("slow_hosts", {}).items()}
+        plan = cls(
+            seed=int(doc.get("seed", 0)),
+            send_failure_rate=float(doc.get("send_failure_rate", 0.0)),
+            drop_rate=float(doc.get("drop_rate", 0.0)),
+            duplicate_rate=float(doc.get("duplicate_rate", 0.0)),
+            crashes=crashes,
+            slow_hosts=slow,
+        )
+        plan.validate()
+        return plan
+
+    @classmethod
+    def _from_compact(cls, spec: str) -> "FaultPlan":
+        kwargs: dict = {"crashes": [], "slow_hosts": {}}
+        aliases = {
+            "send-fail": "send_failure_rate",
+            "send_fail": "send_failure_rate",
+            "send_failure_rate": "send_failure_rate",
+            "drop": "drop_rate",
+            "drop_rate": "drop_rate",
+            "dup": "duplicate_rate",
+            "duplicate_rate": "duplicate_rate",
+        }
+        for item in filter(None, (part.strip() for part in spec.split(","))):
+            if "=" not in item:
+                raise ValueError(f"expected key=value in fault spec, got {item!r}")
+            key, _, value = item.partition("=")
+            key = key.strip().lower()
+            if key == "seed":
+                kwargs["seed"] = int(value)
+            elif key in aliases:
+                kwargs[aliases[key]] = float(value)
+            elif key == "crash":
+                host_part, _, phase_part = value.partition("@")
+                if not phase_part:
+                    raise ValueError(f"crash spec needs HOST@PHASE, got {value!r}")
+                phase_str, _, ops = phase_part.partition(":")
+                kwargs["crashes"].append(
+                    HostCrash(
+                        host=int(host_part),
+                        phase=int(phase_str),
+                        op_count=int(ops) if ops else None,
+                    )
+                )
+            elif key == "slow":
+                host_part, _, factor = value.partition(":")
+                if not factor:
+                    raise ValueError(f"slow spec needs HOST:FACTOR, got {value!r}")
+                kwargs["slow_hosts"][int(host_part)] = float(factor)
+            else:
+                raise ValueError(f"unknown fault spec key {key!r}")
+        kwargs["crashes"] = tuple(kwargs["crashes"])
+        plan = cls(**kwargs)
+        plan.validate()
+        return plan
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.send_failure_rate:
+            parts.append(f"send-fail={self.send_failure_rate:g}")
+        if self.drop_rate:
+            parts.append(f"drop={self.drop_rate:g}")
+        if self.duplicate_rate:
+            parts.append(f"dup={self.duplicate_rate:g}")
+        for c in self.crashes:
+            where = f"{c.phase}" + (f":{c.op_count}" if c.op_count else "")
+            parts.append(f"crash={c.host}@{where}")
+        for h, f in sorted(self.slow_hosts.items()):
+            parts.append(f"slow={h}:{f:g}")
+        return ",".join(parts)
+
+
+class FaultInjector:
+    """Stateful executor of a :class:`FaultPlan`.
+
+    One injector is shared by a :class:`~repro.runtime.cluster.
+    SimulatedCluster` and all of its per-phase communicators.  Every
+    random decision comes from one seeded generator, and every injected
+    fault is appended to :attr:`events`, so two runs with the same plan
+    inject byte-identical fault sequences (the simulation itself is
+    single-threaded and deterministic).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        plan.validate()
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._fired: set[int] = set()
+        self._phase: str | None = None
+        self._phase_order: list[str] = []
+        self._ops = 0
+        #: Chronological log of injected faults:
+        #: ("send-failure" | "drop" | "duplicate", phase, src, dst) and
+        #: ("crash", phase, host).
+        self.events: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Phase lifecycle (driven by SimulatedCluster)
+    # ------------------------------------------------------------------
+    def begin_phase(self, name: str) -> None:
+        if name not in self._phase_order:
+            self._phase_order.append(name)
+        self._phase = name
+        self._ops = 0
+
+    def tick(self) -> None:
+        """Record one accounting operation; may fire a mid-phase crash."""
+        if self._phase is None:
+            return
+        self._ops += 1
+        self._fire_crashes(boundary=False)
+
+    def phase_boundary(self) -> None:
+        """Fire any planned crash at the current phase's boundary."""
+        if self._phase is None:
+            return
+        self._fire_crashes(boundary=True)
+
+    def _matches_phase(self, spec_phase: str | int) -> bool:
+        if isinstance(spec_phase, int):
+            return self._phase_order.index(self._phase) == spec_phase
+        return spec_phase == self._phase
+
+    def _fire_crashes(self, boundary: bool) -> None:
+        for i, crash in enumerate(self.plan.crashes):
+            if i in self._fired or not self._matches_phase(crash.phase):
+                continue
+            # Mid-phase crashes fire once their op count is reached; the
+            # boundary is a catch-all for any crash still pending on this
+            # phase (op_count larger than the phase's actual op total).
+            if not boundary and (
+                crash.op_count is None or self._ops < crash.op_count
+            ):
+                continue
+            self._fired.add(i)
+            self.events.append(("crash", self._phase, crash.host))
+            raise HostCrashError(crash.host, self._phase)
+
+    # ------------------------------------------------------------------
+    # Message-level faults (driven by Communicator.send)
+    # ------------------------------------------------------------------
+    def _draw(self, kind: str, rate: float, src: int, dst: int) -> bool:
+        if rate <= 0.0:
+            return False
+        if self._rng.random() >= rate:
+            return False
+        self.events.append((kind, self._phase, src, dst))
+        return True
+
+    def transient_send_failure(self, src: int, dst: int) -> bool:
+        return self._draw("send-failure", self.plan.send_failure_rate, src, dst)
+
+    def dropped(self, src: int, dst: int) -> bool:
+        return self._draw("drop", self.plan.drop_rate, src, dst)
+
+    def duplicated(self, src: int, dst: int) -> bool:
+        return self._draw("duplicate", self.plan.duplicate_rate, src, dst)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event[0]] = counts.get(event[0], 0) + 1
+        return counts
+
+
+class RecoveryManager:
+    """Tracks live hosts and reassigns a dead host's work to survivors.
+
+    Logical hosts (the k partition slots, each with its
+    ``compute_read_ranges`` slice) are distinct from the physical hosts
+    executing them.  When a physical host crashes, every logical slot it
+    was executing is handed to the least-loaded survivor, which must
+    re-read the slot's graph slice from disk before replaying — the
+    logical schedule itself never changes, which is what makes recovery
+    produce a partition bit-identical to the fault-free run.
+    """
+
+    def __init__(self, num_hosts: int):
+        if num_hosts < 1:
+            raise ValueError("num_hosts must be >= 1")
+        self.num_hosts = num_hosts
+        self.alive = np.ones(num_hosts, dtype=bool)
+        #: executors[slot] = physical host currently executing the slot.
+        self.executors_map = np.arange(num_hosts, dtype=np.int64)
+        self.crash_log: list[tuple[str | None, int]] = []
+        self.replays = 0
+        self._pending_reread: list[int] = []
+
+    def executors(self) -> np.ndarray:
+        """A snapshot of the logical-slot -> physical-host map."""
+        return self.executors_map.copy()
+
+    def on_crash(self, host: int, phase: str | None) -> None:
+        """Record a crash and redistribute the dead host's slots."""
+        self.crash_log.append((phase, int(host)))
+        self.replays += 1
+        if not (0 <= host < self.num_hosts) or not self.alive[host]:
+            return  # spurious crash of an already-dead host
+        self.alive[host] = False
+        if not self.alive.any():
+            raise UnrecoverableClusterError(
+                f"all {self.num_hosts} hosts have crashed; nothing to recover on"
+            )
+        lost = np.flatnonzero(self.executors_map == host)
+        for slot in lost:
+            self.executors_map[slot] = self._least_loaded_survivor()
+        self._pending_reread.extend(int(s) for s in lost)
+
+    def _least_loaded_survivor(self) -> int:
+        survivors = np.flatnonzero(self.alive)
+        loads = np.array(
+            [(self.executors_map == p).sum() for p in survivors], dtype=np.int64
+        )
+        return int(survivors[int(np.argmin(loads))])
+
+    def drain_rereads(self) -> list[int]:
+        """Logical slots whose graph slice must be re-read from disk."""
+        pending, self._pending_reread = self._pending_reread, []
+        return pending
+
+    @property
+    def num_dead(self) -> int:
+        return int((~self.alive).sum())
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What a partitioning run survived (``CuSP.last_fault_report``)."""
+
+    plan: FaultPlan
+    #: Chronological injected-fault log (copied from the injector).
+    events: tuple[tuple, ...]
+    #: (phase, host) for every crash the recovery machinery handled.
+    crash_log: tuple[tuple[str | None, int], ...]
+    #: Number of phase replays performed.
+    replays: int
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event[0]] = out.get(event[0], 0) + 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        if not counts and not self.replays:
+            return "no faults injected"
+        bits = [f"{n} {kind}(s)" for kind, n in sorted(counts.items())]
+        if self.replays:
+            bits.append(f"{self.replays} phase replay(s)")
+        return ", ".join(bits)

@@ -23,6 +23,15 @@ class PhaseStats:
     compute_units: np.ndarray = field(default=None)
     #: Optional per-host compute speed factors (straggler modeling).
     host_speeds: np.ndarray = field(default=None)
+    #: Optional logical-slot -> physical-host map (crash recovery): work
+    #: recorded against a logical slot is executed — and timed — on the
+    #: physical host a :class:`~repro.runtime.faults.RecoveryManager`
+    #: reassigned it to.
+    host_map: np.ndarray = field(default=None)
+    #: True when the phase aborted (e.g. an injected host crash): its
+    #: partial timing is excluded from the breakdown total, but its
+    #: bytes/messages remain visible as recovery cost.
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.disk_bytes is None:
@@ -31,32 +40,57 @@ class PhaseStats:
             self.compute_units = np.zeros(self.num_hosts, dtype=np.float64)
 
     def add_disk(self, host: int, nbytes: float) -> None:
+        if self.comm.injector is not None:
+            self.comm.injector.tick()
         self.disk_bytes[host] += nbytes
 
     def add_compute(self, host: int, units: float) -> None:
+        if self.comm.injector is not None:
+            self.comm.injector.tick()
         self.compute_units[host] += units
+
+    def _executor_of(self) -> np.ndarray:
+        if self.host_map is None:
+            return np.arange(self.num_hosts, dtype=np.int64)
+        return np.asarray(self.host_map, dtype=np.int64)
 
     def report(self, model: CostModel) -> "PhaseReport":
         """Evaluate this phase under ``model``.
 
         The phase is bulk-synchronous: its duration is the slowest host's
         disk + compute + point-to-point communication time, plus the cost
-        of collectives and barriers (which involve every host).
+        of collectives and barriers (which involve every host).  When a
+        ``host_map`` is set, each logical slot's work is first folded onto
+        the physical host executing it, so a survivor that adopted a dead
+        host's slice pays for both.
         """
-        disk_times = model.disk_time(list(self.disk_bytes))
+        executor = self._executor_of()
+        disk = np.zeros(self.num_hosts, dtype=np.float64)
+        units = np.zeros(self.num_hosts, dtype=np.float64)
+        sent = np.zeros(self.num_hosts, dtype=np.float64)
+        recv = np.zeros(self.num_hosts, dtype=np.float64)
+        msgs = np.zeros(self.num_hosts, dtype=np.float64)
+        backoff = np.zeros(self.num_hosts, dtype=np.float64)
+        for slot in range(self.num_hosts):
+            p = int(executor[slot])
+            disk[p] += self.disk_bytes[slot]
+            units[p] += self.compute_units[slot]
+            sent[p] += self.comm.host_sent(slot)
+            recv[p] += self.comm.host_received(slot)
+            msgs[p] += self.comm.host_messages(slot)
+            backoff[p] += self.comm.backoff_units[slot]
+
+        disk_times = model.disk_time(list(disk))
         per_host = np.zeros(self.num_hosts, dtype=np.float64)
         disk_part = comp_part = comm_part = 0.0
         slowest = 0
         for h in range(self.num_hosts):
             d = disk_times[h]
-            c = model.compute_time(float(self.compute_units[h]))
+            c = model.compute_time(float(units[h]))
             if self.host_speeds is not None:
                 c /= float(self.host_speeds[h])
-            m = model.comm_time(
-                self.comm.host_sent(h),
-                self.comm.host_received(h),
-                self.comm.host_messages(h),
-            )
+            m = model.comm_time(sent[h], recv[h], msgs[h])
+            m += backoff[h] * model.retry_backoff
             # CuSP dedicates a communication hyperthread per host
             # (paper §IV-D1), so communication overlaps computation: a
             # host's phase time is its disk time plus whichever of
@@ -82,6 +116,9 @@ class PhaseStats:
             collective=collective,
             comm_bytes=self.comm.total_bytes(),
             comm_messages=self.comm.total_messages(),
+            retry_bytes=self.comm.total_retry_bytes(),
+            retry_messages=self.comm.total_retry_messages(),
+            failed=self.failed,
         )
 
 
@@ -97,29 +134,64 @@ class PhaseReport:
     collective: float
     comm_bytes: float
     comm_messages: float
+    #: Bytes/messages spent on fault-induced retransmissions (subset of
+    #: ``comm_bytes``/``comm_messages``).
+    retry_bytes: float = 0.0
+    retry_messages: float = 0.0
+    #: True for a phase attempt that aborted (host crash) and was replayed.
+    failed: bool = False
 
 
 @dataclass
 class TimeBreakdown:
-    """Partitioning (or application) time split by phase (Figure 4)."""
+    """Partitioning (or application) time split by phase (Figure 4).
+
+    A fault-free run has one report per phase.  Under injected host
+    crashes, aborted attempts stay in :attr:`phases` marked ``failed``
+    (their bytes/messages are real recovery cost) followed by their
+    successful replay; :attr:`total` counts only completed phases.
+    """
 
     phases: list[PhaseReport]
 
     @property
     def total(self) -> float:
-        return sum(p.total for p in self.phases)
+        return sum(p.total for p in self.phases if not p.failed)
 
     def by_phase(self) -> dict[str, float]:
-        return {p.name: p.total for p in self.phases}
+        return {p.name: p.total for p in self.phases if not p.failed}
 
     def phase(self, name: str) -> PhaseReport:
-        for p in self.phases:
-            if p.name == name:
+        """The (last successful) report for ``name``.
+
+        Falls back to the last failed attempt when the phase never
+        completed.
+        """
+        matches = [p for p in self.phases if p.name == name]
+        if not matches:
+            raise KeyError(f"no phase named {name!r}")
+        for p in reversed(matches):
+            if not p.failed:
                 return p
-        raise KeyError(f"no phase named {name!r}")
+        return matches[-1]
+
+    def failed_phases(self) -> list[PhaseReport]:
+        """Aborted attempts (empty for a fault-free run)."""
+        return [p for p in self.phases if p.failed]
 
     def comm_bytes(self, name: str | None = None) -> float:
-        """Bytes communicated, for one phase or in total."""
+        """Bytes communicated, for one phase or in total.
+
+        The total includes failed attempts and retransmissions: recovery
+        traffic is real traffic.
+        """
         if name is None:
             return sum(p.comm_bytes for p in self.phases)
         return self.phase(name).comm_bytes
+
+    def retry_bytes(self) -> float:
+        """Bytes spent on fault-induced retransmissions across all phases."""
+        return sum(p.retry_bytes for p in self.phases)
+
+    def retry_messages(self) -> float:
+        return sum(p.retry_messages for p in self.phases)

@@ -28,6 +28,12 @@ def render_breakdown(breakdown: TimeBreakdown, title: str = "") -> str:
         return "\n".join(lines)
     name_width = max((len(p.name) for p in breakdown.phases), default=0)
     for p in breakdown.phases:
+        if p.failed:
+            lines.append(
+                f"{p.name:<{name_width}}  {'(aborted)':>13} "
+                f"{'':>6}  [crash: replayed below]"
+            )
+            continue
         frac = p.total / total
         bar = "#" * max(1, round(frac * _BAR_WIDTH)) if p.total > 0 else ""
         lines.append(
@@ -68,6 +74,9 @@ def _phase_dict(p: PhaseReport) -> dict:
         "collective_s": p.collective,
         "comm_bytes": p.comm_bytes,
         "comm_messages": p.comm_messages,
+        "retry_bytes": p.retry_bytes,
+        "retry_messages": p.retry_messages,
+        "failed": p.failed,
     }
 
 

@@ -4,8 +4,9 @@ import numpy as np
 from hypothesis import strategies as st
 
 from repro.graph import CSRGraph
+from repro.runtime.faults import FaultPlan, HostCrash
 
-__all__ = ["graphs"]
+__all__ = ["graphs", "fault_plans"]
 
 
 @st.composite
@@ -23,4 +24,42 @@ def graphs(draw, max_nodes=40, max_edges=120, weighted=False, min_nodes=1):
         np.array(dst, dtype=np.int64),
         num_nodes=n,
         edge_data=np.array(data, dtype=np.int64) if weighted else None,
+    )
+
+
+@st.composite
+def fault_plans(draw, num_hosts=4, max_crashes=2, allow_slow=True):
+    """An arbitrary recoverable :class:`FaultPlan` for ``num_hosts`` hosts.
+
+    At most ``max_crashes`` crashes on *distinct* hosts (so at least one
+    host always survives when ``max_crashes < num_hosts``), modest
+    message-fault rates, and optional slow hosts.
+    """
+    n_crashes = draw(st.integers(0, min(max_crashes, num_hosts - 1)))
+    hosts = draw(
+        st.lists(
+            st.integers(0, num_hosts - 1),
+            min_size=n_crashes, max_size=n_crashes, unique=True,
+        )
+    )
+    crashes = tuple(
+        HostCrash(
+            host=h,
+            phase=draw(st.integers(0, 4)),
+            op_count=draw(st.one_of(st.none(), st.integers(1, 30))),
+        )
+        for h in hosts
+    )
+    slow = {}
+    if allow_slow and draw(st.booleans()):
+        slow[draw(st.integers(0, num_hosts - 1))] = draw(
+            st.floats(0.25, 1.0, allow_nan=False)
+        )
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**32 - 1)),
+        send_failure_rate=draw(st.sampled_from([0.0, 0.02, 0.1])),
+        drop_rate=draw(st.sampled_from([0.0, 0.02])),
+        duplicate_rate=draw(st.sampled_from([0.0, 0.02])),
+        crashes=crashes,
+        slow_hosts=slow,
     )
