@@ -27,6 +27,14 @@ def test_partition_throughput_fennel(benchmark, graph):
     assert result.num_global_edges == graph.num_edges
 
 
+@pytest.mark.parametrize("executor", ["serial", "parallel"])
+def test_partition_throughput_executor(benchmark, graph, executor):
+    """Serial vs thread-pool execution engine on the same workload."""
+    cusp = CuSP(8, "CVC", executor=executor)
+    result = benchmark(lambda: cusp.partition(graph))
+    assert result.num_global_edges == graph.num_edges
+
+
 def test_transpose_throughput(benchmark, graph):
     t = benchmark(graph.transpose)
     assert t.num_edges == graph.num_edges

@@ -95,6 +95,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=3,
         help="retry budget per send and per phase replay (default 3)",
     )
+    p.add_argument(
+        "--executor", choices=["serial", "parallel"], default="serial",
+        help=(
+            "per-host execution engine: 'serial' (reference) or "
+            "'parallel' (thread pool; identical partitions and "
+            "simulated breakdown by construction)"
+        ),
+    )
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", help="e.g. table3, fig3, fig7 (or 'all')")
@@ -160,6 +168,7 @@ def _run_partitioner(graph, args):
             fault_plan=fault_plan,
             checkpoint_dir=args.checkpoint_dir,
             max_retries=args.max_retries,
+            executor=args.executor,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.executor import HostTask
 from ..runtime.stats import PhaseStats
 from .policies import Policy
 from .prop import GraphProp
@@ -117,54 +118,72 @@ def run_edge_assignment(
             # User rules written to the paper's two-argument signature.
             estate = rule.make_state(k, num_hosts)
 
-    for h, (start, stop) in enumerate(ranges):
-        src, dst, weights = host_edge_slice(graph, start, stop)
-        estate_view = estate.host_view(h) if estate is not None else None
-        owner = rule.owner_batch(
-            prop, src, dst, masters[src], masters[dst], estate_view
-        )
-        result.owners[h] = owner
-        result.edges[h] = (src, dst, weights)
-        counts = np.bincount(owner, minlength=num_hosts).astype(np.int64)
-        result.edges_to[h, :] = counts
-        # Two abstract units per edge: owner evaluation + count update.
-        phase.add_compute(h, 2.0 * src.size)
-        if estate is not None:
-            # Periodic estate reconciliation (§IV-D4), one round per
-            # host's streamed chunk, non-blocking like master rounds.
-            estate.sync_round(phase.comm, blocking=False)
+    def assign_task(h, start, stop):
+        def body(view):
+            src, dst, weights = host_edge_slice(graph, start, stop)
+            estate_view = estate.host_view(h) if estate is not None else None
+            owner = rule.owner_batch(
+                prop, src, dst, masters[src], masters[dst], estate_view
+            )
+            result.owners[h] = owner
+            result.edges[h] = (src, dst, weights)
+            counts = np.bincount(owner, minlength=num_hosts).astype(np.int64)
+            result.edges_to[h, :] = counts
+            # Two abstract units per edge: owner evaluation + count update.
+            view.add_compute(2.0 * src.size)
+            if estate is not None:
+                # Periodic estate reconciliation (§IV-D4), one round per
+                # host's streamed chunk, non-blocking like master rounds.
+                estate.sync_round(phase.comm, blocking=False)
 
-        nodes_read = stop - start
-        for j in range(num_hosts):
-            if j == h:
-                continue
-            if counts[j] == 0:
-                # Paper §IV-D2: "nothing to send" notification.
-                phase.comm.send(h, j, None, tag="edge-counts",
-                                nbytes=_EMPTY_MESSAGE_BYTES)
-                continue
-            mask = owner == j
-            # Mirror info: destination proxies on j whose master is elsewhere,
-            # plus source proxies on j whose master is elsewhere.
-            endpoints = np.unique(np.concatenate([src[mask], dst[mask]]))
-            mirror_ids = endpoints[masters[endpoints] != j]
-            payload_bytes = (
-                nodes_read * 8 + mirror_ids.size * _MIRROR_ENTRY_BYTES
-            )
-            phase.comm.send(
-                h, j,
-                (counts[j], mirror_ids, masters[mirror_ids]),
-                tag="edge-counts",
-                nbytes=payload_bytes,
-            )
+            nodes_read = stop - start
+            for j in range(num_hosts):
+                if j == h:
+                    continue
+                if counts[j] == 0:
+                    # Paper §IV-D2: "nothing to send" notification.
+                    view.send(j, None, tag="edge-counts",
+                              nbytes=_EMPTY_MESSAGE_BYTES)
+                    continue
+                mask = owner == j
+                # Mirror info: destination proxies on j whose master is
+                # elsewhere, plus source proxies on j whose master is
+                # elsewhere.
+                endpoints = np.unique(np.concatenate([src[mask], dst[mask]]))
+                mirror_ids = endpoints[masters[endpoints] != j]
+                payload_bytes = (
+                    nodes_read * 8 + mirror_ids.size * _MIRROR_ENTRY_BYTES
+                )
+                view.send(
+                    j,
+                    (counts[j], mirror_ids, masters[mirror_ids]),
+                    tag="edge-counts",
+                    nbytes=payload_bytes,
+                )
+
+        return HostTask(h, body, label="assign-edges")
+
+    tasks = [assign_task(h, start, stop) for h, (start, stop) in enumerate(ranges)]
+    if estate is not None:
+        # Stateful rules are a *cross-host-sequential* stream: host h+1
+        # scores against the estate host h just synced, so no executor
+        # may legally overlap them (doing so would change the partition).
+        phase.executor.chain(phase, tasks)
+    else:
+        phase.executor.run(phase, tasks)
 
     # Every host tallies what it will receive (Algorithm 3 lines 10-14).
-    for j in range(num_hosts):
-        incoming = phase.comm.recv_all(j, tag="edge-counts")
-        received = sum(
-            payload[0] for _, payload in incoming if payload is not None
-        )
-        result.to_receive[j] = received + result.edges_to[j, j]
-        phase.add_compute(j, float(len(incoming)))
+    def tally_task(j):
+        def body(view):
+            incoming = view.recv_all(tag="edge-counts")
+            received = sum(
+                payload[0] for _, payload in incoming if payload is not None
+            )
+            result.to_receive[j] = received + result.edges_to[j, j]
+            view.add_compute(float(len(incoming)))
+
+        return HostTask(j, body, label="tally-counts")
+
+    phase.executor.run(phase, [tally_task(j) for j in range(num_hosts)])
 
     return result

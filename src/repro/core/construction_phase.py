@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..runtime.executor import HostTask
 from ..runtime.stats import PhaseStats
 from .assignment_phase import EdgeAssignment
 from .partition import LocalPartition
@@ -40,29 +41,53 @@ def run_allocation(
     """
     num_hosts = len(assignment.owners)
     n = prop.getNumNodes()
-    # Collect endpoint sets per owner from the assignment's cached arrays.
+
+    # Pass 1: each reading host groups its edge endpoints by owner.
+    def group_task(h):
+        def body(view):
+            src, dst, _ = assignment.edges[h]
+            owner = assignment.owners[h]
+            order = np.argsort(owner, kind="stable")
+            sorted_owner = owner[order]
+            cuts = np.searchsorted(sorted_owner, np.arange(num_hosts + 1))
+            pieces = []
+            for j in range(num_hosts):
+                sl = order[cuts[j] : cuts[j + 1]]
+                if sl.size:
+                    pieces.append((j, np.unique(src[sl]), np.unique(dst[sl])))
+            return pieces
+
+        return HostTask(h, body, label="group-endpoints")
+
+    grouped = phase.executor.run(
+        phase, [group_task(h) for h in range(num_hosts)]
+    )
     endpoint_sets: list[list[np.ndarray]] = [[] for _ in range(num_hosts)]
-    for h in range(num_hosts):
-        src, dst, _ = assignment.edges[h]
-        owner = assignment.owners[h]
-        order = np.argsort(owner, kind="stable")
-        sorted_owner = owner[order]
-        cuts = np.searchsorted(sorted_owner, np.arange(num_hosts + 1))
-        for j in range(num_hosts):
-            sl = order[cuts[j] : cuts[j + 1]]
-            if sl.size:
-                endpoint_sets[j].append(np.unique(src[sl]))
-                endpoint_sets[j].append(np.unique(dst[sl]))
-    proxies: list[np.ndarray] = []
-    mastered = [np.flatnonzero(masters == j).astype(np.int64) for j in range(num_hosts)]
-    for j in range(num_hosts):
-        pieces = endpoint_sets[j] + [mastered[j]]
-        gids = np.unique(np.concatenate(pieces)) if pieces else np.empty(0, np.int64)
-        proxies.append(gids)
-        # Allocation work: local arrays sized by proxies + expected edges,
-        # plus the global-to-local map construction.
-        phase.add_compute(j, float(gids.size) + float(assignment.to_receive[j]))
-    return proxies
+    for pieces in grouped:
+        for j, srcs, dsts in pieces:
+            endpoint_sets[j].append(srcs)
+            endpoint_sets[j].append(dsts)
+
+    # Pass 2: each owner unions what lands on it with what it masters.
+    def proxy_task(j):
+        def body(view):
+            mastered = np.flatnonzero(masters == j).astype(np.int64)
+            pieces = endpoint_sets[j] + [mastered]
+            gids = (
+                np.unique(np.concatenate(pieces))
+                if pieces
+                else np.empty(0, np.int64)
+            )
+            # Allocation work: local arrays sized by proxies + expected
+            # edges, plus the global-to-local map construction.
+            view.add_compute(
+                float(gids.size) + float(assignment.to_receive[j])
+            )
+            return gids
+
+        return HostTask(j, body, label="build-proxies")
+
+    return phase.executor.run(phase, [proxy_task(j) for j in range(num_hosts)])
 
 
 def run_construction(
@@ -82,73 +107,80 @@ def run_construction(
     weighted = prop.graph.is_weighted
 
     # Senders: group each host's edges by owner and ship them.
-    for h in range(num_hosts):
-        src, dst, w = assignment.edges[h]
-        owner = assignment.owners[h]
-        order = np.argsort(owner, kind="stable")
-        sorted_owner = owner[order]
-        cuts = np.searchsorted(sorted_owner, np.arange(num_hosts + 1))
-        for j in range(num_hosts):
-            sl = order[cuts[j] : cuts[j + 1]]
-            if sl.size == 0:
-                continue
-            s, d = src[sl], dst[sl]
-            payload = (s, d, w[sl] if weighted else None)
-            # Serialized per source node: node id + its edge list
-            # (paper §IV-C3); the comm layer turns the byte volume into
-            # network messages according to the buffer threshold.
-            unique_srcs = int(np.unique(s).size)
-            per_edge = 16 if weighted else 8
-            nbytes = unique_srcs * 8 + s.size * per_edge
-            phase.comm.send(
-                h, j, payload, tag="edges",
-                logical_messages=unique_srcs, nbytes=nbytes,
-            )
-        # Re-evaluating getEdgeOwner costs one unit per edge; remote edges
-        # additionally pay serialization.  Local edges are constructed in
-        # place (Algorithm 4 line 5) and are charged at the receiver only.
-        remote = int(src.size - (owner == h).sum())
-        phase.add_compute(h, float(src.size) + float(remote))
+    def send_task(h):
+        def body(view):
+            src, dst, w = assignment.edges[h]
+            owner = assignment.owners[h]
+            order = np.argsort(owner, kind="stable")
+            sorted_owner = owner[order]
+            cuts = np.searchsorted(sorted_owner, np.arange(num_hosts + 1))
+            for j in range(num_hosts):
+                sl = order[cuts[j] : cuts[j + 1]]
+                if sl.size == 0:
+                    continue
+                s, d = src[sl], dst[sl]
+                payload = (s, d, w[sl] if weighted else None)
+                # Serialized per source node: node id + its edge list
+                # (paper §IV-C3); the comm layer turns the byte volume
+                # into network messages according to the buffer threshold.
+                unique_srcs = int(np.unique(s).size)
+                per_edge = 16 if weighted else 8
+                nbytes = unique_srcs * 8 + s.size * per_edge
+                view.send(
+                    j, payload, tag="edges",
+                    logical_messages=unique_srcs, nbytes=nbytes,
+                )
+            # Re-evaluating getEdgeOwner costs one unit per edge; remote
+            # edges additionally pay serialization.  Local edges are
+            # constructed in place (Algorithm 4 line 5) and are charged
+            # at the receiver only.
+            remote = int(src.size - (owner == h).sum())
+            view.add_compute(float(src.size) + float(remote))
+
+        return HostTask(h, body, label="ship-edges")
+
+    phase.executor.run(phase, [send_task(h) for h in range(num_hosts)])
 
     # Receivers: deserialize, map to local ids, build the CSR partition.
-    partitions: list[LocalPartition] = []
-    for j in range(num_hosts):
-        gids = proxies[j]
-        lookup = np.full(n, -1, dtype=np.int64)
-        mastered_mask = masters[gids] == j
-        ordered = np.concatenate([gids[mastered_mask], gids[~mastered_mask]])
-        num_masters = int(mastered_mask.sum())
-        lookup[ordered] = np.arange(ordered.size, dtype=np.int64)
+    def build_task(j):
+        def body(view):
+            gids = proxies[j]
+            lookup = np.full(n, -1, dtype=np.int64)
+            mastered_mask = masters[gids] == j
+            ordered = np.concatenate(
+                [gids[mastered_mask], gids[~mastered_mask]]
+            )
+            num_masters = int(mastered_mask.sum())
+            lookup[ordered] = np.arange(ordered.size, dtype=np.int64)
 
-        received = phase.comm.recv_all(j, tag="edges")
-        srcs = [p[0] for _, p in received]
-        dsts = [p[1] for _, p in received]
-        ws = [p[2] for _, p in received] if weighted else None
-        if srcs:
-            all_src = np.concatenate(srcs)
-            all_dst = np.concatenate(dsts)
-            all_w = np.concatenate(ws) if weighted else None
-        else:
-            all_src = np.empty(0, dtype=np.int64)
-            all_dst = np.empty(0, dtype=np.int64)
-            all_w = np.empty(0, dtype=np.int64) if weighted else None
-        assert all_src.size == assignment.to_receive[j], (
-            "received edge count differs from edge-assignment metadata"
-        )
-        local_graph = CSRGraph.from_edges(
-            lookup[all_src],
-            lookup[all_dst],
-            num_nodes=ordered.size,
-            edge_data=all_w,
-        )
-        # Deserialization + parallel insertion: ~2 units/edge.
-        phase.add_compute(j, 2.0 * all_src.size)
-        local_csc = None
-        if output == "csc":
-            local_csc = local_graph.transpose()
-            phase.add_compute(j, float(local_graph.num_edges))
-        partitions.append(
-            LocalPartition(
+            received = view.recv_all(tag="edges")
+            srcs = [p[0] for _, p in received]
+            dsts = [p[1] for _, p in received]
+            ws = [p[2] for _, p in received] if weighted else None
+            if srcs:
+                all_src = np.concatenate(srcs)
+                all_dst = np.concatenate(dsts)
+                all_w = np.concatenate(ws) if weighted else None
+            else:
+                all_src = np.empty(0, dtype=np.int64)
+                all_dst = np.empty(0, dtype=np.int64)
+                all_w = np.empty(0, dtype=np.int64) if weighted else None
+            assert all_src.size == assignment.to_receive[j], (
+                "received edge count differs from edge-assignment metadata"
+            )
+            local_graph = CSRGraph.from_edges(
+                lookup[all_src],
+                lookup[all_dst],
+                num_nodes=ordered.size,
+                edge_data=all_w,
+            )
+            # Deserialization + parallel insertion: ~2 units/edge.
+            view.add_compute(2.0 * all_src.size)
+            local_csc = None
+            if output == "csc":
+                local_csc = local_graph.transpose()
+                view.add_compute(float(local_graph.num_edges))
+            return LocalPartition(
                 host=j,
                 global_ids=ordered,
                 num_masters=num_masters,
@@ -157,5 +189,7 @@ def run_construction(
                 local_csc=local_csc,
                 _lookup=lookup,
             )
-        )
-    return partitions
+
+        return HostTask(j, body, label="build-partition")
+
+    return phase.executor.run(phase, [build_task(j) for j in range(num_hosts)])

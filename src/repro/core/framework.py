@@ -36,6 +36,7 @@ from ..graph.csr import CSRGraph
 from ..graph.formats import read_gr
 from ..runtime.cluster import SimulatedCluster
 from ..runtime.cost_model import STAMPEDE2, CostModel
+from ..runtime.executor import HostTask
 from ..runtime.faults import (
     FaultInjector,
     FaultPlan,
@@ -103,6 +104,11 @@ class CuSP:
     max_retries:
         Retry budget, both per send (transient failures/drops) and per
         phase (crash replays).
+    executor:
+        The per-host execution engine: ``"serial"`` (default, the
+        deterministic reference), ``"parallel"`` (thread pool with
+        deterministic ledger merging — same partitions, same simulated
+        breakdown), or an :class:`~repro.runtime.executor.Executor`.
     """
 
     def __init__(
@@ -119,6 +125,7 @@ class CuSP:
         fault_plan: FaultPlan | None = None,
         checkpoint_dir: str | os.PathLike | None = None,
         max_retries: int = 3,
+        executor=None,
     ):
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
@@ -153,6 +160,7 @@ class CuSP:
         self.fault_plan = fault_plan
         self.checkpoint_dir = checkpoint_dir
         self.max_retries = max_retries
+        self.executor = executor
         #: :class:`~repro.runtime.faults.FaultReport` of the most recent
         #: :meth:`partition` call (None before the first call, or when no
         #: fault plan is attached).
@@ -208,6 +216,7 @@ class CuSP:
             host_speeds=self._effective_host_speeds(),
             injector=injector,
             max_send_retries=self.max_retries,
+            executor=self.executor,
         )
         recovery = RecoveryManager(k)
         checkpoint = PartitionCheckpoint(
@@ -268,8 +277,16 @@ class CuSP:
         )
 
         def phase_reading(ph):
-            for h, nbytes in enumerate(read_bytes_for_ranges(graph, ranges)):
-                ph.add_disk(h, nbytes)
+            def read_slice(nbytes):
+                return lambda view: view.add_disk(nbytes)
+
+            ph.executor.run(
+                ph,
+                [
+                    HostTask(h, read_slice(nbytes), label="read-slice")
+                    for h, nbytes in enumerate(read_bytes_for_ranges(graph, ranges))
+                ],
+            )
 
         recoverable(PHASE_NAMES[0], phase_reading, charge_reread=False)
         ranges = [

@@ -184,11 +184,15 @@ class Fennel(MasterRule):
         return part
 
     def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
-        """Hoisted-constant batch loop.
+        """Incremental-penalty batch kernel.
 
         Decisions stay sequential — each placement feeds the next node's
-        load term — but alpha, the load array, and the adjacency views
-        are prepared once per batch instead of once per node.
+        load term — but the k-wide ``pow()`` penalty vector is maintained
+        *in place*: a placement changes one partition's load, so only
+        that entry is recomputed (one scalar ``pow`` per node instead of
+        k).  The single-entry update evaluates exactly the expression the
+        per-node formulation evaluates for that entry, so the decision
+        sequence is bit-identical to :meth:`assign` called in order.
         """
         node_ids = np.asarray(node_ids)
         out = np.empty(node_ids.size, dtype=np.int32)
@@ -201,22 +205,45 @@ class Fennel(MasterRule):
         )
         gm1 = self.gamma - 1.0
         load = mstate.numNodes.astype(np.float64)
+        penalty = -alpha_gamma * np.power(load, gm1)
+        # Loads are integer node counts, so every penalty value a
+        # placement can produce is known up front: one vectorized pow
+        # over [0, max_load + batch] replaces all per-node pow calls.
+        # Table entries evaluate the same expression on the same values,
+        # so lookups are bit-identical to the per-node recompute.
+        load_int = [int(x) for x in mstate.numNodes]
+        top = max(load_int) + node_ids.size + 1
+        table = -alpha_gamma * np.power(
+            np.arange(top, dtype=np.float64), gm1
+        )
         indptr, indices = prop.graph.indptr, prop.graph.indices
+        bincount, argmax = np.bincount, np.argmax
         for i, v in enumerate(node_ids):
-            score = -alpha_gamma * np.power(load, gm1)
+            part = -1
             if masters is not None:
                 nbrs = indices[indptr[v] : indptr[v + 1]]
                 if nbrs.size:
                     known = masters[nbrs]
                     known = known[known >= 0]
                     if known.size:
-                        score += np.bincount(known, minlength=k)
-            part = int(np.argmax(score))
+                        part = int(argmax(
+                            penalty + bincount(known, minlength=k)
+                        ))
+            if part < 0:
+                # No placed neighbors: the affinity term is zero
+                # everywhere, so the penalty alone decides.
+                part = int(argmax(penalty))
             out[i] = part
-            load[part] += 1.0
-            mstate.add_node(part)
+            li = load_int[part] + 1
+            load_int[part] = li
+            penalty[part] = table[li]
             if masters is not None:
                 masters[v] = part
+        # State deltas sum per partition, so one bulk charge at the end
+        # leaves mstate exactly as n per-node add_node() calls would.
+        placed = np.bincount(out, minlength=k)
+        for p in np.flatnonzero(placed):
+            mstate.add_node(int(p), int(placed[p]))
         return out
 
     def compute_units(self, num_nodes: int, num_edges: int, k: int) -> float:
@@ -281,11 +308,14 @@ class FennelEB(MasterRule):
         return part
 
     def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
-        """Hoisted-constant batch loop (see :meth:`Fennel.assign_batch`).
+        """Incremental-penalty batch kernel (see :meth:`Fennel.assign_batch`).
 
         The high-degree short-circuit is vectorized up front: those nodes
-        go straight to ContiguousEB; the rest run the sequential scoring
-        loop against locally-maintained load arrays.
+        go straight to ContiguousEB.  For the rest, the blended
+        ``(numNodes + mu * numEdges) / 2`` load penalty is maintained in
+        place — only the chosen partition's entry is recomputed per
+        placement — keeping the decision sequence bit-identical to the
+        per-node formulation.
         """
         node_ids = np.asarray(node_ids)
         out = np.empty(node_ids.size, dtype=np.int32)
@@ -308,27 +338,44 @@ class FennelEB(MasterRule):
         mu = n / m if m else 0.0
         nodes_load = mstate.numNodes.astype(np.float64)
         edges_load = mstate.numEdges.astype(np.float64)
+        load = (nodes_load + mu * edges_load) / 2.0
+        penalty = -alpha_gamma * np.power(load, gm1)
         indptr, indices = prop.graph.indptr, prop.graph.indices
+        bincount, argmax, power = np.bincount, np.argmax, np.power
         low_positions = np.flatnonzero(~high)
         for i in low_positions:
             v = node_ids[i]
-            load = (nodes_load + mu * edges_load) / 2.0
-            score = -alpha_gamma * np.power(load, gm1)
+            part = -1
             if masters is not None:
                 nbrs = indices[indptr[v] : indptr[v + 1]]
                 if nbrs.size:
                     known = masters[nbrs]
                     known = known[known >= 0]
                     if known.size:
-                        score += np.bincount(known, minlength=k)
-            part = int(np.argmax(score))
+                        part = int(argmax(
+                            penalty + bincount(known, minlength=k)
+                        ))
+            if part < 0:
+                part = int(argmax(penalty))
             out[i] = part
             nodes_load[part] += 1.0
             edges_load[part] += float(degrees[i])
-            mstate.add_node(part)
-            mstate.add_edges(part, int(degrees[i]))
+            load[part] = (nodes_load[part] + mu * edges_load[part]) / 2.0
+            # Same vectorized pow kernel as the full recompute, applied
+            # to the one entry that changed.
+            penalty[part] = -alpha_gamma * power(load[part : part + 1], gm1)[0]
             if masters is not None:
                 masters[v] = part
+        # Bulk state charge: deltas sum per partition, so this leaves
+        # mstate exactly as per-node add_node/add_edges calls would.
+        low_parts = out[low_positions]
+        placed = np.bincount(low_parts, minlength=k)
+        placed_edges = np.bincount(
+            low_parts, weights=degrees[low_positions], minlength=k
+        ).astype(np.int64)
+        for p in np.flatnonzero(placed):
+            mstate.add_node(int(p), int(placed[p]))
+            mstate.add_edges(int(p), int(placed_edges[p]))
         return out
 
     def compute_units(self, num_nodes: int, num_edges: int, k: int) -> float:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.executor import HostTask
 from ..runtime.stats import PhaseStats
 from .policies import Policy
 from .prop import GraphProp
@@ -82,30 +83,40 @@ def run_master_assignment(
     masters = np.full(n, -1, dtype=np.int32)
 
     if rule.is_pure:
-        for h, (start, stop) in enumerate(ranges):
-            node_ids = np.arange(start, stop, dtype=np.int64)
-            if node_ids.size:
-                masters[start:stop] = rule.assign_batch(prop, node_ids, None)
-            if elide_master_communication:
-                # No communication: each host recomputes neighbors'
-                # assignments on demand (§IV-D5); charge the
-                # recomputation for the neighbor set now.
-                neighbor_count = int(
-                    prop.graph.indptr[stop] - prop.graph.indptr[start]
-                )
-                phase.add_compute(
-                    h, rule.compute_units(node_ids.size, 0, k) + neighbor_count
-                )
-            else:
-                # Ablation: naive broadcast of every assignment.
-                phase.add_compute(h, rule.compute_units(node_ids.size, 0, k))
-                for j in range(num_hosts):
-                    if j != h and node_ids.size:
-                        phase.comm.send(
-                            h, j, None, tag="master-broadcast",
-                            nbytes=node_ids.size * _ASSIGNMENT_ENTRY_BYTES,
-                            coalesce=True,
-                        )
+        # Pure rules are embarrassingly per-host: each task assigns its
+        # own node slice (disjoint writes into ``masters``).
+        def pure_task(h, start, stop):
+            def body(view):
+                node_ids = np.arange(start, stop, dtype=np.int64)
+                if node_ids.size:
+                    masters[start:stop] = rule.assign_batch(prop, node_ids, None)
+                if elide_master_communication:
+                    # No communication: each host recomputes neighbors'
+                    # assignments on demand (§IV-D5); charge the
+                    # recomputation for the neighbor set now.
+                    neighbor_count = int(
+                        prop.graph.indptr[stop] - prop.graph.indptr[start]
+                    )
+                    view.add_compute(
+                        rule.compute_units(node_ids.size, 0, k) + neighbor_count
+                    )
+                else:
+                    # Ablation: naive broadcast of every assignment.
+                    view.add_compute(rule.compute_units(node_ids.size, 0, k))
+                    for peer in range(num_hosts):
+                        if peer != h and node_ids.size:
+                            view.send(
+                                peer, None, tag="master-broadcast",
+                                nbytes=node_ids.size * _ASSIGNMENT_ENTRY_BYTES,
+                                coalesce=True,
+                            )
+
+            return HostTask(h, body, label="assign-pure")
+
+        phase.executor.run(
+            phase,
+            [pure_task(h, start, stop) for h, (start, stop) in enumerate(ranges)],
+        )
         return MasterAssignment(masters, state)
 
     # History-sensitive path: request-driven assignment exchange.
@@ -120,20 +131,29 @@ def run_master_assignment(
 
     if elide_master_communication:
         # Request-driven exchange (§IV-D5): each host asks only for the
-        # masters of its read-nodes' neighbors.
-        for j, (start, stop) in enumerate(ranges):
-            lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
-            nbrs = np.unique(prop.graph.indices[lo:hi])
-            owner = _owning_host(nbrs, bounds)
-            for h in range(num_hosts):
-                wanted = nbrs[owner == h]
-                requests[h][j] = wanted
-                if h != j and wanted.size:
-                    phase.comm.send(
-                        j, h, wanted, tag="master-requests",
-                        nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
-                        coalesce=True,
-                    )
+        # masters of its read-nodes' neighbors.  Task j fills column j of
+        # the request table — disjoint writes across hosts.
+        def request_task(j, start, stop):
+            def body(view):
+                lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
+                nbrs = np.unique(prop.graph.indices[lo:hi])
+                owner = _owning_host(nbrs, bounds)
+                for assigner in range(num_hosts):
+                    wanted = nbrs[owner == assigner]
+                    requests[assigner][j] = wanted
+                    if assigner != j and wanted.size:
+                        view.send(
+                            assigner, wanted, tag="master-requests",
+                            nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
+                            coalesce=True,
+                        )
+
+            return HostTask(j, body, label="request-masters")
+
+        phase.executor.run(
+            phase,
+            [request_task(j, start, stop) for j, (start, stop) in enumerate(ranges)],
+        )
     else:
         # Ablation: every host "requests" everything, so each assignment
         # is shipped to all peers.
@@ -152,34 +172,35 @@ def run_master_assignment(
     else:
         masters_arg = [None] * num_hosts
 
-    for r in range(sync_rounds):
-        newly: list[np.ndarray] = []
-        for h, (start, stop) in enumerate(ranges):
+    def assign_task(h, r):
+        def body(view):
             c0, c1 = int(chunk_bounds[h][r]), int(chunk_bounds[h][r + 1])
             node_ids = np.arange(c0, c1, dtype=np.int64)
-            newly.append(node_ids)
             if node_ids.size == 0:
-                continue
+                return node_ids
+            # Each host scores against the frozen snapshot plus its own
+            # pending delta, and writes its own chunk of ``masters`` and
+            # ``known[h]`` — all writes are host-disjoint within a round.
             assigned = rule.assign_batch(
                 prop, node_ids, state.host_view(h), masters_arg[h]
             )
             masters[c0:c1] = assigned
             known[h][c0:c1] = assigned  # own assignments visible immediately
-            phase.add_compute(
-                h,
+            view.add_compute(
                 rule.compute_units(
                     node_ids.size,
                     int(prop.graph.indptr[c1] - prop.graph.indptr[c0]),
                     k,
-                ),
+                )
             )
-        # Round boundary: reconcile state, ship requested assignments.
-        # Master-assignment rounds never block on peers (paper §IV-D5).
-        state.sync_round(phase.comm, blocking=False)
-        for h in range(num_hosts):
-            fresh = newly[h]
+            return node_ids
+
+        return HostTask(h, body, label="assign-chunk")
+
+    def ship_task(h, fresh):
+        def body(view):
             if fresh.size == 0:
-                continue
+                return
             lo, hi = fresh[0], fresh[-1]
             for j in range(num_hosts):
                 if j == h:
@@ -187,11 +208,27 @@ def run_master_assignment(
                 wanted = requests[h][j]
                 ship = wanted[(wanted >= lo) & (wanted <= hi)]
                 if ship.size:
-                    phase.comm.send(
-                        h, j, (ship, masters[ship]), tag="master-assignments",
+                    view.send(
+                        j, (ship, masters[ship]), tag="master-assignments",
                         nbytes=ship.size * _ASSIGNMENT_ENTRY_BYTES,
                         coalesce=True,
                     )
+                    # Requester j learns the shipped assignments; two
+                    # shippers never overlap in ``known[j]`` (each ships
+                    # only ids from its own node range).
                     known[j][ship] = masters[ship]
+
+        return HostTask(h, body, label="ship-assignments")
+
+    for r in range(sync_rounds):
+        newly = phase.executor.run(
+            phase, [assign_task(h, r) for h in range(num_hosts)]
+        )
+        # Round boundary: reconcile state, ship requested assignments.
+        # Master-assignment rounds never block on peers (paper §IV-D5).
+        state.sync_round(phase.comm, blocking=False)
+        phase.executor.run(
+            phase, [ship_task(h, newly[h]) for h in range(num_hosts)]
+        )
 
     return MasterAssignment(masters, state)

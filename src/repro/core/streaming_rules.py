@@ -84,11 +84,7 @@ class ReplicationState(PartitioningState):
             )
             for h in range(self.num_hosts)
         ]
-        comm.allreduce_sum(stacked, blocking=blocking)
-        comm.collective_events[-1] = (
-            comm.collective_events[-1][0],
-            float(payload_bytes),
-        )
+        comm.allreduce_sum(stacked, blocking=blocking, nbytes=payload_bytes)
         for h in range(self.num_hosts):
             self._snap_replicas |= self._delta_replicas[h]
             self._snap_load += self._delta_load[h]

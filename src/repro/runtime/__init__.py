@@ -2,8 +2,16 @@
 and deterministic fault injection."""
 
 from .cluster import SimulatedCluster
-from .comm import Communicator, payload_nbytes
+from .comm import CommLedger, Communicator, payload_nbytes
 from .cost_model import REPRO_CALIBRATED, SLOW_NETWORK, STAMPEDE2, CostModel
+from .executor import (
+    Executor,
+    HostTask,
+    HostView,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from .faults import (
     FaultError,
     FaultInjector,
@@ -27,7 +35,14 @@ from .trace import breakdown_to_json, render_breakdown, render_comparison
 __all__ = [
     "SimulatedCluster",
     "Communicator",
+    "CommLedger",
     "payload_nbytes",
+    "Executor",
+    "HostTask",
+    "HostView",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
     "CostModel",
     "STAMPEDE2",
     "SLOW_NETWORK",

@@ -32,6 +32,7 @@ from contextlib import contextmanager
 
 from .comm import Communicator
 from .cost_model import STAMPEDE2, CostModel
+from .executor import make_executor
 from .faults import FaultInjector
 from .stats import PhaseStats, TimeBreakdown
 
@@ -49,12 +50,15 @@ class SimulatedCluster:
         host_speeds=None,
         injector: FaultInjector | None = None,
         max_send_retries: int = 5,
+        executor=None,
     ):
         """``host_speeds`` optionally scales each host's compute rate (1.0
         = nominal; 0.5 = half speed).  Stampede2 is homogeneous, but a
         straggler ablation needs one slow host — and bulk-synchronous
         phases wait for it.  ``injector`` attaches a seeded fault plan;
-        ``max_send_retries`` bounds per-send retransmission attempts."""
+        ``max_send_retries`` bounds per-send retransmission attempts.
+        ``executor`` selects the per-host execution engine ("serial",
+        "parallel", or an :class:`~repro.runtime.executor.Executor`)."""
         if num_hosts < 1:
             raise ValueError("num_hosts must be >= 1")
         cost_model.validate()
@@ -63,6 +67,7 @@ class SimulatedCluster:
         self.buffer_size = buffer_size
         self.injector = injector
         self.max_send_retries = max_send_retries
+        self.executor = make_executor(executor)
         if host_speeds is None:
             self.host_speeds = None
         else:
@@ -97,6 +102,7 @@ class SimulatedCluster:
             ),
             host_speeds=self.host_speeds,
             host_map=host_map,
+            executor=self.executor,
         )
         self._phases.append(stats)
         try:

@@ -20,6 +20,15 @@ payload (delivery stays exactly-once), but every retransmission is
 charged to dedicated retry counters — extra bytes, extra messages, and
 exponential-backoff stalls — so recovery overhead is visible in the
 simulated breakdown.
+
+For the pluggable execution engine (:mod:`repro.runtime.executor`), a
+host's traffic can be recorded on a *private* :class:`CommLedger`
+instead of the shared matrices: :meth:`Communicator.ledger` hands out a
+per-host recording view, and :meth:`Communicator.merge_ledger` folds
+ledgers back in.  Merging in host order reproduces, bit for bit, the
+accounting and message-queue order a serial host-by-host execution
+would have produced — which is what lets a thread pool run the hosts
+concurrently without perturbing a single counter.
 """
 
 from __future__ import annotations
@@ -32,18 +41,22 @@ import numpy as np
 
 from .faults import FaultInjector, SendRetriesExhausted
 
-__all__ = ["Communicator", "payload_nbytes"]
+__all__ = ["Communicator", "CommLedger", "payload_nbytes"]
 
 
 def payload_nbytes(payload: Any) -> int:
     """Approximate serialized size of a payload in bytes.
 
-    NumPy arrays count their buffer size; containers count the sum of
-    their elements; Python scalars count 8 bytes (one machine word).
+    NumPy arrays (including 0-d scalars-in-arrays) count their buffer
+    size; containers count the sum of their elements; Python and NumPy
+    scalars count 8 bytes (one machine word).  ``np.bool_`` is listed
+    explicitly: under NumPy 2 it is no longer a ``bool``/``int``
+    subclass, so it would otherwise fall through to the TypeError.
     """
     if payload is None:
         return 0
     if isinstance(payload, np.ndarray):
+        # Covers 0-d arrays too: np.asarray(3.0).nbytes == 8.
         return int(payload.nbytes)
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
@@ -51,7 +64,9 @@ def payload_nbytes(payload: Any) -> int:
         return sum(payload_nbytes(p) for p in payload)
     if isinstance(payload, dict):
         return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items())
-    if isinstance(payload, (int, float, np.integer, np.floating, bool)):
+    if isinstance(
+        payload, (bool, int, float, np.bool_, np.integer, np.floating)
+    ):
         return 8
     if isinstance(payload, str):
         return len(payload.encode())
@@ -130,7 +145,9 @@ class Communicator:
         self._check_host(dst)
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         if src != dst and self.injector is not None:
-            self._run_faulty_transport(src, dst, size)
+            self._run_faulty_transport(
+                src, dst, size, _DirectRetrySink(self, src)
+            )
         if src != dst:
             self.sent_bytes[src, dst] += size
             if coalesce:
@@ -142,41 +159,65 @@ class Communicator:
                 )
         self._queues[(dst, tag)].append((src, payload))
 
-    def _run_faulty_transport(self, src: int, dst: int, size: int) -> None:
+    def _run_faulty_transport(self, src, dst, size, retry_sink) -> None:
         """Subject one remote send to the attached fault injector.
 
         May raise :class:`~repro.runtime.faults.HostCrashError` (a
         mid-phase crash triggered by this operation) or
         :class:`~repro.runtime.faults.SendRetriesExhausted`.  Charges
-        every wasted attempt to the retry counters.
+        every wasted attempt to ``retry_sink`` — the shared retry
+        counters for a direct send, a private :class:`CommLedger` when
+        the send is recorded on one.
         """
-        self.injector.tick()
+        channel = self.injector.channel(src)
+        channel.tick()
         attempt = 0
         # Sender-side NACKs: retry with exponential backoff.
-        while self.injector.transient_send_failure(src, dst):
-            self._charge_retry(src, dst, size, attempt)
+        while channel.transient_send_failure(dst):
+            retry_sink.charge_retry(dst, size, attempt)
             attempt += 1
             if attempt > self.max_retries:
                 raise SendRetriesExhausted(
                     f"send {src}->{dst} failed after {self.max_retries} retries"
                 )
         # In-flight drops: ack timeout, then retransmit (which may drop too).
-        while self.injector.dropped(src, dst):
-            self._charge_retry(src, dst, size, attempt)
+        while channel.dropped(dst):
+            retry_sink.charge_retry(dst, size, attempt)
             attempt += 1
             if attempt > self.max_retries:
                 raise SendRetriesExhausted(
                     f"send {src}->{dst} dropped {self.max_retries} times"
                 )
         # Duplicated delivery: the receiver dedups, the wire paid twice.
-        if self.injector.duplicated(src, dst):
-            self.retry_bytes[src, dst] += size
-            self.retry_messages[src, dst] += 1
+        if channel.duplicated(dst):
+            retry_sink.charge_duplicate(dst, size)
 
-    def _charge_retry(self, src: int, dst: int, size: int, attempt: int) -> None:
-        self.retry_bytes[src, dst] += size
-        self.retry_messages[src, dst] += 1
-        self.backoff_units[src] += 2.0 ** attempt
+    # ------------------------------------------------------------------
+    # Per-host ledger views (execution engine)
+    # ------------------------------------------------------------------
+    def ledger(self, host: int) -> "CommLedger":
+        """A private recording view for traffic originated by ``host``."""
+        self._check_host(host)
+        return CommLedger(self, host)
+
+    def merge_ledger(self, ledger: "CommLedger") -> None:
+        """Fold one host's private ledger into the shared accounting.
+
+        Calling this for every host's ledger *in host order* reproduces
+        exactly the matrices and per-destination queue order a serial
+        host-by-host execution over the shared state would have built.
+        """
+        h = ledger.host
+        self.sent_bytes[h, :] += ledger.sent_bytes
+        self.sent_messages[h, :] += ledger.sent_messages
+        self.retry_bytes[h, :] += ledger.retry_bytes
+        self.retry_messages[h, :] += ledger.retry_messages
+        self.backoff_units[h] += ledger.backoff_units
+        self._stream_bytes[h, :] += ledger.stream_bytes
+        self._stream_logical[h, :] += ledger.stream_logical
+        for dst, tag, payload in ledger.queued:
+            self._queues[(dst, tag)].append((h, payload))
+        ledger.queued = []
 
     def _stream_messages(self) -> np.ndarray:
         """Network messages implied by the coalesced streams."""
@@ -207,14 +248,19 @@ class Communicator:
     # Collectives (payload-carrying, with cost events)
     # ------------------------------------------------------------------
     def allreduce_sum(
-        self, contributions: Iterable[np.ndarray], blocking: bool = True
+        self,
+        contributions: Iterable[np.ndarray],
+        blocking: bool = True,
+        nbytes: float | None = None,
     ) -> np.ndarray:
         """Element-wise sum across hosts; every host gets the result.
 
         ``blocking=False`` records the collective as asynchronous: hosts
         do not wait at the round boundary (CuSP's master-assignment
         synchronization, paper §IV-D5), so the cost model charges volume
-        but not a latency tree.
+        but not a latency tree.  ``nbytes`` overrides the charged volume
+        when the exchanged representation is smaller than the dense
+        result (e.g. sparse delta synchronization).
         """
         arrays = [np.asarray(c) for c in contributions]
         if len(arrays) != self.num_hosts:
@@ -223,17 +269,23 @@ class Communicator:
         for a in arrays[1:]:
             result = result + a
         kind = "allreduce" if blocking else "allreduce-async"
-        self.collective_events.append((kind, float(result.nbytes)))
+        charged = float(result.nbytes) if nbytes is None else float(nbytes)
+        self.collective_events.append((kind, charged))
         return result
 
-    def allreduce_max(self, contributions: Iterable[np.ndarray]) -> np.ndarray:
+    def allreduce_max(
+        self,
+        contributions: Iterable[np.ndarray],
+        nbytes: float | None = None,
+    ) -> np.ndarray:
         arrays = [np.asarray(c) for c in contributions]
         if len(arrays) != self.num_hosts:
             raise ValueError("one contribution per host required")
         result = arrays[0].copy()
         for a in arrays[1:]:
             np.maximum(result, a, out=result)
-        self.collective_events.append(("allreduce", float(result.nbytes)))
+        charged = float(result.nbytes) if nbytes is None else float(nbytes)
+        self.collective_events.append(("allreduce", charged))
         return result
 
     def allgather(self, contributions: list[Any]) -> list[Any]:
@@ -284,11 +336,103 @@ class Communicator:
         )
 
     def partners(self, host: int) -> int:
-        """Number of distinct peers ``host`` exchanged data with."""
-        mask = (self.sent_bytes[host, :] > 0) | (self.sent_bytes[:, host] > 0)
+        """Number of distinct peers ``host`` exchanged data with.
+
+        Retry traffic counts: a peer reached only through charged
+        retransmissions was still contacted.
+        """
+        out = self.sent_bytes[host, :] + self.retry_bytes[host, :]
+        inc = self.sent_bytes[:, host] + self.retry_bytes[:, host]
+        mask = (out > 0) | (inc > 0)
         mask[host] = False
         return int(mask.sum())
 
     def _check_host(self, h: int) -> None:
         if not (0 <= h < self.num_hosts):
             raise ValueError(f"host {h} out of range [0, {self.num_hosts})")
+
+
+class _DirectRetrySink:
+    """Retry sink that charges straight to the shared matrices."""
+
+    __slots__ = ("comm", "src")
+
+    def __init__(self, comm: Communicator, src: int):
+        self.comm = comm
+        self.src = src
+
+    def charge_retry(self, dst: int, size: int, attempt: int) -> None:
+        self.comm.retry_bytes[self.src, dst] += size
+        self.comm.retry_messages[self.src, dst] += 1
+        self.comm.backoff_units[self.src] += 2.0 ** attempt
+
+    def charge_duplicate(self, dst: int, size: int) -> None:
+        self.comm.retry_bytes[self.src, dst] += size
+        self.comm.retry_messages[self.src, dst] += 1
+
+
+class CommLedger:
+    """Private per-host recording view over a :class:`Communicator`.
+
+    A ledger accumulates one host's outbound accounting in private
+    vectors (one slot per destination) and buffers its outbound payloads
+    without touching the communicator's shared queues.  Fault-injection
+    draws still happen live against the host's own
+    :class:`~repro.runtime.faults.HostFaultChannel`, whose event stream
+    is redirected into the ledger so discarded parallel work never
+    leaks events.  :meth:`Communicator.merge_ledger` folds everything
+    back in at a phase barrier.
+    """
+
+    def __init__(self, comm: Communicator, host: int):
+        self.comm = comm
+        self.host = host
+        n = comm.num_hosts
+        self.sent_bytes = np.zeros(n, dtype=np.float64)
+        self.sent_messages = np.zeros(n, dtype=np.float64)
+        self.retry_bytes = np.zeros(n, dtype=np.float64)
+        self.retry_messages = np.zeros(n, dtype=np.float64)
+        self.stream_bytes = np.zeros(n, dtype=np.float64)
+        self.stream_logical = np.zeros(n, dtype=np.float64)
+        self.backoff_units = 0.0
+        #: Buffered outbound payloads as (dst, tag, payload), in send order.
+        self.queued: list[tuple[int, str, Any]] = []
+        #: Fault events drawn while recording on this ledger (merged into
+        #: the injector's shared stream by the executor, in host order).
+        self.fault_events: list[tuple] = []
+
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        tag: str = "default",
+        logical_messages: int = 1,
+        nbytes: int | None = None,
+        coalesce: bool = False,
+    ) -> None:
+        """Record a send from this ledger's host (same semantics as
+        :meth:`Communicator.send`, minus the shared-state writes)."""
+        comm = self.comm
+        comm._check_host(dst)
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        if self.host != dst and comm.injector is not None:
+            comm._run_faulty_transport(self.host, dst, size, self)
+        if self.host != dst:
+            self.sent_bytes[dst] += size
+            if coalesce:
+                self.stream_bytes[dst] += size
+                self.stream_logical[dst] += max(1, logical_messages)
+            else:
+                self.sent_messages[dst] += comm._message_count(
+                    size, logical_messages
+                )
+        self.queued.append((dst, tag, payload))
+
+    def charge_retry(self, dst: int, size: int, attempt: int) -> None:
+        self.retry_bytes[dst] += size
+        self.retry_messages[dst] += 1
+        self.backoff_units += 2.0 ** attempt
+
+    def charge_duplicate(self, dst: int, size: int) -> None:
+        self.retry_bytes[dst] += size
+        self.retry_messages[dst] += 1

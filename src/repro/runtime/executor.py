@@ -1,0 +1,327 @@
+"""Pluggable per-host execution engine for the five CuSP phases.
+
+Phase bodies used to drive hosts with inline ``for h in range(num_hosts)``
+loops over shared accounting state, which welds the streaming algorithm
+to single-threaded execution.  This module separates *what a host
+computes* from *how the hosts are driven*:
+
+* :class:`HostTask` — one host's closure over a phase's per-host work,
+  expressed against a :class:`HostView` (send / recv / disk / compute
+  charges);
+* :class:`Executor` — the driving strategy.  :class:`SerialExecutor`
+  runs tasks host-by-host against the shared ledgers (the deterministic
+  reference, exactly the old inline-loop semantics).
+  :class:`ParallelExecutor` runs them on a thread pool, each host
+  recording onto a *private* :class:`~repro.runtime.comm.CommLedger`
+  (plus private disk/compute accumulators and a redirected fault-event
+  sink) that is merged back in **host order** at the barrier.
+
+Determinism argument (why parallel is bit-identical to serial):
+
+1. *Accounting*: merge adds each host's private vectors into its own row
+   of the shared matrices — addition order across rows is irrelevant,
+   and within a row the ledger preserved the host's own send order.
+2. *Message queues*: merging in host order appends each destination's
+   payloads in exactly the (src-major) order a serial sweep would have
+   produced, so every receiver drains an identical queue.
+3. *Faults*: fault draws come from per-host generators seeded by
+   ``(plan.seed, phase attempt, host)`` and tick on the host's own
+   logical-op counter (:mod:`repro.runtime.faults`), so the decision
+   sequence is independent of thread interleaving.  Fault events are
+   buffered per ledger and concatenated in host order.
+4. *Failures*: if hosts raise, the executor keeps the outcome of the
+   first raising host in host order — ledgers of earlier hosts merge
+   fully, the raising host's partial ledger merges as-is (serial charges
+   everything up to the raise), later hosts' ledgers are discarded along
+   with any crash they fired (serial would never have run them) — and
+   re-raises.  Phase bodies are replay-safe (fresh state per attempt),
+   so the discarded extra work of concurrent hosts is unobservable.
+
+Work whose *algorithm* is cross-host sequential — a stateful edge rule
+where host ``h+1`` must score against the state host ``h`` just updated —
+goes through :meth:`Executor.chain`, which every executor runs
+sequentially against the shared ledgers: bit-identity forbids
+parallelism there, and pretending otherwise would change the partition.
+
+Collectives (``allreduce_*``/``allgather``/``barrier``) are phase-global
+and must be issued between task submissions, never inside a mapped task.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "HostTask",
+    "HostView",
+    "DirectHostView",
+    "LedgerHostView",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "EXECUTOR_NAMES",
+]
+
+EXECUTOR_NAMES = ("serial", "parallel")
+
+
+@dataclass(frozen=True)
+class HostTask:
+    """One host's unit of phase work: a closure plus the host it charges.
+
+    ``fn`` receives a :class:`HostView` and performs the host's compute,
+    declaring its communication and compute/disk charges through the
+    view.  It must touch shared structures only through the view (or
+    through per-host slices no other task writes).
+    """
+
+    host: int
+    fn: Callable[["HostView"], Any]
+    label: str = ""
+
+
+class HostView:
+    """What one host's task sees of the cluster (interface).
+
+    Concrete views route every charge either straight to the shared
+    phase ledgers (:class:`DirectHostView`) or to private per-host
+    ledgers merged at the barrier (:class:`LedgerHostView`).  Phase code
+    is written against this interface only.
+    """
+
+    host: int
+
+    def send(self, dst, payload, tag="default", logical_messages=1,
+             nbytes=None, coalesce=False) -> None:
+        raise NotImplementedError
+
+    def recv_all(self, tag="default") -> list:
+        raise NotImplementedError
+
+    def add_disk(self, nbytes: float) -> None:
+        raise NotImplementedError
+
+    def add_compute(self, units: float) -> None:
+        raise NotImplementedError
+
+
+class DirectHostView(HostView):
+    """Charges land immediately on the shared ``PhaseStats``/``Communicator``."""
+
+    __slots__ = ("_stats", "host")
+
+    def __init__(self, stats, host: int):
+        self._stats = stats
+        self.host = int(host)
+
+    def send(self, dst, payload, tag="default", logical_messages=1,
+             nbytes=None, coalesce=False) -> None:
+        self._stats.comm.send(
+            self.host, dst, payload, tag=tag,
+            logical_messages=logical_messages, nbytes=nbytes,
+            coalesce=coalesce,
+        )
+
+    def recv_all(self, tag="default") -> list:
+        return self._stats.comm.recv_all(self.host, tag)
+
+    def add_disk(self, nbytes: float) -> None:
+        self._stats.add_disk(self.host, nbytes)
+
+    def add_compute(self, units: float) -> None:
+        self._stats.add_compute(self.host, units)
+
+
+class LedgerHostView(HostView):
+    """Charges accumulate privately; :meth:`merge` folds them in.
+
+    Creating the view redirects the host's fault channel to the private
+    ledger so events drawn by a concurrently-running host can be merged
+    (or discarded) deterministically.  Receiving is read-only on the
+    host's own queues — safe because queues are only ever appended to at
+    merge barriers, and each host drains only its own.
+    """
+
+    __slots__ = ("_stats", "_channel", "host", "ledger",
+                 "disk_bytes", "compute_units")
+
+    def __init__(self, stats, host: int):
+        self._stats = stats
+        self.host = int(host)
+        self.ledger = stats.comm.ledger(host)
+        self.disk_bytes = 0.0
+        self.compute_units = 0.0
+        injector = stats.comm.injector
+        self._channel = None
+        if injector is not None:
+            self._channel = injector.channel(host)
+            self._channel.events_out = self.ledger.fault_events
+
+    def send(self, dst, payload, tag="default", logical_messages=1,
+             nbytes=None, coalesce=False) -> None:
+        self.ledger.send(
+            dst, payload, tag=tag, logical_messages=logical_messages,
+            nbytes=nbytes, coalesce=coalesce,
+        )
+
+    def recv_all(self, tag="default") -> list:
+        return self._stats.comm.recv_all(self.host, tag)
+
+    def add_disk(self, nbytes: float) -> None:
+        if self._channel is not None:
+            self._channel.tick()
+        self.disk_bytes += nbytes
+
+    def add_compute(self, units: float) -> None:
+        if self._channel is not None:
+            self._channel.tick()
+        self.compute_units += units
+
+    def merge(self) -> None:
+        """Fold this host's private charges into the shared state."""
+        stats = self._stats
+        stats.comm.merge_ledger(self.ledger)
+        stats.disk_bytes[self.host] += self.disk_bytes
+        stats.compute_units[self.host] += self.compute_units
+        self.disk_bytes = 0.0
+        self.compute_units = 0.0
+        injector = stats.comm.injector
+        if injector is not None and self._channel is not None:
+            injector.events.extend(self.ledger.fault_events)
+            self.ledger.fault_events = []
+            injector.commit(self._channel)
+            self._channel.events_out = injector.events
+
+    def release(self) -> None:
+        """Discard this host's private charges (work serial never ran)."""
+        injector = self._stats.comm.injector
+        if injector is not None and self._channel is not None:
+            self._channel.fired.clear()
+            self._channel.events_out = injector.events
+
+
+class Executor:
+    """Strategy for driving a phase's per-host tasks."""
+
+    name = "abstract"
+
+    def run(self, stats, tasks: Sequence[HostTask]) -> list:
+        """Run independent per-host tasks; return results in task order.
+
+        A barrier: every task has completed (and, for the parallel
+        executor, every surviving ledger has merged) before this returns.
+        Raises the first raising host's exception, in host order.
+        """
+        raise NotImplementedError
+
+    def chain(self, stats, tasks: Sequence[HostTask]) -> list:
+        """Run cross-host-*dependent* tasks sequentially in task order.
+
+        Used when host h+1's algorithm reads state host h wrote (e.g.
+        stateful streaming edge rules): identical under every executor
+        by construction.
+        """
+        return [task.fn(DirectHostView(stats, task.host)) for task in tasks]
+
+
+class SerialExecutor(Executor):
+    """Deterministic reference: host-by-host over the shared ledgers."""
+
+    name = "serial"
+
+    def run(self, stats, tasks: Sequence[HostTask]) -> list:
+        return [task.fn(DirectHostView(stats, task.host)) for task in tasks]
+
+
+class ParallelExecutor(Executor):
+    """Thread pool over private per-host ledgers, merged in host order.
+
+    NumPy kernels release the GIL, so per-host work genuinely overlaps.
+    The pool is created lazily and reused across phases.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self, width: int) -> ThreadPoolExecutor:
+        workers = self._max_workers
+        if workers is None:
+            workers = max(2, min(width, os.cpu_count() or 1))
+        if self._pool is None or self._pool._max_workers < workers:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-host"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def run(self, stats, tasks: Sequence[HostTask]) -> list:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        hosts = [t.host for t in tasks]
+        if len(set(hosts)) != len(hosts):
+            raise ValueError("one task per host required in run()")
+        if len(tasks) == 1:
+            # No concurrency to gain; keep the direct (zero-copy) path.
+            return [tasks[0].fn(DirectHostView(stats, tasks[0].host))]
+        views = [LedgerHostView(stats, t.host) for t in tasks]
+        pool = self._ensure_pool(len(tasks))
+        futures = [
+            pool.submit(self._guarded, t.fn, v)
+            for t, v in zip(tasks, views)
+        ]
+        outcomes = [f.result() for f in futures]
+        # Barrier: merge in host order; keep the first failure in host
+        # order and discard everything a serial sweep would not have run.
+        order = sorted(range(len(tasks)), key=lambda i: tasks[i].host)
+        failed_at = None
+        for pos, i in enumerate(order):
+            result, exc = outcomes[i]
+            views[i].merge()
+            if exc is not None:
+                failed_at = pos
+                break
+        if failed_at is not None:
+            for i in order[failed_at + 1:]:
+                views[i].release()
+            raise outcomes[order[failed_at]][1]
+        return [outcomes[i][0] for i in range(len(tasks))]
+
+    @staticmethod
+    def _guarded(fn, view) -> tuple:
+        try:
+            return fn(view), None
+        except Exception as exc:  # noqa: BLE001 — re-raised at the barrier
+            return None, exc
+
+
+def make_executor(spec) -> Executor:
+    """Resolve an executor from a name, ``None``, or an instance."""
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    if isinstance(spec, str):
+        if spec == "serial":
+            return SerialExecutor()
+        if spec == "parallel":
+            return ParallelExecutor()
+        raise ValueError(
+            f"unknown executor {spec!r}; expected one of {EXECUTOR_NAMES}"
+        )
+    raise TypeError(f"cannot build an executor from {type(spec).__name__}")

@@ -17,11 +17,18 @@ against:
 * **slow hosts** — per-host compute-speed factors, generalizing the
   ``host_speeds`` straggler knob.
 
-Everything is driven by a single seeded :class:`numpy.random.Generator`
-inside :class:`FaultInjector`, so a given (:class:`FaultPlan`, seed)
-produces the *identical* fault sequence on every run — which is what
+Fault decisions are keyed to **(host, logical-op-index)**, not to global
+call order: every host slot owns a :class:`HostFaultChannel` with its own
+operation counter and its own seeded :class:`numpy.random.Generator`
+(derived from ``(plan.seed, phase attempt, host)``).  A planned mid-phase
+crash of host ``h`` fires once *host h itself* has performed ``op_count``
+accounting operations, and message-fault draws for sends originated by
+``h`` come from ``h``'s private stream.  This makes the injected fault
+sequence a pure function of the plan and each host's own deterministic
+op sequence — identical under the serial executor and under the parallel
+executor's thread pool, whatever the thread interleaving — which is what
 makes the recovery guarantee testable: a faulty run must converge to the
-same partition as the fault-free run.
+same partition as the fault-free run, on every executor.
 
 Functional payloads are never corrupted: retries, retransmissions and
 duplicates are charged to the byte/message accounting (and therefore to
@@ -41,6 +48,7 @@ __all__ = [
     "FaultPlan",
     "HostCrash",
     "FaultInjector",
+    "HostFaultChannel",
     "RecoveryManager",
     "FaultReport",
     "FaultError",
@@ -79,10 +87,14 @@ class HostCrash:
     into the run's phase order (0 = first phase opened).  ``op_count``
     selects the crash point: ``None`` crashes at the phase *boundary*
     (after the phase's work, before its output is committed); a positive
-    integer crashes mid-phase, once that many accounting operations
-    (sends, compute/disk charges) have been recorded.  A mid-phase crash
-    whose phase finishes with fewer operations fires at that phase's
-    boundary instead — a planned crash always happens.
+    integer crashes mid-phase, once *the crashing host itself* has
+    recorded that many accounting operations (sends, compute/disk
+    charges) in the phase.  Keying the crash point to the host's own
+    logical op index — rather than global call order — keeps the crash
+    deterministic under both the serial and the parallel executor.  A
+    mid-phase crash whose host finishes the phase with fewer operations
+    fires at that phase's boundary instead — a planned crash always
+    happens.
     """
 
     host: int
@@ -247,25 +259,102 @@ class FaultPlan:
         return ",".join(parts)
 
 
+class HostFaultChannel:
+    """One host slot's private window onto the fault plan.
+
+    Owns the slot's logical-op counter and a seeded generator derived
+    from ``(plan.seed, phase attempt, host)``, so the channel's decision
+    sequence depends only on the host's own deterministic op/send order —
+    never on how other hosts' operations interleave with it.  A channel
+    is used by at most one thread at a time (the host's task, or the
+    main thread between tasks).
+
+    :attr:`events_out` is the list injected faults are appended to.  It
+    defaults to the injector's global chronological log; the parallel
+    executor redirects it to the host's private ledger for the duration
+    of a task so the log can be merged deterministically in host order.
+    """
+
+    def __init__(self, injector: "FaultInjector", host: int):
+        self.injector = injector
+        self.host = int(host)
+        #: Logical accounting operations this slot performed in the phase.
+        self.ops = 0
+        plan = injector.plan
+        self._rng = np.random.default_rng(
+            [plan.seed, injector.attempt, self.host]
+        )
+        self.events_out: list[tuple] = injector.events
+        #: Crash indices fired on this channel but not yet committed to
+        #: the injector's ``_fired`` set.  When the channel logs straight
+        #: to the injector the commit is immediate; when redirected to a
+        #: private ledger the executor commits on merge — so a crash
+        #: fired by a host whose parallel work is *discarded* (it ran
+        #: past the host serial order would have aborted at) is forgotten
+        #: exactly as if the host had never run.
+        self.fired: list[int] = []
+
+    def tick(self) -> None:
+        """Record one accounting operation; may fire a mid-phase crash."""
+        inj = self.injector
+        if inj._phase is None:
+            return
+        self.ops += 1
+        for i, crash in enumerate(inj.plan.crashes):
+            if (
+                i not in inj._fired
+                and i not in self.fired
+                and crash.host == self.host
+                and crash.op_count is not None
+                and self.ops >= crash.op_count
+                and inj._matches_phase(crash.phase)
+            ):
+                self.fired.append(i)
+                self.events_out.append(("crash", inj._phase, crash.host))
+                if self.events_out is inj.events:
+                    inj.commit(self)
+                raise HostCrashError(crash.host, inj._phase)
+
+    def _draw(self, kind: str, rate: float, dst: int) -> bool:
+        if rate <= 0.0:
+            return False
+        if self._rng.random() >= rate:
+            return False
+        self.events_out.append((kind, self.injector._phase, self.host, dst))
+        return True
+
+    def transient_send_failure(self, dst: int) -> bool:
+        return self._draw("send-failure", self.injector.plan.send_failure_rate, dst)
+
+    def dropped(self, dst: int) -> bool:
+        return self._draw("drop", self.injector.plan.drop_rate, dst)
+
+    def duplicated(self, dst: int) -> bool:
+        return self._draw("duplicate", self.injector.plan.duplicate_rate, dst)
+
+
 class FaultInjector:
     """Stateful executor of a :class:`FaultPlan`.
 
     One injector is shared by a :class:`~repro.runtime.cluster.
-    SimulatedCluster` and all of its per-phase communicators.  Every
-    random decision comes from one seeded generator, and every injected
-    fault is appended to :attr:`events`, so two runs with the same plan
-    inject byte-identical fault sequences (the simulation itself is
-    single-threaded and deterministic).
+    SimulatedCluster` and all of its per-phase communicators.  Fault
+    decisions are delegated to per-host :class:`HostFaultChannel`\\ s
+    (fresh ones per phase attempt), so two runs with the same plan inject
+    byte-identical fault sequences regardless of which executor drives
+    the hosts.
     """
 
     def __init__(self, plan: FaultPlan):
         plan.validate()
         self.plan = plan
-        self._rng = np.random.default_rng(plan.seed)
         self._fired: set[int] = set()
         self._phase: str | None = None
         self._phase_order: list[str] = []
-        self._ops = 0
+        #: Phase attempts opened so far (replays count); salts the
+        #: per-host generators so an aborted attempt's consumed draws
+        #: never leak into its replay.
+        self.attempt = 0
+        self._channels: dict[int, HostFaultChannel] = {}
         #: Chronological log of injected faults:
         #: ("send-failure" | "drop" | "duplicate", phase, src, dst) and
         #: ("crash", phase, host).
@@ -278,60 +367,57 @@ class FaultInjector:
         if name not in self._phase_order:
             self._phase_order.append(name)
         self._phase = name
-        self._ops = 0
+        self.attempt += 1
+        self._channels = {}
 
-    def tick(self) -> None:
-        """Record one accounting operation; may fire a mid-phase crash."""
-        if self._phase is None:
-            return
-        self._ops += 1
-        self._fire_crashes(boundary=False)
+    def channel(self, host: int) -> HostFaultChannel:
+        """The (per phase-attempt) fault channel of one host slot."""
+        ch = self._channels.get(host)
+        if ch is None:
+            ch = HostFaultChannel(self, host)
+            self._channels[host] = ch
+        return ch
+
+    def commit(self, channel: HostFaultChannel) -> None:
+        """Mark the crashes fired on ``channel`` as permanently done."""
+        self._fired.update(channel.fired)
+        channel.fired.clear()
 
     def phase_boundary(self) -> None:
-        """Fire any planned crash at the current phase's boundary."""
+        """Fire any planned crash still pending at the phase's boundary.
+
+        This is the catch-all for boundary crashes (``op_count=None``)
+        and for mid-phase crashes whose host finished with fewer ops than
+        planned — a planned crash always happens.
+        """
         if self._phase is None:
             return
-        self._fire_crashes(boundary=True)
+        for i, crash in enumerate(self.plan.crashes):
+            if i in self._fired or not self._matches_phase(crash.phase):
+                continue
+            self._fired.add(i)
+            self.events.append(("crash", self._phase, crash.host))
+            raise HostCrashError(crash.host, self._phase)
 
     def _matches_phase(self, spec_phase: str | int) -> bool:
         if isinstance(spec_phase, int):
             return self._phase_order.index(self._phase) == spec_phase
         return spec_phase == self._phase
 
-    def _fire_crashes(self, boundary: bool) -> None:
-        for i, crash in enumerate(self.plan.crashes):
-            if i in self._fired or not self._matches_phase(crash.phase):
-                continue
-            # Mid-phase crashes fire once their op count is reached; the
-            # boundary is a catch-all for any crash still pending on this
-            # phase (op_count larger than the phase's actual op total).
-            if not boundary and (
-                crash.op_count is None or self._ops < crash.op_count
-            ):
-                continue
-            self._fired.add(i)
-            self.events.append(("crash", self._phase, crash.host))
-            raise HostCrashError(crash.host, self._phase)
-
     # ------------------------------------------------------------------
-    # Message-level faults (driven by Communicator.send)
+    # Message-level faults (convenience delegates to the src channel)
     # ------------------------------------------------------------------
-    def _draw(self, kind: str, rate: float, src: int, dst: int) -> bool:
-        if rate <= 0.0:
-            return False
-        if self._rng.random() >= rate:
-            return False
-        self.events.append((kind, self._phase, src, dst))
-        return True
+    def tick(self, host: int = 0) -> None:
+        self.channel(host).tick()
 
     def transient_send_failure(self, src: int, dst: int) -> bool:
-        return self._draw("send-failure", self.plan.send_failure_rate, src, dst)
+        return self.channel(src).transient_send_failure(dst)
 
     def dropped(self, src: int, dst: int) -> bool:
-        return self._draw("drop", self.plan.drop_rate, src, dst)
+        return self.channel(src).dropped(dst)
 
     def duplicated(self, src: int, dst: int) -> bool:
-        return self._draw("duplicate", self.plan.duplicate_rate, src, dst)
+        return self.channel(src).duplicated(dst)
 
     # ------------------------------------------------------------------
     # Introspection

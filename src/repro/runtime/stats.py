@@ -32,21 +32,29 @@ class PhaseStats:
     #: partial timing is excluded from the breakdown total, but its
     #: bytes/messages remain visible as recovery cost.
     failed: bool = False
+    #: The execution engine driving this phase's per-host tasks
+    #: (``None`` means serial reference semantics; see
+    #: :mod:`repro.runtime.executor`).
+    executor: object = None
 
     def __post_init__(self) -> None:
         if self.disk_bytes is None:
             self.disk_bytes = np.zeros(self.num_hosts, dtype=np.float64)
         if self.compute_units is None:
             self.compute_units = np.zeros(self.num_hosts, dtype=np.float64)
+        if self.executor is None:
+            from .executor import SerialExecutor
+
+            self.executor = SerialExecutor()
 
     def add_disk(self, host: int, nbytes: float) -> None:
         if self.comm.injector is not None:
-            self.comm.injector.tick()
+            self.comm.injector.channel(host).tick()
         self.disk_bytes[host] += nbytes
 
     def add_compute(self, host: int, units: float) -> None:
         if self.comm.injector is not None:
-            self.comm.injector.tick()
+            self.comm.injector.channel(host).tick()
         self.compute_units[host] += units
 
     def _executor_of(self) -> np.ndarray:

@@ -1,0 +1,275 @@
+"""The pluggable per-host execution engine (``repro.runtime.executor``).
+
+Headline property: ``ParallelExecutor`` is *observationally identical*
+to ``SerialExecutor`` — same partitions bit for bit, same simulated
+``TimeBreakdown`` down to every byte/message/retry counter — because
+per-host comm ledgers are merged in host order at the phase barrier,
+reproducing exactly the serial host-by-host schedule.  That must hold
+for every policy, and it must keep holding under injected faults and
+crash-recovery replays.
+
+Also covers the comm-layer fixes that rode along: ``payload_nbytes`` on
+NumPy 2 scalars and 0-d arrays, explicit ``nbytes=`` on allreduce, and
+``partners`` counting retry-only peers.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CuSP, policy_names
+from repro.graph import erdos_renyi
+from repro.runtime.comm import Communicator, payload_nbytes
+from repro.runtime.executor import (
+    EXECUTOR_NAMES,
+    HostTask,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runtime.faults import FaultInjector, FaultPlan, HostCrash
+
+from .strategies import fault_plans, graphs
+
+
+def assert_same_partition(a, b):
+    assert np.array_equal(a.masters, b.masters)
+    assert len(a.partitions) == len(b.partitions)
+    for pa, pb in zip(a.partitions, b.partitions):
+        assert np.array_equal(pa.global_ids, pb.global_ids)
+        assert pa.num_masters == pb.num_masters
+        assert np.array_equal(pa.master_host, pb.master_host)
+        assert np.array_equal(pa.local_graph.indptr, pb.local_graph.indptr)
+        assert np.array_equal(pa.local_graph.indices, pb.local_graph.indices)
+
+
+def assert_same_breakdown(a, b):
+    """Every simulated counter must match — not approximately, exactly."""
+    assert len(a.phases) == len(b.phases)
+    for pa, pb in zip(a.phases, b.phases):
+        for field in (
+            "name", "total", "disk", "compute", "comm", "collective",
+            "comm_bytes", "comm_messages", "retry_bytes", "retry_messages",
+            "failed",
+        ):
+            assert getattr(pa, field) == getattr(pb, field), (
+                f"{pa.name}: {field} diverges between executors"
+            )
+
+
+def run_both(graph, policy, k=4, plan=None, **kw):
+    serial = CuSP(k, policy, fault_plan=plan, executor="serial", **kw)
+    parallel = CuSP(k, policy, fault_plan=plan, executor="parallel", **kw)
+    return serial.partition(graph), parallel.partition(graph)
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("policy", policy_names())
+    def test_all_policies_bit_identical(self, policy):
+        graph = erdos_renyi(300, 2400, seed=11)
+        dg_s, dg_p = run_both(graph, policy)
+        assert_same_partition(dg_s, dg_p)
+        assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=graphs(), policy=st.sampled_from(policy_names()),
+           k=st.integers(2, 6))
+    def test_arbitrary_graphs(self, graph, policy, k):
+        dg_s, dg_p = run_both(graph, policy, k=k)
+        assert_same_partition(dg_s, dg_p)
+        assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
+
+    @settings(max_examples=10, deadline=None)
+    @given(graph=graphs(min_nodes=8), buffer_size=st.sampled_from(
+        [64, 4096, 8 << 20]))
+    def test_buffer_sizes(self, graph, buffer_size):
+        dg_s, dg_p = run_both(graph, "CVC", buffer_size=buffer_size)
+        assert_same_partition(dg_s, dg_p)
+        assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
+
+    def test_explicit_executor_instances(self):
+        graph = erdos_renyi(200, 1200, seed=5)
+        dg_s = CuSP(4, "HVC", executor=SerialExecutor()).partition(graph)
+        dg_p = CuSP(
+            4, "HVC", executor=ParallelExecutor(max_workers=3)
+        ).partition(graph)
+        assert_same_partition(dg_s, dg_p)
+        assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
+
+
+@pytest.mark.faults
+class TestEquivalenceUnderFaults:
+    def test_message_faults_and_crash_recovery(self, tmp_path):
+        plan = FaultPlan(
+            seed=2, send_failure_rate=0.05, drop_rate=0.03,
+            duplicate_rate=0.03,
+            crashes=(
+                # op-keyed mid-phase crash + phase-entry crash: both
+                # abort attempts that the parallel merge must discard
+                # identically to the serial abort.
+                HostCrash(host=1, phase=2, op_count=5),
+                HostCrash(host=2, phase=4),
+            ),
+        )
+        graph = erdos_renyi(300, 2400, seed=11)
+        serial = CuSP(4, "CVC", fault_plan=plan, executor="serial",
+                      checkpoint_dir=str(tmp_path / "s"))
+        parallel = CuSP(4, "CVC", fault_plan=plan, executor="parallel",
+                        checkpoint_dir=str(tmp_path / "p"))
+        dg_s, dg_p = serial.partition(graph), parallel.partition(graph)
+        assert_same_partition(dg_s, dg_p)
+        assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
+        assert serial.last_fault_report.events == (
+            parallel.last_fault_report.events
+        )
+        # The plan really fired: replayed phases appear in both.
+        assert dg_s.breakdown.failed_phases()
+
+    @settings(max_examples=15, deadline=None)
+    @given(plan=fault_plans(), policy=st.sampled_from(["EEC", "CVC", "SVC"]))
+    def test_arbitrary_fault_plans(self, plan, policy):
+        graph = erdos_renyi(120, 700, seed=7)
+        serial = CuSP(4, policy, fault_plan=plan, executor="serial")
+        parallel = CuSP(4, policy, fault_plan=plan, executor="parallel")
+        dg_s, dg_p = serial.partition(graph), parallel.partition(graph)
+        assert_same_partition(dg_s, dg_p)
+        assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
+        assert serial.last_fault_report.events == (
+            parallel.last_fault_report.events
+        )
+
+
+class TestExecutorMechanics:
+    def test_make_executor(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("parallel"), ParallelExecutor)
+        ex = ParallelExecutor()
+        assert make_executor(ex) is ex
+        with pytest.raises(ValueError):
+            make_executor("bogus")
+        assert set(EXECUTOR_NAMES) == {"serial", "parallel"}
+
+    def _stats(self, num_hosts=3):
+        from repro.runtime.stats import PhaseStats
+
+        comm = Communicator(num_hosts, injector=FaultInjector(FaultPlan()))
+        return PhaseStats(name="test", comm=comm, num_hosts=num_hosts)
+
+    def test_duplicate_hosts_rejected(self):
+        ph = self._stats()
+        with pytest.raises(ValueError):
+            ParallelExecutor().run(ph, [
+                HostTask(0, lambda v: None), HostTask(0, lambda v: None),
+            ])
+
+    def test_results_in_task_order(self):
+        ph = self._stats()
+        tasks = [HostTask(h, (lambda h: lambda v: h * 10)(h))
+                 for h in (2, 0, 1)]
+        assert ParallelExecutor().run(ph, tasks) == [20, 0, 10]
+        ph2 = self._stats()
+        assert SerialExecutor().run(ph2, tasks) == [20, 0, 10]
+
+    def test_parallel_actually_overlaps(self):
+        ph = self._stats(num_hosts=2)
+        barrier = threading.Barrier(2, timeout=10)
+
+        def body(view):
+            barrier.wait()  # deadlocks unless both tasks run concurrently
+            return True
+
+        results = ParallelExecutor(max_workers=2).run(ph, [
+            HostTask(0, body), HostTask(1, body),
+        ])
+        assert results == [True, True]
+
+    def test_task_exception_propagates(self):
+        ph = self._stats()
+
+        def boom(view):
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            ParallelExecutor().run(ph, [HostTask(0, boom)])
+
+    def test_ledger_merge_matches_direct(self):
+        """The ledger path charges the same matrices as direct sends."""
+        def workload(view, peers):
+            for dst in peers:
+                view.send(dst, np.arange(50), tag="t")
+            view.add_disk(100.0)
+            view.add_compute(7.0)
+
+        def totals(ph):
+            c = ph.comm
+            return (
+                c.sent_bytes.copy(), c.sent_messages.copy(),
+                ph.disk_bytes.copy(), ph.compute_units.copy(),
+            )
+
+        ph_s, ph_p = self._stats(), self._stats()
+        tasks = lambda: [
+            HostTask(h, (lambda h: lambda v: workload(v, [
+                j for j in range(3) if j != h]))(h))
+            for h in range(3)
+        ]
+        SerialExecutor().run(ph_s, tasks())
+        ParallelExecutor().run(ph_p, tasks())
+        for a, b in zip(totals(ph_s), totals(ph_p)):
+            assert np.array_equal(a, b)
+        # Queued payloads drain identically (host order).
+        for j in range(3):
+            recv_s = ph_s.comm.recv_all(j, tag="t")
+            recv_p = ph_p.comm.recv_all(j, tag="t")
+            assert [src for src, _ in recv_s] == [src for src, _ in recv_p]
+
+
+class TestCommRegressions:
+    def test_payload_nbytes_numpy2_scalars(self):
+        # np.bool_ is no longer a bool subclass on NumPy 2; this used to
+        # raise TypeError deep inside send().
+        assert payload_nbytes(np.bool_(True)) == 8
+        assert payload_nbytes(np.int32(7)) == 8
+        assert payload_nbytes(np.float64(1.5)) == 8
+        assert payload_nbytes(True) == 8
+
+    def test_payload_nbytes_zero_dim_array(self):
+        scalar_arr = np.array(3.0)
+        assert scalar_arr.ndim == 0
+        assert payload_nbytes(scalar_arr) == scalar_arr.nbytes
+
+    def test_send_numpy_bool_payload(self):
+        comm = Communicator(2, injector=FaultInjector(FaultPlan()))
+        comm.send(0, 1, np.bool_(True), tag="flag")
+        [(src, payload)] = comm.recv_all(1, tag="flag")
+        assert src == 0 and payload == np.bool_(True)
+        assert comm.sent_bytes[0, 1] == 8.0
+
+    def test_allreduce_nbytes_override(self):
+        comm = Communicator(3, injector=FaultInjector(FaultPlan()))
+        contributions = [np.arange(4, dtype=np.float64) for _ in range(3)]
+        comm.allreduce_sum(contributions, nbytes=1000.0)
+        kind, charged = comm.collective_events[-1]
+        assert kind == "allreduce" and charged == 1000.0
+        comm2 = Communicator(3, injector=FaultInjector(FaultPlan()))
+        comm2.allreduce_max([np.ones(4) for _ in range(3)], nbytes=64.0)
+        assert comm2.collective_events[-1][1] == 64.0
+
+    def test_partners_counts_retry_only_peers(self):
+        comm = Communicator(4, injector=FaultInjector(FaultPlan()))
+        # A peer reached only by retransmissions (e.g. every payload
+        # send was redirected elsewhere but the retries were charged)
+        # is still a communication partner.
+        comm.retry_bytes[0, 3] = 128.0
+        comm.retry_messages[0, 3] = 2.0
+        assert comm.partners(0) == 1
+        assert comm.partners(3) == 1
+        comm.sent_bytes[0, 1] = 64.0
+        assert comm.partners(0) == 2
+        # Self-traffic never counts.
+        comm.sent_bytes[2, 2] = 64.0
+        assert comm.partners(2) == 0
