@@ -1,10 +1,21 @@
 #!/usr/bin/env bash
-# Full correctness gate: tier-1 suite, the dedicated fault/recovery
+# Full correctness gate: strict SPMD-safety lint, type check (when
+# mypy is installed), tier-1 suite, the dedicated fault/recovery
 # suite, and end-to-end CLI exit-code checks (a corrupted partition
 # directory must make `cusp validate` exit non-zero).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== SPMD-safety lint (strict) =="
+python -m repro lint src/repro --strict
+
+echo "== type check (mypy, when available) =="
+if command -v mypy >/dev/null 2>&1; then
+    mypy --config-file pyproject.toml
+else
+    echo "mypy not installed; skipping (CI runs it as a dedicated job)"
+fi
 
 echo "== tier-1: unit + integration + property tests =="
 python -m pytest -x -q

@@ -1,0 +1,32 @@
+"""AST-based SPMD-safety lint (``repro lint``).
+
+See :mod:`repro.analysis.lint.base` for the framework (rules,
+suppression comments, reports) and :mod:`repro.analysis.lint.rules`
+for the bundled determinism-contract checkers.
+"""
+
+from .base import (
+    ERROR,
+    WARNING,
+    Finding,
+    LintReport,
+    LintRule,
+    ModuleSource,
+    Severity,
+    all_rules,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "ModuleSource",
+    "Severity",
+    "all_rules",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,287 @@
+"""Framework for the SPMD-safety lint: rules, findings, suppression, reports.
+
+A :class:`LintRule` is a pluggable AST checker.  It receives one parsed
+:class:`ModuleSource` at a time and yields :class:`Finding`\\ s; the
+driver (:func:`run_lint`) walks a file tree, applies every registered
+rule, honours suppression comments, and assembles a :class:`LintReport`
+with text and machine-readable JSON renderings.
+
+Suppression comments
+--------------------
+A finding is suppressed by a comment naming its rule:
+
+* ``# repro-lint: disable=rule-a,rule-b`` — on the flagged line;
+* ``# repro-lint: disable-next-line=rule-a`` — on the line above;
+* ``# repro-lint: disable-file=rule-a`` — anywhere, whole file;
+* the rule list may be ``all``.
+
+Everything after a `` -- `` separator is a free-form justification and
+is ignored by the parser (but please write one).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "ModuleSource",
+    "LintRule",
+    "LintReport",
+    "register",
+    "all_rules",
+    "run_lint",
+]
+
+#: Severity levels, most severe first.
+ERROR = "error"
+WARNING = "warning"
+Severity = str
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-next-line|-file)?)\s*=\s*"
+    r"([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic, anchored to a source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity} [{self.rule}] {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class ModuleSource:
+    """One parsed Python file plus its suppression table."""
+
+    def __init__(self, path: Path, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.tree = ast.parse(text, filename=str(path))
+        # Parent links let rules reason about context (e.g. "is this
+        # subscript a store target?") without re-walking from the root.
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child._repro_parent = node  # type: ignore[attr-defined]
+        self._line_rules: dict[int, set[str]] = {}
+        self._file_rules: set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            kind = m.group(1)
+            rules = {r.strip() for r in m.group(2).split(",") if r.strip()}
+            if kind == "disable-file":
+                self._file_rules |= rules
+            elif kind == "disable-next-line":
+                self._line_rules.setdefault(lineno + 1, set()).update(rules)
+            else:
+                self._line_rules.setdefault(lineno, set()).update(rules)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "ModuleSource":
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(path, rel, path.read_text())
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        for rules in (self._file_rules, self._line_rules.get(line, ())):
+            if rule in rules or "all" in rules:
+                return True
+        return False
+
+
+class LintRule:
+    """Base class for pluggable checkers.
+
+    Subclasses set :attr:`name` (kebab-case rule id, used in reports and
+    suppression comments), :attr:`severity`, a one-line
+    :attr:`description`, and implement :meth:`check`.  ``exempt_paths``
+    lists relative paths (or substrings, when ending in ``*``) the rule
+    never applies to.
+    """
+
+    name: str = ""
+    severity: Severity = ERROR
+    description: str = ""
+    exempt_paths: Sequence[str] = ()
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        for pattern in self.exempt_paths:
+            if pattern.endswith("*"):
+                if pattern[:-1] in module.rel:
+                    return False
+            elif module.rel == pattern or module.rel.endswith("/" + pattern):
+                return False
+        return True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            severity=self.severity,
+            path=module.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and register a rule by its name."""
+    rule = rule_cls()
+    if not rule.name:
+        raise ValueError(f"{rule_cls.__name__} has no rule name")
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate lint rule {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return rule_cls
+
+
+def all_rules() -> dict[str, LintRule]:
+    """All registered rules, by name (importing the bundled rule set)."""
+    from . import rules as _rules  # noqa: F401 — registration side effect
+
+    return dict(_REGISTRY)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def ok(self, strict: bool = False) -> bool:
+        """No errors; in strict mode, no unsuppressed warnings either."""
+        if self.errors:
+            return False
+        return not (strict and self.warnings)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s) "
+            f"in {self.files_checked} file(s)"
+            + (f", {self.suppressed} suppressed" if self.suppressed else "")
+        )
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.severity] = counts.get(f.severity, 0) + 1
+        return json.dumps(
+            {
+                "version": 1,
+                "files_checked": self.files_checked,
+                "suppressed": self.suppressed,
+                "counts": counts,
+                "findings": [f.as_dict() for f in self.findings],
+            },
+            indent=2,
+        )
+
+
+def _iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Iterable[LintRule] | None = None,
+    root: str | Path | None = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) with ``rules``.
+
+    ``root`` anchors the relative paths used in findings and
+    ``exempt_paths`` matching; it defaults to the first directory in
+    ``paths`` (or the file's parent).
+    """
+    path_objs = [Path(p) for p in paths]
+    if root is None:
+        root = next(
+            (p for p in path_objs if p.is_dir()),
+            path_objs[0].parent if path_objs else Path("."),
+        )
+    root = Path(root)
+    active = list(all_rules().values()) if rules is None else list(rules)
+    report = LintReport()
+    for path in _iter_py_files(path_objs):
+        try:
+            module = ModuleSource.load(path, root)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule="parse-error",
+                    severity=ERROR,
+                    path=path.as_posix(),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+            report.files_checked += 1
+            continue
+        report.files_checked += 1
+        for rule in active:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                if module.suppressed(finding.line, finding.rule):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

@@ -1,0 +1,575 @@
+"""The bundled SPMD-safety rules.
+
+Each rule enforces one clause of the determinism contract (see
+``docs/ANALYSIS.md``).  Rules are heuristic by design — they must never
+crash on valid Python, and anything they over-flag can be suppressed
+with a justified ``# repro-lint: disable=<rule>`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import ERROR, WARNING, Finding, LintRule, ModuleSource, register
+
+__all__ = [
+    "UnseededRngRule",
+    "WallClockRule",
+    "UnorderedIterationRule",
+    "CommInTaskRule",
+    "LedgerBypassRule",
+    "UnaccountedSendRule",
+    "CrossHostWriteRule",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module path they refer to."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _resolve(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Fully-qualified dotted name of a Name/Attribute, alias-expanded."""
+    dotted = _dotted(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    expanded = aliases.get(head, head)
+    return f"{expanded}.{rest}" if rest else expanded
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The Name at the bottom of a Subscript/Attribute chain."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _iter_host_task_bodies(
+    module: ModuleSource,
+) -> Iterator[tuple[ast.AST, ast.Call]]:
+    """Yield (body function/lambda, HostTask call) pairs.
+
+    A HostTask body is the second positional argument (or ``fn=``
+    keyword) of a ``HostTask(...)`` construction.  Named bodies are
+    resolved to every same-named function in the module — over-matching
+    is acceptable for a lint.
+    """
+    defs: dict[str, list[ast.AST]] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, []).append(node)
+    seen: set[int] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _dotted(node.func)
+        if callee is None or callee.split(".")[-1] != "HostTask":
+            continue
+        fn_arg: ast.AST | None = None
+        if len(node.args) >= 2:
+            fn_arg = node.args[1]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "fn":
+                    fn_arg = kw.value
+        if isinstance(fn_arg, ast.Lambda):
+            yield fn_arg, node
+        elif isinstance(fn_arg, ast.Name):
+            for fndef in defs.get(fn_arg.id, ()):
+                if id(fndef) not in seen:
+                    seen.add(id(fndef))
+                    yield fndef, node
+
+
+# ----------------------------------------------------------------------
+# Nondeterminism sources
+# ----------------------------------------------------------------------
+@register
+class UnseededRngRule(LintRule):
+    """Randomness must come from an explicitly seeded Generator.
+
+    The stdlib ``random`` module and NumPy's legacy ``np.random.*``
+    functions draw from hidden global state: any draw order change —
+    a reordered loop, a new thread — silently changes the partition.
+    """
+
+    name = "unseeded-rng"
+    severity = ERROR
+    description = (
+        "global or unseeded RNG; inject a seeded np.random.Generator "
+        "(np.random.default_rng(seed)) instead"
+    )
+
+    _SEEDED_CONSTRUCTORS = {
+        "Generator", "SeedSequence", "BitGenerator",
+        "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+    }
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolve(node.func, aliases)
+            if target is None:
+                continue
+            if target == "random.Random":
+                if not node.args:
+                    yield self.finding(
+                        module, node, "random.Random() without a seed"
+                    )
+            elif target == "random.SystemRandom" or target.startswith(
+                "random.SystemRandom."
+            ):
+                yield self.finding(
+                    module, node,
+                    "SystemRandom is OS entropy; never reproducible",
+                )
+            elif target.startswith("random."):
+                yield self.finding(
+                    module, node,
+                    f"{target}() draws from the global stdlib RNG; "
+                    "use an injected seeded Generator",
+                )
+            elif target.startswith("numpy.random."):
+                leaf = target.rsplit(".", 1)[-1]
+                if leaf == "default_rng":
+                    unseeded = not node.args or (
+                        isinstance(node.args[0], ast.Constant)
+                        and node.args[0].value is None
+                    )
+                    if unseeded:
+                        yield self.finding(
+                            module, node,
+                            "default_rng() without a seed is entropy-"
+                            "seeded; derive the seed from (host, op)",
+                        )
+                elif leaf in self._SEEDED_CONSTRUCTORS:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            module, node,
+                            f"np.random.{leaf}() without a seed",
+                        )
+                else:
+                    yield self.finding(
+                        module, node,
+                        f"legacy np.random.{leaf} uses hidden global "
+                        "state; use np.random.default_rng(seed)",
+                    )
+
+
+@register
+class WallClockRule(LintRule):
+    """No wall-clock reads outside the cost model and benchmarks.
+
+    Simulated time is the *output* of the cost model; reading a real
+    clock anywhere else lets nondeterministic host speed leak into
+    results that must be a pure function of (graph, policy, seed).
+    """
+
+    name = "wall-clock"
+    severity = ERROR
+    description = (
+        "wall-clock read outside runtime/cost_model.py or benchmarks; "
+        "simulated time must come from the cost model"
+    )
+    exempt_paths = ("runtime/cost_model.py", "bench*")
+
+    _CLOCKS = {
+        "time.time", "time.time_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            parent = getattr(node, "_repro_parent", None)
+            if isinstance(parent, ast.Attribute):
+                continue  # flag only the full chain, once
+            target = _resolve(node, aliases)
+            if target in self._CLOCKS:
+                yield self.finding(
+                    module, node,
+                    f"{target} read; results must not depend on real "
+                    "host speed",
+                )
+
+
+@register
+class UnorderedIterationRule(LintRule):
+    """Set iteration order must never reach ordered state.
+
+    ``set`` iteration order depends on insertion history and (for
+    strings) hash randomization.  Iterating one — or materializing one
+    with ``list``/``tuple``/``enumerate`` — feeds that order into
+    whatever consumes it; if that is partition state or a ledger merge,
+    reproducibility is gone.  ``sorted(...)`` is the deterministic fix.
+    """
+
+    name = "unordered-iteration"
+    severity = ERROR
+    description = (
+        "iteration over a set reaches order-sensitive state; wrap in "
+        "sorted(...)"
+    )
+
+    _ORDER_CONSUMERS = {"list", "tuple", "enumerate", "iter", "reversed"}
+    _SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+    def _is_set_expr(
+        self, node: ast.AST, set_vars: frozenset[str] = frozenset()
+    ) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name) and node.id in set_vars:
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, self._SET_OPS):
+            return self._is_set_expr(node.left, set_vars) or self._is_set_expr(
+                node.right, set_vars
+            )
+        return False
+
+    @staticmethod
+    def _walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``root`` without descending into nested scopes."""
+        stack = list(ast.iter_child_nodes(root))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                       ast.ClassDef)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _scope_set_vars(self, scope: ast.AST) -> frozenset[str]:
+        """Names whose every assignment in ``scope`` is a set expression."""
+        is_set: dict[str, bool] = {}
+        for node in self._walk_scope(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    sety = self._is_set_expr(node.value)
+                    is_set[target.id] = is_set.get(target.id, True) and sety
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign, ast.For)):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    is_set[target.id] = False
+        return frozenset(name for name, ok in is_set.items() if ok)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [module.tree] + [
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            set_vars = self._scope_set_vars(scope)
+            yield from self._check_scope(module, scope, set_vars)
+
+    def _check_scope(
+        self, module: ModuleSource, scope: ast.AST, set_vars: frozenset[str]
+    ) -> Iterator[Finding]:
+        for node in self._walk_scope(scope):
+            if isinstance(node, ast.For) and self._is_set_expr(
+                node.iter, set_vars
+            ):
+                yield self.finding(
+                    module, node.iter,
+                    "for-loop over a set has no deterministic order",
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    if self._is_set_expr(gen.iter, set_vars):
+                        yield self.finding(
+                            module, gen.iter,
+                            "comprehension over a set has no "
+                            "deterministic order",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._ORDER_CONSUMERS
+                and any(self._is_set_expr(a, set_vars) for a in node.args)
+            ):
+                yield self.finding(
+                    module, node,
+                    f"{node.func.id}() materializes a set's arbitrary "
+                    "order; use sorted(...)",
+                )
+
+
+# ----------------------------------------------------------------------
+# Host-isolation hazards
+# ----------------------------------------------------------------------
+@register
+class CommInTaskRule(LintRule):
+    """HostTask bodies must not touch the shared Communicator.
+
+    A mapped task runs concurrently under ``ParallelExecutor``; every
+    charge must go through its :class:`HostView` so it lands on the
+    host's private ledger.  Reaching ``phase.comm`` (or issuing a
+    collective) from inside a body bypasses the ledger and races the
+    merge barrier.
+    """
+
+    name = "comm-in-task"
+    severity = ERROR
+    description = (
+        "shared Communicator accessed inside a HostTask body; route "
+        "charges through the HostView"
+    )
+
+    _PHASE_GLOBAL_CALLS = {
+        "allreduce_sum", "allreduce_max", "allgather", "barrier",
+        "merge_ledger", "sync_round",
+    }
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for body, _call in _iter_host_task_bodies(module):
+            for node in ast.walk(body):
+                if isinstance(node, ast.Attribute) and node.attr == "comm":
+                    yield self.finding(
+                        module, node,
+                        "`.comm` reached from a HostTask body bypasses "
+                        "the per-host ledger",
+                    )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._PHASE_GLOBAL_CALLS
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"phase-global `{node.func.attr}` issued inside "
+                        "a HostTask body; collectives belong between "
+                        "task submissions",
+                    )
+
+
+@register
+class LedgerBypassRule(LintRule):
+    """Communicator accounting state is written only by the comm layer.
+
+    Mutating the shared matrices or queues from anywhere but
+    ``runtime/comm.py``/``runtime/executor.py`` produces traffic that a
+    ledger merge cannot reproduce — the counters stop being a pure
+    function of the send sequence.
+    """
+
+    name = "ledger-bypass"
+    severity = ERROR
+    description = (
+        "direct mutation of Communicator accounting state outside the "
+        "comm layer; use send()/HostView charges"
+    )
+    exempt_paths = ("runtime/comm.py", "runtime/executor.py")
+
+    _SHARED_ATTRS = {
+        "sent_bytes", "sent_messages", "retry_bytes", "retry_messages",
+        "backoff_units", "collective_events", "barriers",
+        "_queues", "_stream_bytes", "_stream_logical",
+    }
+    _MUTATORS = {
+        "append", "extend", "appendleft", "insert", "clear", "pop",
+        "popleft", "update", "remove",
+    }
+
+    def _shared_attr(self, node: ast.AST) -> ast.Attribute | None:
+        """The `.shared_attr` access inside a (subscripted) chain."""
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute) and node.attr in self._SHARED_ATTRS:
+            return node
+        return None
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._MUTATORS
+            ):
+                hit = self._shared_attr(node.func.value)
+                if hit is not None:
+                    yield self.finding(
+                        module, node,
+                        f"`{hit.attr}.{node.func.attr}(...)` mutates "
+                        "shared accounting outside the comm layer",
+                    )
+                continue
+            for target in targets:
+                hit = self._shared_attr(target)
+                if hit is not None:
+                    yield self.finding(
+                        module, target,
+                        f"assignment to shared `{hit.attr}` outside the "
+                        "comm layer",
+                    )
+
+
+@register
+class UnaccountedSendRule(LintRule):
+    """Every send must carry a real byte charge.
+
+    ``send(..., nbytes=0)`` delivers a payload the accounting never
+    sees; sending a ``None`` payload without an explicit ``nbytes``
+    does the same (``payload_nbytes(None) == 0``).  Free metadata must
+    be declared with an explicit, documented ``nbytes=``.
+    """
+
+    name = "unaccounted-send"
+    severity = ERROR
+    description = (
+        "send without a payload_nbytes charge path (None payload or "
+        "nbytes=0); declare the modelled size explicitly"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send"
+            ):
+                continue
+            nbytes = next(
+                (kw.value for kw in node.keywords if kw.arg == "nbytes"), None
+            )
+            if (
+                isinstance(nbytes, ast.Constant)
+                and isinstance(nbytes.value, int)
+                and not isinstance(nbytes.value, bool)
+                and nbytes.value == 0
+            ):
+                yield self.finding(
+                    module, node,
+                    "send with nbytes=0 carries unaccounted traffic",
+                )
+            elif nbytes is None and any(
+                isinstance(a, ast.Constant) and a.value is None
+                for a in node.args
+            ):
+                yield self.finding(
+                    module, node,
+                    "None payload sizes to 0 bytes; pass an explicit "
+                    "nbytes= for the modelled message size",
+                )
+
+
+@register
+class CrossHostWriteRule(LintRule):
+    """A HostTask body should write only its own host's slots.
+
+    Writing ``shared[j][...]`` where ``j`` iterates over peers inside
+    the body is a cross-host write from a mapped task.  It is only safe
+    if the writes are provably disjoint across concurrent tasks — if
+    they are, say so in a suppression comment; otherwise move the write
+    to the merge barrier.
+    """
+
+    name = "cross-host-write"
+    severity = WARNING
+    description = (
+        "HostTask body writes a per-host slot indexed by its own loop "
+        "variable (cross-host write from a mapped task)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for body, _call in _iter_host_task_bodies(module):
+            if isinstance(body, ast.Lambda):
+                continue
+            local_names: set[str] = {a.arg for a in body.args.args}
+            loop_vars: set[str] = set()
+            for node in ast.walk(body):
+                if isinstance(node, ast.For) and isinstance(
+                    node.target, ast.Name
+                ):
+                    loop_vars.add(node.target.id)
+                elif isinstance(node, ast.Assign):
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            local_names.add(t.id)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        if isinstance(gen.target, ast.Name):
+                            local_names.add(gen.target.id)
+            if not loop_vars:
+                continue
+            for node in ast.walk(body):
+                targets: list[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                for target in targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    root = _root_name(target)
+                    if root is None or root in local_names:
+                        continue
+                    indices = self._subscript_indices(target)
+                    bad = [
+                        i.id for i in indices
+                        if isinstance(i, ast.Name) and i.id in loop_vars
+                    ]
+                    if bad:
+                        yield self.finding(
+                            module, target,
+                            f"write to closure `{root}` indexed by body "
+                            f"loop variable `{bad[0]}`; prove the writes "
+                            "disjoint (and suppress) or move them to the "
+                            "merge barrier",
+                        )
+
+    @staticmethod
+    def _subscript_indices(node: ast.Subscript) -> list[ast.AST]:
+        indices: list[ast.AST] = []
+        while isinstance(node, ast.Subscript):
+            indices.append(node.slice)
+            node = node.value  # type: ignore[assignment]
+        return indices

@@ -10,11 +10,18 @@ Subcommands:
 ``experiment``  regenerate one of the paper's tables/figures
 ``info``        print a graph file's Table III properties
 ``validate``    check a saved partition directory (exit 1 if invalid)
+``lint``        run the SPMD-safety lint over Python sources
+                (exit 1 on errors; ``--strict`` escalates warnings)
+
+``lint`` and ``validate`` are both *checking* subcommands and share one
+verdict convention (:func:`_check_exit`): a single summary line —
+``OK:`` on stdout with exit 0, or a failure line on stderr with exit 1.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import __version__
@@ -29,6 +36,7 @@ from .graph import (
     write_gr,
 )
 from .metrics import measure_quality
+from .runtime.executor import EXECUTOR_NAMES
 
 __all__ = ["main"]
 
@@ -96,11 +104,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="retry budget per send and per phase replay (default 3)",
     )
     p.add_argument(
-        "--executor", choices=["serial", "parallel"], default="serial",
+        "--executor", choices=list(EXECUTOR_NAMES), default="serial",
         help=(
-            "per-host execution engine: 'serial' (reference) or "
+            "per-host execution engine: 'serial' (reference), "
             "'parallel' (thread pool; identical partitions and "
-            "simulated breakdown by construction)"
+            "simulated breakdown by construction), or "
+            "'parallel-checked' (parallel under the host-isolation "
+            "race detector)"
         ),
     )
 
@@ -121,6 +131,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("partition_dir", help="directory written by --save")
     p.add_argument("graph", nargs="?", help="optional .gr file to check against")
+
+    p = sub.add_parser(
+        "lint",
+        help="run the SPMD-safety lint over Python sources",
+        description=(
+            "Statically check sources against the determinism contract: "
+            "no unseeded randomness, no wall-clock reads in simulated "
+            "code, no iteration over unordered sets, and no host task "
+            "that touches shared communicator/stats state or another "
+            "host's data.  See docs/ANALYSIS.md for the rule catalogue "
+            "and suppression syntax."
+        ),
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as errors")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (default text)")
+    p.add_argument("--json", action="store_true",
+                   help="shorthand for --format json")
+    p.add_argument(
+        "--rule", action="append", metavar="NAME",
+        help="run only the named rule (repeatable; see --list-rules)",
+    )
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the available rules and exit")
     return parser
 
 
@@ -185,6 +224,61 @@ def _run_partitioner(graph, args):
         if replayed:
             print(f"replayed phases    : {', '.join(replayed)}")
     return dg, policy.describe()
+
+
+def _check_exit(ok: bool, success: str, failure: str) -> int:
+    """Shared verdict reporting for the checking subcommands.
+
+    Both ``lint`` and ``validate`` end with exactly one verdict line:
+    ``success`` on stdout and exit 0, or ``failure`` on stderr and
+    exit 1 — so scripts can gate on the exit code and humans can grep
+    for one stable prefix (``OK:`` / ``FAIL:`` / ``INVALID:``).
+    """
+    if ok:
+        print(success)
+        return 0
+    print(failure, file=sys.stderr)
+    return 1
+
+
+def _run_lint_command(args) -> int:
+    """The ``lint`` subcommand: drive :func:`repro.analysis.lint.run_lint`."""
+    from .analysis.lint import all_rules, run_lint
+
+    registry = all_rules()
+    if args.list_rules:
+        width = max(len(name) for name in registry)
+        for name in sorted(registry):
+            rule = registry[name]
+            print(f"{name:<{width}}  [{rule.severity}] {rule.description}")
+        return 0
+    rules = None
+    if args.rule:
+        unknown = sorted(set(args.rule) - set(registry))
+        if unknown:
+            raise SystemExit(
+                f"unknown rule(s): {', '.join(unknown)} "
+                "(see 'lint --list-rules')"
+            )
+        rules = [registry[name] for name in dict.fromkeys(args.rule)]
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    report = run_lint(paths, rules=rules)
+    ok = report.ok(strict=args.strict)
+    if args.json or args.format == "json":
+        print(report.to_json())
+        return 0 if ok else 1
+    for finding in report.findings:
+        print(finding.render())
+    strict_note = (
+        " (strict: warnings are errors)"
+        if args.strict and not ok and not report.errors
+        else ""
+    )
+    return _check_exit(
+        ok,
+        f"OK: {report.summary()}",
+        f"FAIL: {report.summary()}{strict_note}",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -306,18 +400,21 @@ def _dispatch(argv: list[str] | None = None) -> int:
         try:
             dg = load_partitions(args.partition_dir)
         except Exception as exc:
-            print(f"INVALID: cannot load {args.partition_dir}: {exc}",
-                  file=sys.stderr)
-            return 1
+            return _check_exit(
+                False, "",
+                f"INVALID: cannot load {args.partition_dir}: {exc}",
+            )
         reference = read_gr(args.graph) if args.graph else None
         report = check_partition(dg, original=reference)
-        if not report.ok:
-            print(f"INVALID: {report.summary()}", file=sys.stderr)
-            return 1
-        print(
+        return _check_exit(
+            report.ok,
             f"OK: {dg} — {report.summary()}"
-            + (" (edge multiset matches the input graph)" if reference else "")
+            + (" (edge multiset matches the input graph)" if reference else ""),
+            f"INVALID: {report.summary()}",
         )
+
+    elif args.command == "lint":
+        return _run_lint_command(args)
 
     elif args.command == "info":
         graph = read_gr(args.graph)

@@ -134,6 +134,11 @@ def run_edge_assignment(
             if estate is not None:
                 # Periodic estate reconciliation (§IV-D4), one round per
                 # host's streamed chunk, non-blocking like master rounds.
+                # Safe despite living in a task body: stateful rules are
+                # dispatched through chain() below, which runs hosts
+                # sequentially on the main thread (no task context), so
+                # this collective never executes inside a mapped task.
+                # repro-lint: disable-next-line=comm-in-task -- chain()-only path, sequential by construction
                 estate.sync_round(phase.comm, blocking=False)
 
             nodes_read = stop - start

@@ -140,6 +140,10 @@ def run_master_assignment(
                 owner = _owning_host(nbrs, bounds)
                 for assigner in range(num_hosts):
                     wanted = nbrs[owner == assigner]
+                    # Task j writes only column j of the request table:
+                    # rows are indexed by `assigner`, but no two
+                    # concurrent tasks share a (assigner, j) cell.
+                    # repro-lint: disable-next-line=cross-host-write -- column-j writes are disjoint across tasks
                     requests[assigner][j] = wanted
                     if assigner != j and wanted.size:
                         view.send(
@@ -215,7 +219,9 @@ def run_master_assignment(
                     )
                     # Requester j learns the shipped assignments; two
                     # shippers never overlap in ``known[j]`` (each ships
-                    # only ids from its own node range).
+                    # only ids from its own node range), and ``masters``
+                    # is frozen for the shipped range this round.
+                    # repro-lint: disable-next-line=cross-host-write -- shippers write disjoint id ranges of known[j]
                     known[j][ship] = masters[ship]
 
         return HostTask(h, body, label="ship-assignments")

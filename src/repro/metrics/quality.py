@@ -8,6 +8,7 @@ structural metrics remain useful for analysis and testing.
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass
 
 import numpy as np
@@ -117,15 +118,14 @@ def migration_volume(a: DistributedGraph, b: DistributedGraph) -> int:
     moved = 0
     owner_a = _edge_owner_map(a)
     owner_b = _edge_owner_map(b)
-    keys = set(owner_a) | set(owner_b)
-    for key in keys:
+    # Sorted so the traversal order is deterministic (set iteration
+    # order is not), keeping this metric a pure function of its inputs.
+    for key in sorted(set(owner_a) | set(owner_b)):
         ca = owner_a.get(key)
         cb = owner_b.get(key)
         if ca is None or cb is None:
             continue
         # Multisets per (src, dst): edges beyond the per-host overlap move.
-        import collections
-
         overlap = sum((collections.Counter(ca) & collections.Counter(cb)).values())
         moved += max(len(ca), len(cb)) - overlap
     return moved

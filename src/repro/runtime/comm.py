@@ -35,13 +35,23 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict, deque
-from typing import Any, Iterable
+from typing import Any, Iterable, Protocol
 
 import numpy as np
 
-from .faults import FaultInjector, SendRetriesExhausted
+from ..analysis import isolation
+from .faults import FaultEvent, FaultInjector, SendRetriesExhausted
 
 __all__ = ["Communicator", "CommLedger", "payload_nbytes"]
+
+
+class _RetrySink(Protocol):
+    """Where the faulty transport charges wasted attempts: the shared
+    matrices for a direct send, a private :class:`CommLedger` otherwise."""
+
+    def charge_retry(self, dst: int, size: int, attempt: int) -> None: ...
+
+    def charge_duplicate(self, dst: int, size: int) -> None: ...
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -141,6 +151,15 @@ class Communicator:
         one per call.  Local "sends" (src == dst) are delivered but cost
         nothing: CuSP constructs local edges directly (§IV-B5).
         """
+        if isolation._depth:
+            # During a monitored parallel section, every charge must go
+            # through the host's private ledger; a direct send from a
+            # mapped task races the merge barrier.
+            isolation.guard_shared(
+                "Communicator.send",
+                f"sent {src}->{dst} on the shared Communicator, "
+                "bypassing its CommLedger",
+            )
         self._check_host(src)
         self._check_host(dst)
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
@@ -159,7 +178,9 @@ class Communicator:
                 )
         self._queues[(dst, tag)].append((src, payload))
 
-    def _run_faulty_transport(self, src, dst, size, retry_sink) -> None:
+    def _run_faulty_transport(
+        self, src: int, dst: int, size: int, retry_sink: _RetrySink
+    ) -> None:
         """Subject one remote send to the attached fault injector.
 
         May raise :class:`~repro.runtime.faults.HostCrashError` (a
@@ -207,6 +228,11 @@ class Communicator:
         exactly the matrices and per-destination queue order a serial
         host-by-host execution over the shared state would have built.
         """
+        isolation.guard_shared(
+            "Communicator.merge_ledger",
+            "merged a ledger from inside a mapped task; merging is the "
+            "barrier's job",
+        )
         h = ledger.host
         self.sent_bytes[h, :] += ledger.sent_bytes
         self.sent_messages[h, :] += ledger.sent_messages
@@ -232,6 +258,11 @@ class Communicator:
 
     def recv_all(self, dst: int, tag: str = "default") -> list[tuple[int, Any]]:
         """All messages queued for ``dst`` under ``tag`` (drains the queue)."""
+        if isolation._depth:
+            # A mapped task may drain only its own queue: queues are
+            # appended to exclusively at merge barriers, so own-queue
+            # reads are race-free by construction.
+            isolation.guard_owned(dst, "Communicator.recv_all")
         self._check_host(dst)
         q = self._queues.get((dst, tag))
         if not q:
@@ -262,6 +293,7 @@ class Communicator:
         when the exchanged representation is smaller than the dense
         result (e.g. sparse delta synchronization).
         """
+        isolation.guard_shared("Communicator.allreduce_sum")
         arrays = [np.asarray(c) for c in contributions]
         if len(arrays) != self.num_hosts:
             raise ValueError("one contribution per host required")
@@ -278,6 +310,7 @@ class Communicator:
         contributions: Iterable[np.ndarray],
         nbytes: float | None = None,
     ) -> np.ndarray:
+        isolation.guard_shared("Communicator.allreduce_max")
         arrays = [np.asarray(c) for c in contributions]
         if len(arrays) != self.num_hosts:
             raise ValueError("one contribution per host required")
@@ -290,6 +323,7 @@ class Communicator:
 
     def allgather(self, contributions: list[Any]) -> list[Any]:
         """Every host receives the list of all contributions."""
+        isolation.guard_shared("Communicator.allgather")
         if len(contributions) != self.num_hosts:
             raise ValueError("one contribution per host required")
         nbytes = sum(payload_nbytes(c) for c in contributions)
@@ -298,6 +332,7 @@ class Communicator:
 
     def barrier(self) -> None:
         """Record a global synchronization point."""
+        isolation.guard_shared("Communicator.barrier")
         self.barriers += 1
 
     # ------------------------------------------------------------------
@@ -399,7 +434,7 @@ class CommLedger:
         self.queued: list[tuple[int, str, Any]] = []
         #: Fault events drawn while recording on this ledger (merged into
         #: the injector's shared stream by the executor, in host order).
-        self.fault_events: list[tuple] = []
+        self.fault_events: list[FaultEvent] = []
 
     def send(
         self,
@@ -412,6 +447,8 @@ class CommLedger:
     ) -> None:
         """Record a send from this ledger's host (same semantics as
         :meth:`Communicator.send`, minus the shared-state writes)."""
+        if isolation._depth:
+            isolation.guard_owned(self.host, "CommLedger.send")
         comm = self.comm
         comm._check_host(dst)
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
@@ -429,10 +466,14 @@ class CommLedger:
         self.queued.append((dst, tag, payload))
 
     def charge_retry(self, dst: int, size: int, attempt: int) -> None:
+        if isolation._depth:
+            isolation.guard_owned(self.host, "CommLedger.charge_retry")
         self.retry_bytes[dst] += size
         self.retry_messages[dst] += 1
         self.backoff_units += 2.0 ** attempt
 
     def charge_duplicate(self, dst: int, size: int) -> None:
+        if isolation._depth:
+            isolation.guard_owned(self.host, "CommLedger.charge_duplicate")
         self.retry_bytes[dst] += size
         self.retry_messages[dst] += 1

@@ -52,7 +52,12 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..analysis import isolation
+
+if TYPE_CHECKING:
+    from .stats import PhaseStats
 
 __all__ = [
     "HostTask",
@@ -66,7 +71,7 @@ __all__ = [
     "EXECUTOR_NAMES",
 ]
 
-EXECUTOR_NAMES = ("serial", "parallel")
+EXECUTOR_NAMES = ("serial", "parallel", "parallel-checked")
 
 
 @dataclass(frozen=True)
@@ -95,11 +100,12 @@ class HostView:
 
     host: int
 
-    def send(self, dst, payload, tag="default", logical_messages=1,
-             nbytes=None, coalesce=False) -> None:
+    def send(self, dst: int, payload: Any, tag: str = "default",
+             logical_messages: int = 1, nbytes: int | None = None,
+             coalesce: bool = False) -> None:
         raise NotImplementedError
 
-    def recv_all(self, tag="default") -> list:
+    def recv_all(self, tag: str = "default") -> list[tuple[int, Any]]:
         raise NotImplementedError
 
     def add_disk(self, nbytes: float) -> None:
@@ -114,19 +120,20 @@ class DirectHostView(HostView):
 
     __slots__ = ("_stats", "host")
 
-    def __init__(self, stats, host: int):
+    def __init__(self, stats: PhaseStats, host: int):
         self._stats = stats
         self.host = int(host)
 
-    def send(self, dst, payload, tag="default", logical_messages=1,
-             nbytes=None, coalesce=False) -> None:
+    def send(self, dst: int, payload: Any, tag: str = "default",
+             logical_messages: int = 1, nbytes: int | None = None,
+             coalesce: bool = False) -> None:
         self._stats.comm.send(
             self.host, dst, payload, tag=tag,
             logical_messages=logical_messages, nbytes=nbytes,
             coalesce=coalesce,
         )
 
-    def recv_all(self, tag="default") -> list:
+    def recv_all(self, tag: str = "default") -> list[tuple[int, Any]]:
         return self._stats.comm.recv_all(self.host, tag)
 
     def add_disk(self, nbytes: float) -> None:
@@ -149,7 +156,7 @@ class LedgerHostView(HostView):
     __slots__ = ("_stats", "_channel", "host", "ledger",
                  "disk_bytes", "compute_units")
 
-    def __init__(self, stats, host: int):
+    def __init__(self, stats: PhaseStats, host: int):
         self._stats = stats
         self.host = int(host)
         self.ledger = stats.comm.ledger(host)
@@ -161,22 +168,27 @@ class LedgerHostView(HostView):
             self._channel = injector.channel(host)
             self._channel.events_out = self.ledger.fault_events
 
-    def send(self, dst, payload, tag="default", logical_messages=1,
-             nbytes=None, coalesce=False) -> None:
+    def send(self, dst: int, payload: Any, tag: str = "default",
+             logical_messages: int = 1, nbytes: int | None = None,
+             coalesce: bool = False) -> None:
         self.ledger.send(
             dst, payload, tag=tag, logical_messages=logical_messages,
             nbytes=nbytes, coalesce=coalesce,
         )
 
-    def recv_all(self, tag="default") -> list:
+    def recv_all(self, tag: str = "default") -> list[tuple[int, Any]]:
         return self._stats.comm.recv_all(self.host, tag)
 
     def add_disk(self, nbytes: float) -> None:
+        if isolation._depth:
+            isolation.guard_owned(self.host, "HostView.add_disk")
         if self._channel is not None:
             self._channel.tick()
         self.disk_bytes += nbytes
 
     def add_compute(self, units: float) -> None:
+        if isolation._depth:
+            isolation.guard_owned(self.host, "HostView.add_compute")
         if self._channel is not None:
             self._channel.tick()
         self.compute_units += units
@@ -209,7 +221,7 @@ class Executor:
 
     name = "abstract"
 
-    def run(self, stats, tasks: Sequence[HostTask]) -> list:
+    def run(self, stats: PhaseStats, tasks: Sequence[HostTask]) -> list[Any]:
         """Run independent per-host tasks; return results in task order.
 
         A barrier: every task has completed (and, for the parallel
@@ -218,7 +230,7 @@ class Executor:
         """
         raise NotImplementedError
 
-    def chain(self, stats, tasks: Sequence[HostTask]) -> list:
+    def chain(self, stats: PhaseStats, tasks: Sequence[HostTask]) -> list[Any]:
         """Run cross-host-*dependent* tasks sequentially in task order.
 
         Used when host h+1's algorithm reads state host h wrote (e.g.
@@ -233,7 +245,7 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def run(self, stats, tasks: Sequence[HostTask]) -> list:
+    def run(self, stats: PhaseStats, tasks: Sequence[HostTask]) -> list[Any]:
         return [task.fn(DirectHostView(stats, task.host)) for task in tasks]
 
 
@@ -246,11 +258,27 @@ class ParallelExecutor(Executor):
 
     name = "parallel"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        check_isolation: bool = False,
+        monitor: "isolation.IsolationMonitor | None" = None,
+    ):
+        """``check_isolation=True`` attaches a fresh
+        :class:`~repro.analysis.isolation.IsolationMonitor` (or pass
+        your own via ``monitor=``): every mapped task then runs under a
+        thread-local ownership context, any cross-host access raises
+        :class:`~repro.analysis.isolation.IsolationViolation`, and the
+        monitor logs each sanctioned (host, phase, op, attribute)
+        access.  Off by default — the guards cost a few percent on
+        charge-heavy phases."""
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self._max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
+        if monitor is None and check_isolation:
+            monitor = isolation.IsolationMonitor()
+        self.monitor = monitor
 
     def _ensure_pool(self, width: int) -> ThreadPoolExecutor:
         workers = self._max_workers
@@ -269,7 +297,7 @@ class ParallelExecutor(Executor):
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    def run(self, stats, tasks: Sequence[HostTask]) -> list:
+    def run(self, stats: PhaseStats, tasks: Sequence[HostTask]) -> list[Any]:
         tasks = list(tasks)
         if not tasks:
             return []
@@ -281,8 +309,11 @@ class ParallelExecutor(Executor):
             return [tasks[0].fn(DirectHostView(stats, tasks[0].host))]
         views = [LedgerHostView(stats, t.host) for t in tasks]
         pool = self._ensure_pool(len(tasks))
+        phase_name = getattr(stats, "name", "")
         futures = [
-            pool.submit(self._guarded, t.fn, v)
+            pool.submit(
+                self._guarded, t.fn, v, self.monitor, phase_name, t.label
+            )
             for t, v in zip(tasks, views)
         ]
         outcomes = [f.result() for f in futures]
@@ -303,14 +334,23 @@ class ParallelExecutor(Executor):
         return [outcomes[i][0] for i in range(len(tasks))]
 
     @staticmethod
-    def _guarded(fn, view) -> tuple:
+    def _guarded(
+        fn: Callable[[HostView], Any],
+        view: HostView,
+        monitor: isolation.IsolationMonitor | None,
+        phase_name: str,
+        label: str,
+    ) -> tuple[Any, Exception | None]:
         try:
+            if monitor is not None:
+                with monitor.task(view.host, phase_name, label):
+                    return fn(view), None
             return fn(view), None
         except Exception as exc:  # noqa: BLE001 — re-raised at the barrier
             return None, exc
 
 
-def make_executor(spec) -> Executor:
+def make_executor(spec: str | Executor | None) -> Executor:
     """Resolve an executor from a name, ``None``, or an instance."""
     if spec is None:
         return SerialExecutor()
@@ -321,6 +361,11 @@ def make_executor(spec) -> Executor:
             return SerialExecutor()
         if spec == "parallel":
             return ParallelExecutor()
+        if spec == "parallel-checked":
+            # Parallel with the host-isolation race detector attached
+            # (repro.analysis.isolation): same bit-identical results,
+            # plus a proof that no task left its lane.
+            return ParallelExecutor(check_isolation=True)
         raise ValueError(
             f"unknown executor {spec!r}; expected one of {EXECUTOR_NAMES}"
         )

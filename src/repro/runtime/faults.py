@@ -40,11 +40,16 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Any, Mapping
 
 import numpy as np
 
+#: One injected-fault log entry: ``("crash", phase, host)`` or
+#: ``("send-failure" | "drop" | "duplicate", phase, src, dst)``.
+FaultEvent = tuple[str | int | None, ...]
+
 __all__ = [
+    "FaultEvent",
     "FaultPlan",
     "HostCrash",
     "FaultInjector",
@@ -200,7 +205,7 @@ class FaultPlan:
 
     @classmethod
     def _from_compact(cls, spec: str) -> "FaultPlan":
-        kwargs: dict = {"crashes": [], "slow_hosts": {}}
+        kwargs: dict[str, Any] = {"crashes": [], "slow_hosts": {}}
         aliases = {
             "send-fail": "send_failure_rate",
             "send_fail": "send_failure_rate",
@@ -284,7 +289,7 @@ class HostFaultChannel:
         self._rng = np.random.default_rng(
             [plan.seed, injector.attempt, self.host]
         )
-        self.events_out: list[tuple] = injector.events
+        self.events_out: list[FaultEvent] = injector.events
         #: Crash indices fired on this channel but not yet committed to
         #: the injector's ``_fired`` set.  When the channel logs straight
         #: to the injector the commit is immediate; when redirected to a
@@ -358,7 +363,7 @@ class FaultInjector:
         #: Chronological log of injected faults:
         #: ("send-failure" | "drop" | "duplicate", phase, src, dst) and
         #: ("crash", phase, host).
-        self.events: list[tuple] = []
+        self.events: list[FaultEvent] = []
 
     # ------------------------------------------------------------------
     # Phase lifecycle (driven by SimulatedCluster)
@@ -495,7 +500,7 @@ class FaultReport:
 
     plan: FaultPlan
     #: Chronological injected-fault log (copied from the injector).
-    events: tuple[tuple, ...]
+    events: tuple[FaultEvent, ...]
     #: (phase, host) for every crash the recovery machinery handled.
     crash_log: tuple[tuple[str | None, int], ...]
     #: Number of phase replays performed.

@@ -3,11 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..analysis import isolation
 from .comm import Communicator
 from .cost_model import CostModel
+
+if TYPE_CHECKING:
+    from .executor import Executor
 
 __all__ = ["PhaseStats", "PhaseReport", "TimeBreakdown"]
 
@@ -35,7 +40,7 @@ class PhaseStats:
     #: The execution engine driving this phase's per-host tasks
     #: (``None`` means serial reference semantics; see
     #: :mod:`repro.runtime.executor`).
-    executor: object = None
+    executor: "Executor | None" = None
 
     def __post_init__(self) -> None:
         if self.disk_bytes is None:
@@ -48,11 +53,26 @@ class PhaseStats:
             self.executor = SerialExecutor()
 
     def add_disk(self, host: int, nbytes: float) -> None:
+        if isolation._depth:
+            # Mapped tasks must charge through their HostView: a direct
+            # write to the shared per-host vectors races the barrier
+            # merge (and dodges the private disk/compute accumulators).
+            isolation.guard_shared(
+                "PhaseStats.add_disk",
+                f"charged disk for host {host} on shared PhaseStats, "
+                "bypassing the HostView",
+            )
         if self.comm.injector is not None:
             self.comm.injector.channel(host).tick()
         self.disk_bytes[host] += nbytes
 
     def add_compute(self, host: int, units: float) -> None:
+        if isolation._depth:
+            isolation.guard_shared(
+                "PhaseStats.add_compute",
+                f"charged compute for host {host} on shared PhaseStats, "
+                "bypassing the HostView",
+            )
         if self.comm.injector is not None:
             self.comm.injector.channel(host).tick()
         self.compute_units[host] += units

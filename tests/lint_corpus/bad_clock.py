@@ -1,0 +1,14 @@
+"""Corpus: wall-clock reads (rule: wall-clock)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_phase():
+    start = time.perf_counter()  # simulated time must come from the model
+    worked = time.time() - start
+    return datetime.now(), worked
+
+
+def monotonic_budget():
+    return time.monotonic_ns()

@@ -1,0 +1,11 @@
+"""Corpus: direct mutation of comm accounting state (rule: ledger-bypass)."""
+
+
+def cook_counters(comm):
+    comm.sent_bytes[0, 1] += 64.0  # accounting writes belong to the comm layer
+    comm.sent_messages[0, 1] = 2.0
+    comm.collective_events.append(("allreduce", 8.0))
+
+
+def fake_retry(comm):
+    comm.retry_messages[2, 3] += 1.0

@@ -1,0 +1,20 @@
+"""Corpus: order-sensitive iteration over sets (rule: unordered-iteration)."""
+
+
+def visit_owners(edges):
+    hosts = {h for _, h in edges}
+    order = []
+    for h in hosts:  # set iteration order is arbitrary across runs
+        order.append(h)
+    return order
+
+
+def literal_and_consumer():
+    listed = list({3, 1, 2})  # order consumer over a set literal
+    doubled = [x * 2 for x in {1, 2, 3}]
+    return listed, doubled
+
+
+def via_variable(a, b):
+    pending = set(a) | set(b)
+    return [x for x in pending]

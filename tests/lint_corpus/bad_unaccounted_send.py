@@ -1,0 +1,10 @@
+"""Corpus: sends whose traffic the accounting never sees (rule: unaccounted-send)."""
+
+
+def notify(view, peers):
+    for j in peers:
+        view.send(j, None, tag="empty")  # payload_nbytes(None) == 0
+
+
+def free_lunch(view):
+    view.send(0, b"metadata", tag="meta", nbytes=0)

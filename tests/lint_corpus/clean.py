@@ -1,0 +1,31 @@
+"""Corpus control: determinism-respecting near-misses no rule may flag."""
+
+import numpy as np
+
+from repro.runtime.executor import HostTask
+
+
+def seeded(seed):
+    rng = np.random.default_rng(seed)  # seed injected: deterministic
+    return rng.random()
+
+
+def ordered(edges):
+    hosts = {h for _, h in edges}
+    return [h for h in sorted(hosts)]  # sorted() fixes the order
+
+
+def membership_only(edges, h):
+    seen = {a for a, _ in edges}
+    return h in seen  # set used for membership, never iterated
+
+
+def make_task(h, out, num_hosts):
+    def body(view):
+        out[h] = view.host  # own slot: index is the closure's host id
+        view.send((h + 1) % num_hosts, b"payload", tag="t", nbytes=8)
+        view.send((h + 2) % num_hosts, None, tag="empty", nbytes=8)
+        view.add_compute(1.0)
+        return view.recv_all(tag="t")
+
+    return HostTask(h, body, label="clean")

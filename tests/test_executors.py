@@ -61,9 +61,18 @@ def assert_same_breakdown(a, b):
 
 
 def run_both(graph, policy, k=4, plan=None, **kw):
+    """Serial vs parallel run — the parallel side under the isolation
+    race detector, so every equivalence example also proves no task
+    touched another host's state."""
     serial = CuSP(k, policy, fault_plan=plan, executor="serial", **kw)
-    parallel = CuSP(k, policy, fault_plan=plan, executor="parallel", **kw)
-    return serial.partition(graph), parallel.partition(graph)
+    checked = ParallelExecutor(check_isolation=True)
+    parallel = CuSP(k, policy, fault_plan=plan, executor=checked, **kw)
+    dg_s, dg_p = serial.partition(graph), parallel.partition(graph)
+    assert not checked.monitor.violations
+    assert checked.monitor.num_accesses > 0, (
+        "isolation monitor observed nothing; detector is not wired in"
+    )
+    return dg_s, dg_p
 
 
 class TestSerialParallelEquivalence:
@@ -117,9 +126,11 @@ class TestEquivalenceUnderFaults:
         graph = erdos_renyi(300, 2400, seed=11)
         serial = CuSP(4, "CVC", fault_plan=plan, executor="serial",
                       checkpoint_dir=str(tmp_path / "s"))
-        parallel = CuSP(4, "CVC", fault_plan=plan, executor="parallel",
+        checked = ParallelExecutor(check_isolation=True)
+        parallel = CuSP(4, "CVC", fault_plan=plan, executor=checked,
                         checkpoint_dir=str(tmp_path / "p"))
         dg_s, dg_p = serial.partition(graph), parallel.partition(graph)
+        assert not checked.monitor.violations
         assert_same_partition(dg_s, dg_p)
         assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
         assert serial.last_fault_report.events == (
@@ -133,8 +144,10 @@ class TestEquivalenceUnderFaults:
     def test_arbitrary_fault_plans(self, plan, policy):
         graph = erdos_renyi(120, 700, seed=7)
         serial = CuSP(4, policy, fault_plan=plan, executor="serial")
-        parallel = CuSP(4, policy, fault_plan=plan, executor="parallel")
+        checked = ParallelExecutor(check_isolation=True)
+        parallel = CuSP(4, policy, fault_plan=plan, executor=checked)
         dg_s, dg_p = serial.partition(graph), parallel.partition(graph)
+        assert not checked.monitor.violations
         assert_same_partition(dg_s, dg_p)
         assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
         assert serial.last_fault_report.events == (
@@ -149,9 +162,14 @@ class TestExecutorMechanics:
         assert isinstance(make_executor("parallel"), ParallelExecutor)
         ex = ParallelExecutor()
         assert make_executor(ex) is ex
+        checked = make_executor("parallel-checked")
+        assert isinstance(checked, ParallelExecutor)
+        assert checked.monitor is not None
         with pytest.raises(ValueError):
             make_executor("bogus")
-        assert set(EXECUTOR_NAMES) == {"serial", "parallel"}
+        assert set(EXECUTOR_NAMES) == {
+            "serial", "parallel", "parallel-checked",
+        }
 
     def _stats(self, num_hosts=3):
         from repro.runtime.stats import PhaseStats
