@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Full correctness gate: strict SPMD-safety lint, type check (when
-# mypy is installed), tier-1 suite, the dedicated fault/recovery
-# suite, and end-to-end CLI exit-code checks (a corrupted partition
-# directory must make `cusp validate` exit non-zero).
+# Full correctness gate: strict SPMD-safety lint, strict phase-contract
+# diff, type check (when mypy is installed), tier-1 suite, the dedicated
+# fault/recovery suite, and end-to-end CLI exit-code checks (a corrupted
+# partition directory must make `cusp validate` exit non-zero).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== SPMD-safety lint (strict) =="
 python -m repro lint src/repro --strict
+
+echo "== phase-contract diff (strict) =="
+python -m repro contracts src/repro --strict
 
 echo "== type check (mypy, when available) =="
 if command -v mypy >/dev/null 2>&1; then

@@ -21,7 +21,10 @@ This package enforces the contract mechanically:
 * :mod:`repro.analysis.isolation` — an opt-in dynamic race detector
   that tracks (host, phase, op-index, attribute) accesses during
   ``ParallelExecutor`` runs and raises :class:`IsolationViolation` on
-  any cross-host access outside the sanctioned barrier-merge path.
+  any cross-host access outside the sanctioned barrier-merge path;
+* :mod:`repro.analysis.contracts` — declarative phase-communication
+  contracts with a static extraction diff (``repro contracts``) and the
+  opt-in runtime sanitizer :class:`CommSan`.
 
 See ``docs/ANALYSIS.md`` for the contract, each rule's rationale, and
 the suppression syntax.
@@ -37,17 +40,36 @@ __all__ = [
     "run_lint",
     "IsolationMonitor",
     "IsolationViolation",
+    "CommSan",
+    "check_contracts",
+    "ContractViolation",
+    "ContractViolationError",
+    "PhaseContract",
+    "ContractContext",
 ]
 
 _LINT_EXPORTS = {"Finding", "LintReport", "LintRule", "all_rules", "run_lint"}
 
+_CONTRACT_EXPORTS = {
+    "CommSan",
+    "check_contracts",
+    "ContractViolation",
+    "ContractViolationError",
+    "PhaseContract",
+    "ContractContext",
+}
+
 
 def __getattr__(name: str):
     # The isolation hooks make every `import repro` touch this package;
-    # loading the AST lint framework is deferred until something
-    # actually asks for it.
+    # loading the AST lint framework and the contract verifiers is
+    # deferred until something actually asks for them.
     if name in _LINT_EXPORTS:
         from . import lint
 
         return getattr(lint, name)
+    if name in _CONTRACT_EXPORTS:
+        from . import contracts
+
+        return getattr(contracts, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

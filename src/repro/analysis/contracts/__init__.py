@@ -1,0 +1,57 @@
+"""Phase-communication contracts: specs, static extraction, and CommSan.
+
+The contract *language* lives in :mod:`.model`; the five CuSP phase
+declarations live with the phase code in :mod:`repro.core.contracts`.
+The two verifiers — static extraction (:func:`check_contracts`) and the
+runtime sanitizer (:class:`CommSan`) — are imported lazily so that
+``repro.runtime`` modules can be imported by the sanitizer without a
+cycle and so that plain model users never pay for numpy/AST machinery.
+"""
+
+from .model import (
+    OP_KINDS,
+    TOPOLOGIES,
+    ContractContext,
+    ContractSet,
+    ContractViolation,
+    ContractViolationError,
+    OpSpec,
+    PhaseContract,
+)
+
+__all__ = [
+    "OP_KINDS",
+    "TOPOLOGIES",
+    "ContractContext",
+    "ContractSet",
+    "ContractViolation",
+    "ContractViolationError",
+    "OpSpec",
+    "PhaseContract",
+    "CommSan",
+    "check_contracts",
+    "extract_phase_ops",
+    "ContractReport",
+    "ContractFinding",
+    "ExtractedOp",
+]
+
+_EXTRACT_EXPORTS = {
+    "check_contracts",
+    "extract_phase_ops",
+    "ContractReport",
+    "ContractFinding",
+    "ExtractedOp",
+}
+
+
+def __getattr__(name: str):
+    if name in _EXTRACT_EXPORTS:
+        from . import extract
+
+        return getattr(extract, name)
+    if name == "CommSan":
+        from .sanitize import CommSan
+
+        return CommSan
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -21,6 +21,7 @@ __all__ = [
     "LedgerBypassRule",
     "UnaccountedSendRule",
     "CrossHostWriteRule",
+    "ContractUndeclaredOpRule",
 ]
 
 
@@ -573,3 +574,115 @@ class CrossHostWriteRule(LintRule):
             indices.append(node.slice)
             node = node.value  # type: ignore[assignment]
         return indices
+
+
+@register
+class ContractUndeclaredOpRule(LintRule):
+    """Comm calls in a phase module must be covered by its PhaseContract.
+
+    A module is *governed* when it is the primary module of a contract
+    in :data:`repro.core.contracts.PHASE_CONTRACTS` (matched by
+    package-relative path suffix) or when it declares its phase
+    explicitly with a module-level ``__phase_contract__ = "Phase Name"``
+    constant.  In a governed module every ``send`` tag must be a
+    compile-time constant declared by a governing contract, and
+    collectives/barriers are only allowed when a clause of that kind
+    exists.  The full dataflow diff — including dispatch into rule/state
+    modules and dead-clause detection — is the ``repro contracts``
+    subcommand's job; this rule is the fast in-editor subset.
+    """
+
+    name = "contract-undeclared-op"
+    severity = ERROR
+    description = (
+        "comm op in a phase module not covered by its declared "
+        "PhaseContract; declare an OpSpec in repro.core.contracts"
+    )
+
+    _COLLECTIVE_CALLS = {
+        "allreduce_sum": ("allreduce", "allreduce-async"),
+        "allreduce_max": ("allreduce",),
+        "allgather": ("allgather",),
+        "barrier": ("barrier",),
+    }
+
+    @staticmethod
+    def _explicit_phase(module: ModuleSource) -> str | None:
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__phase_contract__"
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                return node.value.value
+        return None
+
+    def _governing(self, module: ModuleSource) -> list:
+        try:
+            from ...core.contracts import PHASE_CONTRACTS
+        except Exception:  # pragma: no cover - partial checkouts
+            return []
+        explicit = self._explicit_phase(module)
+        if explicit is not None:
+            contract = PHASE_CONTRACTS.get(explicit)
+            return [contract] if contract is not None else []
+        governing = []
+        for contract in PHASE_CONTRACTS:
+            if not contract.modules:
+                continue
+            primary = contract.modules[0]
+            if module.rel == primary or module.rel.endswith("/" + primary):
+                governing.append(contract)
+        return governing
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        contracts = self._governing(module)
+        if not contracts:
+            return
+        tags: set[str] = set()
+        kinds: set[str] = set()
+        for contract in contracts:
+            tags |= contract.p2p_tags()
+            kinds |= contract.collective_kinds()
+        phases = " + ".join(c.phase for c in contracts)
+        declared = ", ".join(sorted(repr(t) for t in tags)) or "none"
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            attr = node.func.attr
+            if attr == "send":
+                tag_node = next(
+                    (kw.value for kw in node.keywords if kw.arg == "tag"), None
+                )
+                if tag_node is None:
+                    tag: str | None = "default"
+                elif isinstance(tag_node, ast.Constant) and isinstance(
+                    tag_node.value, str
+                ):
+                    tag = tag_node.value
+                else:
+                    yield self.finding(
+                        module, node,
+                        f"send with a non-constant tag cannot be checked "
+                        f"against the {phases} contract",
+                    )
+                    continue
+                if tag not in tags:
+                    yield self.finding(
+                        module, node,
+                        f"send tag {tag!r} is not declared by the {phases} "
+                        f"contract (declared: {declared})",
+                    )
+            elif attr in self._COLLECTIVE_CALLS:
+                if not any(k in kinds for k in self._COLLECTIVE_CALLS[attr]):
+                    yield self.finding(
+                        module, node,
+                        f"`{attr}` has no matching clause in the {phases} "
+                        "contract",
+                    )

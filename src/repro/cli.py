@@ -12,10 +12,14 @@ Subcommands:
 ``validate``    check a saved partition directory (exit 1 if invalid)
 ``lint``        run the SPMD-safety lint over Python sources
                 (exit 1 on errors; ``--strict`` escalates warnings)
+``contracts``   statically diff the five phase modules against their
+                declared communication contracts (exit 1 on undeclared
+                ops; ``--strict`` escalates dead contract clauses)
 
-``lint`` and ``validate`` are both *checking* subcommands and share one
-verdict convention (:func:`_check_exit`): a single summary line —
-``OK:`` on stdout with exit 0, or a failure line on stderr with exit 1.
+``lint``, ``contracts`` and ``validate`` are all *checking* subcommands
+and share one verdict convention (:func:`_check_exit`): a single summary
+line — ``OK:`` on stdout with exit 0, or a failure line on stderr with
+exit 1.
 """
 
 from __future__ import annotations
@@ -113,6 +117,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "race detector)"
         ),
     )
+    p.add_argument(
+        "--commsan", action="store_true",
+        help=(
+            "run under the phase-communication sanitizer: every phase "
+            "is audited against its declared contract and the ledger's "
+            "conservation laws (exit 1 with the first violating "
+            "(phase, host, op) on breach)"
+        ),
+    )
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", help="e.g. table3, fig3, fig7 (or 'all')")
@@ -160,6 +173,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--list-rules", action="store_true",
                    help="print the available rules and exit")
+
+    p = sub.add_parser(
+        "contracts",
+        help="statically check phase code against its communication contracts",
+        description=(
+            "Extract every communication operation the five phase "
+            "modules (and the rule/state modules they dispatch into) can "
+            "emit, and diff the result against the declared "
+            "PhaseContracts in repro.core.contracts: undeclared ops and "
+            "non-constant tags are errors, contract clauses no code path "
+            "can exercise are warnings.  See the 'Phase contracts & "
+            "CommSan' section of docs/ANALYSIS.md."
+        ),
+    )
+    p.add_argument(
+        "root", nargs="?",
+        help=(
+            "package root to check: a repo root, src/repro, or any "
+            "directory holding the core/ phase modules (default: the "
+            "installed repro package)"
+        ),
+    )
+    p.add_argument("--strict", action="store_true",
+                   help="treat dead-clause warnings as errors")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (default text)")
+    p.add_argument("--json", action="store_true",
+                   help="shorthand for --format json")
     return parser
 
 
@@ -208,10 +249,18 @@ def _run_partitioner(graph, args):
             checkpoint_dir=args.checkpoint_dir,
             max_retries=args.max_retries,
             executor=args.executor,
+            sanitizer=args.commsan,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
     dg = cusp.partition(graph, output=args.output_format)
+    if args.commsan:
+        san = cusp.sanitizer
+        print(
+            f"commsan            : {san.phases_checked} phase(s) audited, "
+            f"{san.ops_observed} op(s) observed, "
+            f"{len(san.violations)} violation(s)"
+        )
     if cusp.last_fault_report is not None:
         print(f"fault injection    : {cusp.last_fault_report.summary()}")
         if dg.breakdown is not None and dg.breakdown.retry_bytes():
@@ -281,6 +330,30 @@ def _run_lint_command(args) -> int:
     )
 
 
+def _run_contracts_command(args) -> int:
+    """The ``contracts`` subcommand: drive the static extraction diff."""
+    from .analysis.contracts import check_contracts
+
+    root = args.root or os.path.dirname(os.path.abspath(__file__))
+    report = check_contracts(root)
+    ok = report.ok(strict=args.strict)
+    if args.json or args.format == "json":
+        print(report.to_json())
+        return 0 if ok else 1
+    for finding in report.findings:
+        print(finding.render())
+    strict_note = (
+        " (strict: dead clauses are errors)"
+        if args.strict and not ok and not report.errors
+        else ""
+    )
+    return _check_exit(
+        ok,
+        f"OK: {report.summary()}",
+        f"FAIL: {report.summary()}{strict_note}",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(argv)
@@ -315,6 +388,7 @@ def _dispatch(argv: list[str] | None = None) -> int:
         print(f"wrote {graph} to {args.out}")
 
     elif args.command == "partition":
+        from .analysis.contracts import ContractViolationError
         from .runtime.faults import FaultError
 
         graph = read_gr(args.graph)
@@ -322,6 +396,9 @@ def _dispatch(argv: list[str] | None = None) -> int:
             dg, description = _run_partitioner(graph, args)
         except FaultError as exc:
             print(f"partitioning failed: {exc}", file=sys.stderr)
+            return 1
+        except ContractViolationError as exc:
+            print(f"commsan violation: {exc}", file=sys.stderr)
             return 1
         if args.validate:
             from .core import check_partition
@@ -415,6 +492,9 @@ def _dispatch(argv: list[str] | None = None) -> int:
 
     elif args.command == "lint":
         return _run_lint_command(args)
+
+    elif args.command == "contracts":
+        return _run_contracts_command(args)
 
     elif args.command == "info":
         graph = read_gr(args.graph)

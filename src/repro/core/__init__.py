@@ -13,6 +13,7 @@ from .edge_rules import (
     grid_shape,
     make_edge_rule,
 )
+from .contracts import PHASE_CONTRACTS, contract_context_for
 from .framework import PHASE_NAMES, CuSP
 from .partition_io import PartitionCheckpoint, load_partitions, save_partitions
 from .window import WindowedPartitioner
@@ -41,6 +42,8 @@ from .validate import ValidationReport, check_csr, check_partition
 __all__ = [
     "CuSP",
     "PHASE_NAMES",
+    "PHASE_CONTRACTS",
+    "contract_context_for",
     "WindowedPartitioner",
     "save_partitions",
     "load_partitions",

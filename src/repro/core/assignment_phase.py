@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..runtime.executor import HostTask
+from ..graph.csr import CSRGraph
+from ..runtime.executor import HostTask, HostView
 from ..runtime.stats import PhaseStats
 from .policies import Policy
 from .prop import GraphProp
@@ -39,13 +40,15 @@ _MIRROR_ENTRY_BYTES = 12  # node id + master partition
 class EdgeAssignment:
     """Result of the edge-assignment phase."""
 
-    def __init__(self, num_hosts: int):
-        #: Per reading host: owner partition of each of its edges.
-        self.owners: list[np.ndarray] = [None] * num_hosts
-        #: Per reading host: its (src, dst, weight) edge arrays.
-        self.edges: list[tuple[np.ndarray, np.ndarray, np.ndarray | None]] = (
-            [None] * num_hosts
-        )
+    def __init__(self, num_hosts: int) -> None:
+        #: Per reading host: owner partition of each of its edges
+        #: (``None`` until that host's task has run).
+        self.owners: list[np.ndarray | None] = [None] * num_hosts
+        #: Per reading host: its (src, dst, weight) edge arrays
+        #: (``None`` until that host's task has run).
+        self.edges: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray | None] | None
+        ] = [None] * num_hosts
         #: edges_to[h][j] = number of edges host h will send to host j.
         self.edges_to = np.zeros((num_hosts, num_hosts), dtype=np.int64)
         #: toReceive[j] = total edges host j expects (Algorithm 3 line 13).
@@ -53,7 +56,7 @@ class EdgeAssignment:
 
 
 def host_edge_slice(
-    graph, start: int, stop: int
+    graph: CSRGraph, start: int, stop: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
     """The (src, dst, weights) arrays a host reads for nodes [start, stop)."""
     lo, hi = int(graph.indptr[start]), int(graph.indptr[stop])
@@ -118,8 +121,8 @@ def run_edge_assignment(
             # User rules written to the paper's two-argument signature.
             estate = rule.make_state(k, num_hosts)
 
-    def assign_task(h, start, stop):
-        def body(view):
+    def assign_task(h: int, start: int, stop: int) -> HostTask:
+        def body(view: HostView) -> None:
             src, dst, weights = host_edge_slice(graph, start, stop)
             estate_view = estate.host_view(h) if estate is not None else None
             owner = rule.owner_batch(
@@ -178,8 +181,8 @@ def run_edge_assignment(
         phase.executor.run(phase, tasks)
 
     # Every host tallies what it will receive (Algorithm 3 lines 10-14).
-    def tally_task(j):
-        def body(view):
+    def tally_task(j: int) -> HostTask:
+        def body(view: HostView) -> None:
             incoming = view.recv_all(tag="edge-counts")
             received = sum(
                 payload[0] for _, payload in incoming if payload is not None

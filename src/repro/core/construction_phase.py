@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from ..runtime.executor import HostTask
+from ..runtime.executor import HostTask, HostView
 from ..runtime.stats import PhaseStats
 from .assignment_phase import EdgeAssignment
 from .partition import LocalPartition
@@ -43,14 +43,14 @@ def run_allocation(
     n = prop.getNumNodes()
 
     # Pass 1: each reading host groups its edge endpoints by owner.
-    def group_task(h):
-        def body(view):
+    def group_task(h: int) -> HostTask:
+        def body(view: HostView) -> list[tuple[int, np.ndarray, np.ndarray]]:
             src, dst, _ = assignment.edges[h]
             owner = assignment.owners[h]
             order = np.argsort(owner, kind="stable")
             sorted_owner = owner[order]
             cuts = np.searchsorted(sorted_owner, np.arange(num_hosts + 1))
-            pieces = []
+            pieces: list[tuple[int, np.ndarray, np.ndarray]] = []
             for j in range(num_hosts):
                 sl = order[cuts[j] : cuts[j + 1]]
                 if sl.size:
@@ -69,8 +69,8 @@ def run_allocation(
             endpoint_sets[j].append(dsts)
 
     # Pass 2: each owner unions what lands on it with what it masters.
-    def proxy_task(j):
-        def body(view):
+    def proxy_task(j: int) -> HostTask:
+        def body(view: HostView) -> np.ndarray:
             mastered = np.flatnonzero(masters == j).astype(np.int64)
             pieces = endpoint_sets[j] + [mastered]
             gids = (
@@ -107,8 +107,8 @@ def run_construction(
     weighted = prop.graph.is_weighted
 
     # Senders: group each host's edges by owner and ship them.
-    def send_task(h):
-        def body(view):
+    def send_task(h: int) -> HostTask:
+        def body(view: HostView) -> None:
             src, dst, w = assignment.edges[h]
             owner = assignment.owners[h]
             order = np.argsort(owner, kind="stable")
@@ -142,8 +142,8 @@ def run_construction(
     phase.executor.run(phase, [send_task(h) for h in range(num_hosts)])
 
     # Receivers: deserialize, map to local ids, build the CSR partition.
-    def build_task(j):
-        def body(view):
+    def build_task(j: int) -> HostTask:
+        def body(view: HostView) -> LocalPartition:
             gids = proxies[j]
             lookup = np.full(n, -1, dtype=np.int64)
             mastered_mask = masters[gids] == j

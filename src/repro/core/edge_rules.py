@@ -74,7 +74,7 @@ class EdgeRule:
         dst_id: int,
         src_master: int,
         dst_master: int,
-        estate=None,
+        estate: PartitioningState | None = None,
     ) -> int:
         """Partition owning edge ``(src_id, dst_id)`` (paper signature)."""
         raise NotImplementedError
@@ -86,7 +86,7 @@ class EdgeRule:
         dst_ids: np.ndarray,
         src_masters: np.ndarray,
         dst_masters: np.ndarray,
-        estate=None,
+        estate: PartitioningState | None = None,
     ) -> np.ndarray:
         """Batched owner computation; default loops over :meth:`owner`."""
         out = np.empty(len(src_ids), dtype=np.int32)
@@ -116,10 +116,26 @@ class SourceRule(EdgeRule):
     name = "Source"
     invariant = "edge-cut"
 
-    def owner(self, prop, src_id, dst_id, src_master, dst_master, estate=None):
+    def owner(
+        self,
+        prop: GraphProp,
+        src_id: int,
+        dst_id: int,
+        src_master: int,
+        dst_master: int,
+        estate: PartitioningState | None = None,
+    ) -> int:
         return src_master
 
-    def owner_batch(self, prop, src_ids, dst_ids, src_masters, dst_masters, estate=None):
+    def owner_batch(
+        self,
+        prop: GraphProp,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        src_masters: np.ndarray,
+        dst_masters: np.ndarray,
+        estate: PartitioningState | None = None,
+    ) -> np.ndarray:
         return np.asarray(src_masters, dtype=np.int32).copy()
 
 
@@ -134,10 +150,26 @@ class DestRule(EdgeRule):
     name = "Dest"
     invariant = "edge-cut"
 
-    def owner(self, prop, src_id, dst_id, src_master, dst_master, estate=None):
+    def owner(
+        self,
+        prop: GraphProp,
+        src_id: int,
+        dst_id: int,
+        src_master: int,
+        dst_master: int,
+        estate: PartitioningState | None = None,
+    ) -> int:
         return dst_master
 
-    def owner_batch(self, prop, src_ids, dst_ids, src_masters, dst_masters, estate=None):
+    def owner_batch(
+        self,
+        prop: GraphProp,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        src_masters: np.ndarray,
+        dst_masters: np.ndarray,
+        estate: PartitioningState | None = None,
+    ) -> np.ndarray:
         return np.asarray(dst_masters, dtype=np.int32).copy()
 
 
@@ -158,12 +190,28 @@ class HybridRule(EdgeRule):
             raise ValueError("degree_threshold must be >= 0")
         self.degree_threshold = degree_threshold
 
-    def owner(self, prop, src_id, dst_id, src_master, dst_master, estate=None):
+    def owner(
+        self,
+        prop: GraphProp,
+        src_id: int,
+        dst_id: int,
+        src_master: int,
+        dst_master: int,
+        estate: PartitioningState | None = None,
+    ) -> int:
         if prop.getNodeOutDegree(src_id) > self.degree_threshold:
             return dst_master
         return src_master
 
-    def owner_batch(self, prop, src_ids, dst_ids, src_masters, dst_masters, estate=None):
+    def owner_batch(
+        self,
+        prop: GraphProp,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        src_masters: np.ndarray,
+        dst_masters: np.ndarray,
+        estate: PartitioningState | None = None,
+    ) -> np.ndarray:
         degrees = prop.out_degrees(np.asarray(src_ids))
         return np.where(
             degrees > self.degree_threshold, dst_masters, src_masters
@@ -183,13 +231,29 @@ class CartesianRule(EdgeRule):
     name = "Cartesian"
     invariant = "2d-cut"
 
-    def owner(self, prop, src_id, dst_id, src_master, dst_master, estate=None):
+    def owner(
+        self,
+        prop: GraphProp,
+        src_id: int,
+        dst_id: int,
+        src_master: int,
+        dst_master: int,
+        estate: PartitioningState | None = None,
+    ) -> int:
         _, pc = grid_shape(prop.getNumPartitions())
         blocked_row = (src_master // pc) * pc
         cyclic_col = dst_master % pc
         return blocked_row + cyclic_col
 
-    def owner_batch(self, prop, src_ids, dst_ids, src_masters, dst_masters, estate=None):
+    def owner_batch(
+        self,
+        prop: GraphProp,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        src_masters: np.ndarray,
+        dst_masters: np.ndarray,
+        estate: PartitioningState | None = None,
+    ) -> np.ndarray:
         _, pc = grid_shape(prop.getNumPartitions())
         blocked_row = (np.asarray(src_masters) // pc) * pc
         cyclic_col = np.asarray(dst_masters) % pc
@@ -208,13 +272,29 @@ class CheckerboardRule(EdgeRule):
     name = "Checkerboard"
     invariant = "2d-cut"
 
-    def owner(self, prop, src_id, dst_id, src_master, dst_master, estate=None):
+    def owner(
+        self,
+        prop: GraphProp,
+        src_id: int,
+        dst_id: int,
+        src_master: int,
+        dst_master: int,
+        estate: PartitioningState | None = None,
+    ) -> int:
         pr, pc = grid_shape(prop.getNumPartitions())
         row_band = src_master // pc          # in [0, pr)
         col_band = dst_master // pr          # in [0, pc)
         return row_band * pc + col_band
 
-    def owner_batch(self, prop, src_ids, dst_ids, src_masters, dst_masters, estate=None):
+    def owner_batch(
+        self,
+        prop: GraphProp,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        src_masters: np.ndarray,
+        dst_masters: np.ndarray,
+        estate: PartitioningState | None = None,
+    ) -> np.ndarray:
         pr, pc = grid_shape(prop.getNumPartitions())
         row_band = np.asarray(src_masters) // pc
         col_band = np.asarray(dst_masters) // pr
@@ -235,13 +315,29 @@ class JaggedRule(EdgeRule):
     name = "Jagged"
     invariant = "2d-cut"
 
-    def owner(self, prop, src_id, dst_id, src_master, dst_master, estate=None):
+    def owner(
+        self,
+        prop: GraphProp,
+        src_id: int,
+        dst_id: int,
+        src_master: int,
+        dst_master: int,
+        estate: PartitioningState | None = None,
+    ) -> int:
         pr, pc = grid_shape(prop.getNumPartitions())
         row_band = src_master // pc
         col = (dst_master + row_band) % pc
         return row_band * pc + col
 
-    def owner_batch(self, prop, src_ids, dst_ids, src_masters, dst_masters, estate=None):
+    def owner_batch(
+        self,
+        prop: GraphProp,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        src_masters: np.ndarray,
+        dst_masters: np.ndarray,
+        estate: PartitioningState | None = None,
+    ) -> np.ndarray:
         pr, pc = grid_shape(prop.getNumPartitions())
         row_band = np.asarray(src_masters) // pc
         col = (np.asarray(dst_masters) + row_band) % pc
@@ -265,13 +361,29 @@ class DegreeHashRule(EdgeRule):
         # Fibonacci hashing; cheap, deterministic, well-mixed.
         return ((np.asarray(ids, dtype=np.uint64) * np.uint64(11400714819323198485)) >> np.uint64(40)) % np.uint64(k)
 
-    def owner(self, prop, src_id, dst_id, src_master, dst_master, estate=None):
+    def owner(
+        self,
+        prop: GraphProp,
+        src_id: int,
+        dst_id: int,
+        src_master: int,
+        dst_master: int,
+        estate: PartitioningState | None = None,
+    ) -> int:
         k = prop.getNumPartitions()
         if prop.getNodeOutDegree(src_id) <= prop.getNodeOutDegree(dst_id):
             return int(self._hash(np.array([src_id]), k)[0])
         return int(self._hash(np.array([dst_id]), k)[0])
 
-    def owner_batch(self, prop, src_ids, dst_ids, src_masters, dst_masters, estate=None):
+    def owner_batch(
+        self,
+        prop: GraphProp,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        src_masters: np.ndarray,
+        dst_masters: np.ndarray,
+        estate: PartitioningState | None = None,
+    ) -> np.ndarray:
         k = prop.getNumPartitions()
         src_ids = np.asarray(src_ids)
         dst_ids = np.asarray(dst_ids)
@@ -299,7 +411,7 @@ def _register_streaming_rules() -> None:
     EDGE_RULES.setdefault("HDRF", HDRFRule)
 
 
-def make_edge_rule(name: str, **kwargs) -> EdgeRule:
+def make_edge_rule(name: str, **kwargs: object) -> EdgeRule:
     """Instantiate an edge rule by its paper name."""
     _register_streaming_rules()
     if name not in EDGE_RULES:

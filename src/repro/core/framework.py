@@ -47,6 +47,7 @@ from ..runtime.faults import (
 )
 from .assignment_phase import assignment_from_owners, run_edge_assignment
 from .construction_phase import run_allocation, run_construction
+from .contracts import contract_context_for
 from .masters_phase import run_master_assignment
 from .partition import DistributedGraph
 from .partition_io import PartitionCheckpoint
@@ -109,6 +110,14 @@ class CuSP:
         deterministic reference), ``"parallel"`` (thread pool with
         deterministic ledger merging — same partitions, same simulated
         breakdown), or an :class:`~repro.runtime.executor.Executor`.
+    sanitizer:
+        Phase-communication auditing: ``True`` attaches a fresh
+        :class:`~repro.analysis.contracts.CommSan` (bound to this run's
+        configuration), or pass a preconstructed instance to inspect its
+        accumulated :attr:`~repro.analysis.contracts.CommSan.violations`
+        afterwards.  Any contract breach raises
+        :class:`~repro.analysis.contracts.ContractViolationError` at the
+        offending phase's barrier.
     """
 
     def __init__(
@@ -126,6 +135,7 @@ class CuSP:
         checkpoint_dir: str | os.PathLike | None = None,
         max_retries: int = 3,
         executor=None,
+        sanitizer=None,
     ):
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
@@ -161,6 +171,13 @@ class CuSP:
         self.checkpoint_dir = checkpoint_dir
         self.max_retries = max_retries
         self.executor = executor
+        if sanitizer is True:
+            from ..analysis.contracts import CommSan
+
+            sanitizer = CommSan()
+        elif sanitizer is False:
+            sanitizer = None
+        self.sanitizer = sanitizer
         #: :class:`~repro.runtime.faults.FaultReport` of the most recent
         #: :meth:`partition` call (None before the first call, or when no
         #: fault plan is attached).
@@ -209,6 +226,16 @@ class CuSP:
         injector = (
             FaultInjector(self.fault_plan) if self.fault_plan is not None else None
         )
+        if self.sanitizer is not None:
+            # Bind the sanitizer to this run's configuration so that
+            # conditional contract clauses and expected round counts are
+            # evaluated against what the phases will actually do.
+            self.sanitizer.context = contract_context_for(
+                self.policy,
+                k,
+                sync_rounds=self.sync_rounds,
+                elide_master_communication=self.elide_master_communication,
+            )
         cluster = SimulatedCluster(
             k,
             cost_model=self.cost_model,
@@ -217,6 +244,7 @@ class CuSP:
             injector=injector,
             max_send_retries=self.max_retries,
             executor=self.executor,
+            sanitizer=self.sanitizer,
         )
         recovery = RecoveryManager(k)
         checkpoint = PartitionCheckpoint(

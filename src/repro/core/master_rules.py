@@ -57,7 +57,7 @@ class MasterRule:
         self,
         prop: GraphProp,
         node_id: int,
-        mstate,
+        mstate: PartitioningState | None,
         masters: np.ndarray | None = None,
     ) -> int:
         """Partition of the master proxy for ``node_id`` (paper signature)."""
@@ -67,7 +67,7 @@ class MasterRule:
         self,
         prop: GraphProp,
         node_ids: np.ndarray,
-        mstate,
+        mstate: PartitioningState | None,
         masters: np.ndarray | None = None,
     ) -> np.ndarray:
         """Vectorizable batched assignment; default loops over :meth:`assign`.
@@ -98,11 +98,23 @@ class Contiguous(MasterRule):
 
     name = "Contiguous"
 
-    def assign(self, prop, node_id, mstate, masters=None) -> int:
+    def assign(
+        self,
+        prop: GraphProp,
+        node_id: int,
+        mstate: PartitioningState | None,
+        masters: np.ndarray | None = None,
+    ) -> int:
         block = math.ceil(prop.getNumNodes() / prop.getNumPartitions())
         return node_id // block
 
-    def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
+    def assign_batch(
+        self,
+        prop: GraphProp,
+        node_ids: np.ndarray,
+        mstate: PartitioningState | None,
+        masters: np.ndarray | None = None,
+    ) -> np.ndarray:
         block = math.ceil(prop.getNumNodes() / prop.getNumPartitions())
         return (np.asarray(node_ids) // block).astype(np.int32)
 
@@ -120,11 +132,23 @@ class ContiguousEB(MasterRule):
     def _edge_block(self, prop: GraphProp) -> int:
         return math.ceil((prop.getNumEdges() + 1) / prop.getNumPartitions())
 
-    def assign(self, prop, node_id, mstate, masters=None) -> int:
+    def assign(
+        self,
+        prop: GraphProp,
+        node_id: int,
+        mstate: PartitioningState | None,
+        masters: np.ndarray | None = None,
+    ) -> int:
         first = prop.first_out_edges(np.array([node_id]))[0]
         return int(first) // self._edge_block(prop)
 
-    def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
+    def assign_batch(
+        self,
+        prop: GraphProp,
+        node_ids: np.ndarray,
+        mstate: PartitioningState | None,
+        masters: np.ndarray | None = None,
+    ) -> np.ndarray:
         first = prop.first_out_edges(np.asarray(node_ids))
         return (first // self._edge_block(prop)).astype(np.int32)
 
@@ -165,7 +189,13 @@ class Fennel(MasterRule):
     def make_state(self, num_partitions: int, num_hosts: int) -> PartitionLoadState:
         return PartitionLoadState(num_partitions, num_hosts)
 
-    def assign(self, prop, node_id, mstate, masters=None) -> int:
+    def assign(
+        self,
+        prop: GraphProp,
+        node_id: int,
+        mstate: PartitioningState | None,
+        masters: np.ndarray | None = None,
+    ) -> int:
         k = prop.getNumPartitions()
         alpha = _fennel_alpha(
             prop.getNumNodes(), prop.getNumEdges(), k, self.gamma
@@ -183,7 +213,13 @@ class Fennel(MasterRule):
         mstate.add_node(part)
         return part
 
-    def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
+    def assign_batch(
+        self,
+        prop: GraphProp,
+        node_ids: np.ndarray,
+        mstate: PartitioningState | None,
+        masters: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Incremental-penalty batch kernel.
 
         Decisions stay sequential — each placement feeds the next node's
@@ -282,7 +318,13 @@ class FennelEB(MasterRule):
     def make_state(self, num_partitions: int, num_hosts: int) -> PartitionLoadState:
         return PartitionLoadState(num_partitions, num_hosts)
 
-    def assign(self, prop, node_id, mstate, masters=None) -> int:
+    def assign(
+        self,
+        prop: GraphProp,
+        node_id: int,
+        mstate: PartitioningState | None,
+        masters: np.ndarray | None = None,
+    ) -> int:
         degree = prop.getNodeOutDegree(node_id)
         if degree > self.degree_threshold:
             return self._contiguous_eb.assign(prop, node_id, mstate)
@@ -307,7 +349,13 @@ class FennelEB(MasterRule):
         mstate.add_edges(part, degree)
         return part
 
-    def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
+    def assign_batch(
+        self,
+        prop: GraphProp,
+        node_ids: np.ndarray,
+        mstate: PartitioningState | None,
+        masters: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Incremental-penalty batch kernel (see :meth:`Fennel.assign_batch`).
 
         The high-degree short-circuit is vectorized up front: those nodes
@@ -402,7 +450,13 @@ class LDG(MasterRule):
     def make_state(self, num_partitions: int, num_hosts: int) -> PartitionLoadState:
         return PartitionLoadState(num_partitions, num_hosts)
 
-    def assign(self, prop, node_id, mstate, masters=None) -> int:
+    def assign(
+        self,
+        prop: GraphProp,
+        node_id: int,
+        mstate: PartitioningState | None,
+        masters: np.ndarray | None = None,
+    ) -> int:
         k = prop.getNumPartitions()
         capacity = math.ceil(prop.getNumNodes() / k) or 1
         load = mstate.numNodes.astype(np.float64)
@@ -426,7 +480,13 @@ class LDG(MasterRule):
         mstate.add_node(part)
         return part
 
-    def assign_batch(self, prop, node_ids, mstate, masters=None) -> np.ndarray:
+    def assign_batch(
+        self,
+        prop: GraphProp,
+        node_ids: np.ndarray,
+        mstate: PartitioningState | None,
+        masters: np.ndarray | None = None,
+    ) -> np.ndarray:
         node_ids = np.asarray(node_ids)
         out = np.empty(node_ids.size, dtype=np.int32)
         if node_ids.size == 0:
@@ -474,7 +534,7 @@ MASTER_RULES = {
 }
 
 
-def make_master_rule(name: str, **kwargs) -> MasterRule:
+def make_master_rule(name: str, **kwargs: object) -> MasterRule:
     """Instantiate a master rule by its paper name."""
     if name not in MASTER_RULES:
         raise KeyError(f"unknown master rule {name!r}; choose from {list(MASTER_RULES)}")

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..runtime.executor import HostTask
+from ..runtime.executor import HostTask, HostView
 from ..runtime.stats import PhaseStats
 from .policies import Policy
 from .prop import GraphProp
@@ -85,8 +85,8 @@ def run_master_assignment(
     if rule.is_pure:
         # Pure rules are embarrassingly per-host: each task assigns its
         # own node slice (disjoint writes into ``masters``).
-        def pure_task(h, start, stop):
-            def body(view):
+        def pure_task(h: int, start: int, stop: int) -> HostTask:
+            def body(view: HostView) -> None:
                 node_ids = np.arange(start, stop, dtype=np.int64)
                 if node_ids.size:
                     masters[start:stop] = rule.assign_batch(prop, node_ids, None)
@@ -133,8 +133,8 @@ def run_master_assignment(
         # Request-driven exchange (§IV-D5): each host asks only for the
         # masters of its read-nodes' neighbors.  Task j fills column j of
         # the request table — disjoint writes across hosts.
-        def request_task(j, start, stop):
-            def body(view):
+        def request_task(j: int, start: int, stop: int) -> HostTask:
+            def body(view: HostView) -> None:
                 lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
                 nbrs = np.unique(prop.graph.indices[lo:hi])
                 owner = _owning_host(nbrs, bounds)
@@ -171,13 +171,14 @@ def run_master_assignment(
         np.linspace(start, stop, sync_rounds + 1).astype(np.int64)
         for (start, stop) in ranges
     ]
+    masters_arg: list[np.ndarray | None]
     if rule.uses_masters:
-        masters_arg = known
+        masters_arg = list(known)
     else:
         masters_arg = [None] * num_hosts
 
-    def assign_task(h, r):
-        def body(view):
+    def assign_task(h: int, r: int) -> HostTask:
+        def body(view: HostView) -> np.ndarray:
             c0, c1 = int(chunk_bounds[h][r]), int(chunk_bounds[h][r + 1])
             node_ids = np.arange(c0, c1, dtype=np.int64)
             if node_ids.size == 0:
@@ -201,8 +202,8 @@ def run_master_assignment(
 
         return HostTask(h, body, label="assign-chunk")
 
-    def ship_task(h, fresh):
-        def body(view):
+    def ship_task(h: int, fresh: np.ndarray) -> HostTask:
+        def body(view: HostView) -> None:
             if fresh.size == 0:
                 return
             lo, hi = fresh[0], fresh[-1]

@@ -51,6 +51,7 @@ class SimulatedCluster:
         injector: FaultInjector | None = None,
         max_send_retries: int = 5,
         executor=None,
+        sanitizer=None,
     ):
         """``host_speeds`` optionally scales each host's compute rate (1.0
         = nominal; 0.5 = half speed).  Stampede2 is homogeneous, but a
@@ -58,7 +59,11 @@ class SimulatedCluster:
         phases wait for it.  ``injector`` attaches a seeded fault plan;
         ``max_send_retries`` bounds per-send retransmission attempts.
         ``executor`` selects the per-host execution engine ("serial",
-        "parallel", or an :class:`~repro.runtime.executor.Executor`)."""
+        "parallel", or an :class:`~repro.runtime.executor.Executor`).
+        ``sanitizer`` optionally attaches a phase-communication auditor
+        (:class:`repro.analysis.contracts.CommSan` or anything with its
+        ``begin_phase``/``end_phase`` interface); it observes every
+        phase's communicator and raises at the first contract breach."""
         if num_hosts < 1:
             raise ValueError("num_hosts must be >= 1")
         cost_model.validate()
@@ -68,6 +73,7 @@ class SimulatedCluster:
         self.injector = injector
         self.max_send_retries = max_send_retries
         self.executor = make_executor(executor)
+        self.sanitizer = sanitizer
         if host_speeds is None:
             self.host_speeds = None
         else:
@@ -105,6 +111,8 @@ class SimulatedCluster:
             executor=self.executor,
         )
         self._phases.append(stats)
+        if self.sanitizer is not None:
+            self.sanitizer.begin_phase(stats)
         try:
             yield stats
             # A host planned to die at this phase's boundary takes the
@@ -113,7 +121,14 @@ class SimulatedCluster:
                 self.injector.phase_boundary()
         except BaseException:
             stats.failed = True
+            # Audit the aborted phase too, but let the original failure
+            # propagate; violations still accumulate on the sanitizer.
+            if self.sanitizer is not None:
+                self.sanitizer.end_phase(stats, raise_now=False)
             raise
+        else:
+            if self.sanitizer is not None:
+                self.sanitizer.end_phase(stats)
 
     def hosts(self) -> range:
         return range(self.num_hosts)

@@ -42,7 +42,24 @@ import numpy as np
 from ..analysis import isolation
 from .faults import FaultEvent, FaultInjector, SendRetriesExhausted
 
-__all__ = ["Communicator", "CommLedger", "payload_nbytes"]
+__all__ = ["Communicator", "CommLedger", "CommObserver", "payload_nbytes"]
+
+
+class CommObserver(Protocol):
+    """Passive witness of a communicator's message flow.
+
+    The contract sanitizer (:class:`repro.analysis.contracts.CommSan`)
+    implements this to mirror the accounting independently; the hooks
+    fire only when :attr:`Communicator.observer` is set, so the default
+    path costs one ``is None`` check.  Collectives and barriers need no
+    hook — their event lists are read directly at the phase barrier.
+    """
+
+    def on_send(self, src: int, dst: int, tag: str, nbytes: int) -> None: ...
+
+    def on_merge(self, ledger: "CommLedger") -> None: ...
+
+    def on_recv(self, dst: int, tag: str, count: int) -> None: ...
 
 
 class _RetrySink(Protocol):
@@ -118,6 +135,9 @@ class Communicator:
         self.backoff_units = np.zeros(num_hosts, dtype=np.float64)
         self.collective_events: list[tuple[str, float]] = []
         self.barriers = 0
+        #: Optional passive witness (e.g. CommSan); installed per phase
+        #: by the cluster, never consulted for accounting decisions.
+        self.observer: CommObserver | None = None
         self._queues: dict[tuple[int, str], deque] = defaultdict(deque)
         # Bytes sent with coalesce=True, per (src, dst): the dedicated
         # communication thread batches consecutive small sends to the same
@@ -177,6 +197,8 @@ class Communicator:
                     size, logical_messages
                 )
         self._queues[(dst, tag)].append((src, payload))
+        if self.observer is not None:
+            self.observer.on_send(src, dst, tag, size)
 
     def _run_faulty_transport(
         self, src: int, dst: int, size: int, retry_sink: _RetrySink
@@ -233,6 +255,8 @@ class Communicator:
             "merged a ledger from inside a mapped task; merging is the "
             "barrier's job",
         )
+        if self.observer is not None:
+            self.observer.on_merge(ledger)
         h = ledger.host
         self.sent_bytes[h, :] += ledger.sent_bytes
         self.sent_messages[h, :] += ledger.sent_messages
@@ -269,6 +293,8 @@ class Communicator:
             return []
         out = list(q)
         q.clear()
+        if self.observer is not None:
+            self.observer.on_recv(dst, tag, len(out))
         return out
 
     def pending(self, dst: int, tag: str = "default") -> int:

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
@@ -48,8 +48,31 @@ import numpy as np
 #: ``("send-failure" | "drop" | "duplicate", phase, src, dst)``.
 FaultEvent = tuple[str | int | None, ...]
 
+#: Event kinds that correspond to exactly one charged retransmission.
+_RETRY_EVENT_KINDS = frozenset({"send-failure", "drop", "duplicate"})
+
+
+def retry_event_channels(events: Iterable[FaultEvent]) -> dict[tuple[int, int], int]:
+    """Per-(src, dst) count of retry-charging events in ``events``.
+
+    Every ``send-failure``/``drop``/``duplicate`` event is drawn
+    immediately before its retransmission is charged, so for any window
+    of the injector's event stream this count must equal the retry
+    messages charged on the same channels — the conservation law the
+    contract sanitizer checks at every phase barrier.  Crash events
+    charge nothing and are ignored.
+    """
+    counts: dict[tuple[int, int], int] = {}
+    for event in events:
+        if event[0] in _RETRY_EVENT_KINDS:
+            key = (int(event[2]), int(event[3]))  # type: ignore[arg-type]
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
 __all__ = [
     "FaultEvent",
+    "retry_event_channels",
     "FaultPlan",
     "HostCrash",
     "FaultInjector",

@@ -12,7 +12,12 @@ import json
 
 from .stats import PhaseReport, TimeBreakdown
 
-__all__ = ["render_breakdown", "breakdown_to_json", "render_comparison"]
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "render_breakdown",
+    "breakdown_to_json",
+    "render_comparison",
+]
 
 _BAR_WIDTH = 40
 
@@ -47,17 +52,32 @@ def render_breakdown(breakdown: TimeBreakdown, title: str = "") -> str:
 def render_comparison(
     breakdowns: dict[str, TimeBreakdown], phase: str | None = None
 ) -> str:
-    """Side-by-side totals for several runs (e.g. policies)."""
-    rows = []
+    """Side-by-side totals for several runs (e.g. policies).
+
+    A run that never recorded the requested ``phase`` (an offline
+    baseline, or a comparison across different phase schedules) renders
+    as ``(phase not recorded)`` instead of raising.
+    """
+    rows: list[tuple[str, float | None]] = []
     for label, bd in breakdowns.items():
-        value = bd.total if phase is None else bd.phase(phase).total
+        if phase is None:
+            value: float | None = bd.total
+        else:
+            try:
+                value = bd.phase(phase).total
+            except KeyError:
+                value = None
         rows.append((label, value))
     if not rows:
         return "(nothing to compare)"
-    worst = max(v for _, v in rows)
+    present = [v for _, v in rows if v is not None]
+    worst = max(present) if present else 0.0
     width = max(len(label) for label, _ in rows)
     lines = []
     for label, value in rows:
+        if value is None:
+            lines.append(f"{label:<{width}}  {'(phase not recorded)':>13}")
+            continue
         frac = value / worst if worst > 0 else 0.0
         bar = "#" * max(1, round(frac * _BAR_WIDTH)) if value > 0 else ""
         lines.append(f"{label:<{width}}  {value * 1e3:10.3f} ms  {bar}")
@@ -76,14 +96,28 @@ def _phase_dict(p: PhaseReport) -> dict:
         "comm_messages": p.comm_messages,
         "retry_bytes": p.retry_bytes,
         "retry_messages": p.retry_messages,
-        "failed": p.failed,
+        "failed": bool(p.failed),
     }
 
 
+#: Bumped whenever the JSON trace layout changes shape.  Version 2 added
+#: ``schema_version`` itself and the top-level ``failed_phases`` marker
+#: list (aborted phases were previously visible only via the per-phase
+#: ``failed`` flags).
+TRACE_SCHEMA_VERSION = 2
+
+
 def breakdown_to_json(breakdown: TimeBreakdown, **metadata) -> str:
-    """JSON document with per-phase detail plus caller metadata."""
+    """JSON document with per-phase detail plus caller metadata.
+
+    Aborted phases are explicitly marked: each carries ``failed: true``
+    in ``phases``, and their names are repeated in ``failed_phases`` so
+    downstream tooling need not scan the phase list to notice a crash.
+    """
     doc = {
+        "schema_version": TRACE_SCHEMA_VERSION,
         "total_s": breakdown.total,
+        "failed_phases": [p.name for p in breakdown.phases if p.failed],
         "phases": [_phase_dict(p) for p in breakdown.phases],
     }
     doc.update(metadata)

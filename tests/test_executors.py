@@ -62,16 +62,24 @@ def assert_same_breakdown(a, b):
 
 def run_both(graph, policy, k=4, plan=None, **kw):
     """Serial vs parallel run — the parallel side under the isolation
-    race detector, so every equivalence example also proves no task
-    touched another host's state."""
-    serial = CuSP(k, policy, fault_plan=plan, executor="serial", **kw)
+    race detector and both sides under the CommSan contract sanitizer,
+    so every equivalence example also proves no task touched another
+    host's state and no phase broke its communication contract."""
+    serial = CuSP(k, policy, fault_plan=plan, executor="serial",
+                  sanitizer=True, **kw)
     checked = ParallelExecutor(check_isolation=True)
-    parallel = CuSP(k, policy, fault_plan=plan, executor=checked, **kw)
+    parallel = CuSP(k, policy, fault_plan=plan, executor=checked,
+                    sanitizer=True, **kw)
     dg_s, dg_p = serial.partition(graph), parallel.partition(graph)
     assert not checked.monitor.violations
     assert checked.monitor.num_accesses > 0, (
         "isolation monitor observed nothing; detector is not wired in"
     )
+    for cusp in (serial, parallel):
+        assert cusp.sanitizer.violations == []
+        assert cusp.sanitizer.phases_checked >= 5, (
+            "CommSan audited nothing; sanitizer is not wired in"
+        )
     return dg_s, dg_p
 
 
@@ -125,12 +133,14 @@ class TestEquivalenceUnderFaults:
         )
         graph = erdos_renyi(300, 2400, seed=11)
         serial = CuSP(4, "CVC", fault_plan=plan, executor="serial",
-                      checkpoint_dir=str(tmp_path / "s"))
+                      checkpoint_dir=str(tmp_path / "s"), sanitizer=True)
         checked = ParallelExecutor(check_isolation=True)
         parallel = CuSP(4, "CVC", fault_plan=plan, executor=checked,
-                        checkpoint_dir=str(tmp_path / "p"))
+                        checkpoint_dir=str(tmp_path / "p"), sanitizer=True)
         dg_s, dg_p = serial.partition(graph), parallel.partition(graph)
         assert not checked.monitor.violations
+        assert serial.sanitizer.violations == []
+        assert parallel.sanitizer.violations == []
         assert_same_partition(dg_s, dg_p)
         assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
         assert serial.last_fault_report.events == (
@@ -143,11 +153,15 @@ class TestEquivalenceUnderFaults:
     @given(plan=fault_plans(), policy=st.sampled_from(["EEC", "CVC", "SVC"]))
     def test_arbitrary_fault_plans(self, plan, policy):
         graph = erdos_renyi(120, 700, seed=7)
-        serial = CuSP(4, policy, fault_plan=plan, executor="serial")
+        serial = CuSP(4, policy, fault_plan=plan, executor="serial",
+                      sanitizer=True)
         checked = ParallelExecutor(check_isolation=True)
-        parallel = CuSP(4, policy, fault_plan=plan, executor=checked)
+        parallel = CuSP(4, policy, fault_plan=plan, executor=checked,
+                        sanitizer=True)
         dg_s, dg_p = serial.partition(graph), parallel.partition(graph)
         assert not checked.monitor.violations
+        assert serial.sanitizer.violations == []
+        assert parallel.sanitizer.violations == []
         assert_same_partition(dg_s, dg_p)
         assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
         assert serial.last_fault_report.events == (

@@ -39,8 +39,16 @@ def small_graph():
 
 
 def run(plan=None, policy="CVC", k=4, graph=None, **kw):
+    """Partition under ``plan`` with CommSan auditing every phase: each
+    fault/recovery scenario doubles as a conservation-law check."""
+    kw.setdefault("sanitizer", True)
     cusp = CuSP(k, policy, fault_plan=plan, **kw)
     dg = cusp.partition(graph if graph is not None else small_graph())
+    if cusp.sanitizer is not None:
+        assert cusp.sanitizer.violations == []
+        assert cusp.sanitizer.phases_checked >= 5, (
+            "CommSan audited nothing; sanitizer is not wired in"
+        )
     return cusp, dg
 
 
@@ -378,8 +386,9 @@ class TestPropertyBased:
            plan=fault_plans(num_hosts=3))
     def test_recovery_matches_fault_free(self, graph, plan):
         base = CuSP(3, "CVC").partition(graph)
-        cusp = CuSP(3, "CVC", fault_plan=plan, max_retries=4)
+        cusp = CuSP(3, "CVC", fault_plan=plan, max_retries=4, sanitizer=True)
         dg = cusp.partition(graph)
+        assert cusp.sanitizer.violations == []
         assert_same_partition(base, dg)
         assert check_partition(dg, original=graph).ok
 

@@ -14,6 +14,7 @@ from repro.runtime import (
     render_breakdown,
     render_comparison,
 )
+from repro.runtime.trace import TRACE_SCHEMA_VERSION
 
 
 @pytest.fixture(scope="module")
@@ -57,6 +58,21 @@ class TestRenderComparison:
     def test_empty(self):
         assert "nothing" in render_comparison({})
 
+    def test_phase_missing_from_one_breakdown(self, breakdown):
+        c = SimulatedCluster(2)
+        with c.phase("warmup") as ph:
+            ph.add_compute(0, 1.0)
+        text = render_comparison(
+            {"full": breakdown, "warmup-only": c.breakdown()},
+            phase="Graph Reading",
+        )
+        assert "(phase not recorded)" in text
+        assert "full" in text and "warmup-only" in text
+
+    def test_phase_missing_from_every_breakdown(self, breakdown):
+        text = render_comparison({"x": breakdown}, phase="no-such-phase")
+        assert "(phase not recorded)" in text
+
 
 class TestBreakdownJson:
     def test_roundtrip(self, breakdown):
@@ -66,6 +82,26 @@ class TestBreakdownJson:
         assert doc["total_s"] == pytest.approx(breakdown.total)
         for phase in doc["phases"]:
             assert set(phase) >= {"name", "total_s", "comm_bytes"}
+
+    def test_schema_version_and_clean_run_markers(self, breakdown):
+        doc = json.loads(breakdown_to_json(breakdown))
+        assert doc["schema_version"] == TRACE_SCHEMA_VERSION
+        assert doc["failed_phases"] == []
+        assert all(phase["failed"] is False for phase in doc["phases"])
+
+    def test_aborted_phase_is_marked(self):
+        c = SimulatedCluster(2)
+        with c.phase("ok-phase") as ph:
+            ph.add_compute(0, 1.0)
+        with pytest.raises(RuntimeError):
+            with c.phase("doomed-phase") as ph:
+                ph.add_compute(0, 1.0)
+                raise RuntimeError("boom")
+        doc = json.loads(breakdown_to_json(c.breakdown()))
+        assert doc["failed_phases"] == ["doomed-phase"]
+        by_name = {p["name"]: p for p in doc["phases"]}
+        assert by_name["doomed-phase"]["failed"] is True
+        assert by_name["ok-phase"]["failed"] is False
 
 
 class TestCliExtensions:

@@ -1,0 +1,124 @@
+"""Edge-case coverage for ``check_csr`` (``repro.core.validate``).
+
+``CSRGraph.__post_init__`` rejects most malformed inputs at construction
+time, so the malformed cases here corrupt a valid instance's arrays
+after the fact — exactly the situation ``check_csr`` exists to catch
+(bugs that scribble on a graph mid-pipeline).
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.core.validate import check_csr
+from repro.graph import CSRGraph
+
+
+def _valid_graph():
+    return CSRGraph.from_edges([0, 1, 2], [1, 2, 0], num_nodes=3)
+
+
+class TestValidEdgeCases:
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], [], num_nodes=0)
+        assert g.num_nodes == 0 and g.num_edges == 0
+        assert check_csr(g) == []
+
+    def test_nodes_but_no_edges(self):
+        g = CSRGraph.from_edges([], [], num_nodes=5)
+        assert check_csr(g) == []
+
+    def test_single_vertex(self):
+        g = CSRGraph.from_edges([], [], num_nodes=1)
+        assert g.num_nodes == 1
+        assert check_csr(g) == []
+
+    def test_single_vertex_with_self_loop(self):
+        g = CSRGraph.from_edges([0], [0], num_nodes=1)
+        assert g.num_edges == 1
+        assert check_csr(g) == []
+
+    def test_self_loops(self):
+        g = CSRGraph.from_edges([0, 1, 2, 2], [0, 1, 2, 0], num_nodes=3)
+        assert check_csr(g) == []
+
+    def test_duplicate_edges_kept(self):
+        g = CSRGraph.from_edges([0, 0, 0, 1], [1, 1, 1, 2], num_nodes=3)
+        assert g.num_edges == 4
+        assert check_csr(g) == []
+
+    def test_duplicate_edges_deduped(self):
+        g = CSRGraph.from_edges(
+            [0, 0, 0, 1], [1, 1, 1, 2], num_nodes=3, dedup=True
+        )
+        assert g.num_edges == 2
+        assert check_csr(g) == []
+
+    def test_weighted_graph(self):
+        g = CSRGraph.from_edges(
+            [0, 1], [1, 0], num_nodes=2, edge_data=[1.5, 2.5]
+        )
+        assert check_csr(g) == []
+
+
+class TestMalformedGraphs:
+    def test_indptr_length_mismatch(self):
+        # num_nodes is derived from indptr on the real class, so this
+        # inconsistency needs a stand-in with an independent node count.
+        fake = SimpleNamespace(
+            indptr=np.array([0, 1], dtype=np.int64),
+            indices=np.array([0], dtype=np.int64),
+            num_nodes=3,
+            is_weighted=False,
+            edge_data=None,
+        )
+        errors = check_csr(fake, label="fake")
+        assert len(errors) == 1
+        assert "want num_nodes + 1" in errors[0]
+        assert errors[0].startswith("fake:")
+
+    def test_nonzero_first_pointer(self):
+        g = _valid_graph()
+        g.indptr[0] = 1
+        errors = check_csr(g)
+        assert any("indptr[0]" in e for e in errors)
+
+    def test_decreasing_indptr(self):
+        g = _valid_graph()
+        g.indptr[1] = 3
+        assert any("non-decreasing" in e for e in check_csr(g))
+
+    def test_last_pointer_vs_edge_count(self):
+        g = _valid_graph()
+        g.indices = g.indices[:-1]
+        assert any("edges stored" in e for e in check_csr(g))
+
+    def test_endpoint_out_of_range_high(self):
+        g = _valid_graph()
+        g.indices[0] = 99
+        errors = check_csr(g)
+        assert any("outside" in e for e in errors)
+
+    def test_endpoint_negative(self):
+        g = _valid_graph()
+        g.indices[0] = -1
+        assert any("outside" in e for e in check_csr(g))
+
+    def test_weight_count_mismatch(self):
+        g = CSRGraph.from_edges(
+            [0, 1], [1, 0], num_nodes=2, edge_data=[1.0, 2.0]
+        )
+        g.edge_data = g.edge_data[:-1]
+        assert any("weights for" in e for e in check_csr(g))
+
+    def test_multiple_violations_all_reported(self):
+        g = _valid_graph()
+        g.indptr[0] = 1
+        g.indices[0] = -1
+        assert len(check_csr(g)) >= 2
+
+    def test_label_prefixes_every_error(self):
+        g = _valid_graph()
+        g.indices[0] = -1
+        for error in check_csr(g, label="host 2 local"):
+            assert error.startswith("host 2 local:")
