@@ -12,6 +12,12 @@ def graph():
     return get_dataset("clueweb", "small")
 
 
+@pytest.fixture(scope="module")
+def wdc_graph():
+    """The wdc-scale workload the BENCH_*.json numbers are recorded on."""
+    return get_dataset("wdc", "bench")
+
+
 @pytest.mark.parametrize("policy", ["EEC", "HVC", "CVC"])
 def test_partition_throughput_stateless(benchmark, graph, policy):
     cusp = CuSP(8, policy)
@@ -33,6 +39,17 @@ def test_partition_throughput_executor(benchmark, graph, executor):
     cusp = CuSP(8, "CVC", executor=executor)
     result = benchmark(lambda: cusp.partition(graph))
     assert result.num_global_edges == graph.num_edges
+
+
+@pytest.mark.parametrize("fabric", ["columnar", "scalar"])
+def test_partition_throughput_fabric(benchmark, wdc_graph, fabric):
+    """Columnar batch fabric vs the scalar compatibility path (the
+    before/after pair recorded in BENCH_colfab.json)."""
+    cusp = CuSP(8, "CVC", fabric=fabric)
+    result = benchmark.pedantic(
+        lambda: cusp.partition(wdc_graph), rounds=3, iterations=1
+    )
+    assert result.num_global_edges == wdc_graph.num_edges
 
 
 def test_transpose_throughput(benchmark, graph):

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Benchmark smoke test: tiny graph, throughput floor + result digest.
+
+Partitions a small deterministic graph on both fabrics and asserts
+
+* the partition digest matches the committed reference
+  (``scripts/bench_smoke_reference.json``) — partitions are a pure
+  function of (graph, policy, seed), so any drift is a real behaviour
+  change, not noise;
+* the columnar fabric clears a *very* conservative wall-clock
+  throughput floor, catching order-of-magnitude perf regressions
+  without the variance problems of asserting real benchmark numbers
+  in CI.
+
+Regenerate the reference (only after an intended behaviour change)
+with ``python scripts/bench_smoke.py --write-reference``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import CuSP  # noqa: E402
+from repro.graph import erdos_renyi  # noqa: E402
+
+REFERENCE = Path(__file__).with_name("bench_smoke_reference.json")
+
+NUM_NODES = 2_000
+NUM_EDGES = 24_000
+SEED = 5
+POLICY = "CVC"
+NUM_HOSTS = 4
+#: Floor in edges/second — two orders of magnitude below what a
+#: single modern core measures, so only a gross regression trips it.
+THROUGHPUT_FLOOR = 50_000.0
+
+
+def partition_digest(dg) -> str:
+    """SHA-256 over every array that defines the partitions."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(dg.masters).tobytes())
+    for part in dg.partitions:
+        for arr in (part.global_ids, part.master_host,
+                    part.local_graph.indptr, part.local_graph.indices):
+            h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def run() -> dict:
+    graph = erdos_renyi(NUM_NODES, NUM_EDGES, seed=SEED)
+    t0 = time.perf_counter()
+    dg = CuSP(NUM_HOSTS, POLICY, fabric="columnar").partition(graph)
+    elapsed = time.perf_counter() - t0
+    scalar_dg = CuSP(NUM_HOSTS, POLICY, fabric="scalar").partition(graph)
+    return {
+        "digest": partition_digest(dg),
+        "scalar_digest": partition_digest(scalar_dg),
+        "edges": graph.num_edges,
+        "elapsed_s": elapsed,
+        "edges_per_s": graph.num_edges / elapsed,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-reference", action="store_true",
+        help="record the current digest as the committed reference",
+    )
+    args = parser.parse_args(argv)
+    result = run()
+
+    if result["digest"] != result["scalar_digest"]:
+        print("FAIL: columnar and scalar fabrics disagree", file=sys.stderr)
+        return 1
+
+    if args.write_reference:
+        REFERENCE.write_text(json.dumps({
+            "policy": POLICY,
+            "num_hosts": NUM_HOSTS,
+            "graph": {"nodes": NUM_NODES, "edges": NUM_EDGES, "seed": SEED},
+            "digest": result["digest"],
+        }, indent=2) + "\n")
+        print(f"reference written: {result['digest'][:16]}…")
+        return 0
+
+    if not REFERENCE.exists():
+        print(f"FAIL: no committed reference at {REFERENCE}", file=sys.stderr)
+        return 1
+    expected = json.loads(REFERENCE.read_text())["digest"]
+    if result["digest"] != expected:
+        print(
+            "FAIL: partition digest drifted\n"
+            f"  expected {expected}\n"
+            f"  got      {result['digest']}\n"
+            "(if the change is intended, rerun with --write-reference)",
+            file=sys.stderr,
+        )
+        return 1
+    if result["edges_per_s"] < THROUGHPUT_FLOOR:
+        print(
+            f"FAIL: throughput {result['edges_per_s']:.0f} edges/s below "
+            f"the {THROUGHPUT_FLOOR:.0f} floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench-smoke OK: digest {result['digest'][:16]}…, "
+        f"{result['edges_per_s'] / 1e6:.2f} Medges/s "
+        f"({result['elapsed_s'] * 1e3:.0f} ms)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full correctness gate: strict SPMD-safety lint, strict phase-contract
 # diff, type check (when mypy is installed), tier-1 suite, the dedicated
-# fault/recovery suite, and end-to-end CLI exit-code checks (a corrupted
+# fault/recovery suite, the bench smoke test (throughput floor +
+# partition digest), and end-to-end CLI exit-code checks (a corrupted
 # partition directory must make `cusp validate` exit non-zero).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +26,9 @@ python -m pytest -x -q
 
 echo "== fault-injection and crash-recovery suite =="
 python -m pytest -x -q -m faults
+
+echo "== bench-smoke: throughput floor + partition digest =="
+python scripts/bench_smoke.py
 
 echo "== CLI exit-code checks =="
 tmp="$(mktemp -d)"

@@ -59,9 +59,12 @@ class ExtractedOp:
     """One comm operation the scanned code can emit.
 
     ``kind`` extends the contract-op kinds with ``"recv"`` (a
-    ``recv_all`` drain, used for dead-drain detection) and
-    ``"allreduce-any"`` (an allreduce whose blocking mode could not be
-    resolved — it matches both blocking and async clauses).
+    ``recv_all``/``recv_all_batch`` drain, used for dead-drain
+    detection) and ``"allreduce-any"`` (an allreduce whose blocking mode
+    could not be resolved — it matches both blocking and async clauses).
+    ``batch`` marks columnar-fabric traffic (``send_batch``,
+    ``recv_all_batch``, accumulator ``append``): such an op is only
+    legal on a contract clause declaring ``batched=True``.
     """
 
     kind: str
@@ -69,6 +72,7 @@ class ExtractedOp:
     path: str
     line: int
     via: str
+    batch: bool = False
 
 
 @dataclass(frozen=True)
@@ -197,7 +201,9 @@ def _scan_function(
     scan = _FunctionScan()
     via = fndef.name
 
-    def emit(kind: str, tag: str | None, node: ast.AST) -> None:
+    def emit(
+        kind: str, tag: str | None, node: ast.AST, batch: bool = False
+    ) -> None:
         scan.ops.append(
             ExtractedOp(
                 kind=kind,
@@ -205,6 +211,7 @@ def _scan_function(
                 path=module.rel,
                 line=getattr(node, "lineno", 1),
                 via=via,
+                batch=batch,
             )
         )
 
@@ -221,7 +228,18 @@ def _scan_function(
                 emit("p2p", "default", node)
             else:
                 emit("p2p", _constant_str(tag_node), node)  # None => dynamic
-        elif attr == "recv_all":
+        elif attr == "send_batch":
+            tag_node = _keyword(node, "tag")
+            if tag_node is None:
+                emit("p2p", "default", node, batch=True)
+            else:
+                emit("p2p", _constant_str(tag_node), node, batch=True)
+        elif attr == "append" and _keyword(node, "tag") is not None:
+            # BatchAccumulator.append: staged columnar p2p traffic (the
+            # flush is one transport send under the staged tag).  Plain
+            # list.append never carries a tag keyword.
+            emit("p2p", _constant_str(_keyword(node, "tag")), node, batch=True)
+        elif attr in ("recv_all", "recv_all_batch"):
             tag_node = _keyword(node, "tag")
             tag = _constant_str(tag_node)
             if tag is None and tag_node is None:
@@ -230,7 +248,7 @@ def _scan_function(
                     (t for a in node.args if (t := _constant_str(a)) is not None),
                     "default",
                 )
-            emit("recv", tag, node)
+            emit("recv", tag, node, batch=attr == "recv_all_batch")
         elif attr == "allreduce_sum":
             blocking = _keyword(node, "blocking")
             if blocking is None:
@@ -419,7 +437,24 @@ def _diff_contract(
                 )
             )
             continue
-        if any(_matches_spec(op, spec) for spec in contract.ops):
+        matched = [spec for spec in contract.ops if _matches_spec(op, spec)]
+        if matched:
+            if op.batch and not any(spec.batched for spec in matched):
+                findings.append(
+                    ContractFinding(
+                        kind="unbatched-op",
+                        severity=ERROR,
+                        phase=contract.phase,
+                        path=op.path,
+                        line=op.line,
+                        message=(
+                            f"columnar-fabric traffic on tag {op.tag!r} in "
+                            f"{op.via}(), but the contract clause does not "
+                            "declare batched=True; mark the OpSpec batched "
+                            "or use the scalar send/recv_all path"
+                        ),
+                    )
+                )
             continue
         if op.kind == "p2p":
             declared = ", ".join(repr(t) for t in declared_tags) or "none"

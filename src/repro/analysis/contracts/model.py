@@ -83,7 +83,10 @@ class OpSpec:
     receivers consume every message of this tag before the phase
     barrier (via ``recv_all``); tags whose payloads are applied directly
     at the merge barrier leave their queues populated and declare
-    ``drained=False``.
+    ``drained=False``.  ``batched`` marks p2p channels carried by the
+    columnar fabric (:mod:`repro.runtime.colfab`): the static extractor
+    rejects ``send_batch``/``recv_all_batch``/accumulator traffic on a
+    clause that does not declare it.
     """
 
     kind: str
@@ -91,6 +94,7 @@ class OpSpec:
     topology: str = "all-to-all"
     payload: str = ""
     drained: bool = False
+    batched: bool = False
     rounds: Callable[[ContractContext], int] | None = None
     when: Callable[[ContractContext], bool] | None = None
 
@@ -107,6 +111,8 @@ class OpSpec:
             raise ValueError("p2p clauses must declare a message tag")
         if self.kind != "p2p" and self.tag is not None:
             raise ValueError(f"{self.kind} clauses carry no tag")
+        if self.batched and self.kind != "p2p":
+            raise ValueError("batched applies to p2p clauses only")
 
     def active(self, ctx: ContractContext | None) -> bool:
         """Whether this clause applies under ``ctx`` (None = unknown: yes)."""

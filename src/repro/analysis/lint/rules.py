@@ -21,6 +21,7 @@ __all__ = [
     "LedgerBypassRule",
     "UnaccountedSendRule",
     "CrossHostWriteRule",
+    "ScalarSendInHotLoopRule",
     "ContractUndeclaredOpRule",
 ]
 
@@ -576,6 +577,92 @@ class CrossHostWriteRule(LintRule):
         return indices
 
 
+def _explicit_phase(module: ModuleSource) -> str | None:
+    """The module-level ``__phase_contract__`` constant, if declared."""
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__phase_contract__"
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            return node.value.value
+    return None
+
+
+def _governing_contracts(module: ModuleSource) -> list:
+    """The phase contracts whose *primary* module is ``module``.
+
+    A module is governed when it is ``contract.modules[0]`` of a contract
+    in :data:`repro.core.contracts.PHASE_CONTRACTS` (matched by
+    package-relative path suffix) or when it opts in explicitly with a
+    module-level ``__phase_contract__ = "Phase Name"`` constant.
+    """
+    try:
+        from ...core.contracts import PHASE_CONTRACTS
+    except Exception:  # pragma: no cover - partial checkouts
+        return []
+    explicit = _explicit_phase(module)
+    if explicit is not None:
+        contract = PHASE_CONTRACTS.get(explicit)
+        return [contract] if contract is not None else []
+    governing = []
+    for contract in PHASE_CONTRACTS:
+        if not contract.modules:
+            continue
+        primary = contract.modules[0]
+        if module.rel == primary or module.rel.endswith("/" + primary):
+            governing.append(contract)
+    return governing
+
+
+@register
+class ScalarSendInHotLoopRule(LintRule):
+    """Per-element sends in a phase loop belong on the columnar fabric.
+
+    A ``send`` issued once per peer (or worse, once per element) inside a
+    ``for``/``while`` loop of a contract-governed phase module is the
+    scalar message path: every call pays Python-level pack/charge
+    overhead that :meth:`~repro.runtime.executor.HostView.send_batch` or
+    a :class:`~repro.runtime.colfab.BatchAccumulator` amortizes over a
+    whole column batch.  Intentional scalar paths — the compatibility
+    fabric, accounting-only ablations — must say so in a suppression
+    justification.
+    """
+
+    name = "scalar-send-in-hot-loop"
+    severity = WARNING
+    description = (
+        "per-element send inside a loop in a phase module; batch through "
+        "the columnar fabric (send_batch / BatchAccumulator) or justify "
+        "the scalar path"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not _governing_contracts(module):
+            return
+        seen: set[int] = set()
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "send"
+                    and id(node) not in seen
+                ):
+                    seen.add(id(node))
+                    yield self.finding(
+                        module, node,
+                        "scalar `.send` inside a loop; ship one "
+                        "MessageBatch via send_batch or accumulate "
+                        "per-peer batches instead",
+                    )
+
+
 @register
 class ContractUndeclaredOpRule(LintRule):
     """Comm calls in a phase module must be covered by its PhaseContract.
@@ -606,40 +693,8 @@ class ContractUndeclaredOpRule(LintRule):
         "barrier": ("barrier",),
     }
 
-    @staticmethod
-    def _explicit_phase(module: ModuleSource) -> str | None:
-        for node in module.tree.body:
-            if (
-                isinstance(node, ast.Assign)
-                and len(node.targets) == 1
-                and isinstance(node.targets[0], ast.Name)
-                and node.targets[0].id == "__phase_contract__"
-                and isinstance(node.value, ast.Constant)
-                and isinstance(node.value.value, str)
-            ):
-                return node.value.value
-        return None
-
-    def _governing(self, module: ModuleSource) -> list:
-        try:
-            from ...core.contracts import PHASE_CONTRACTS
-        except Exception:  # pragma: no cover - partial checkouts
-            return []
-        explicit = self._explicit_phase(module)
-        if explicit is not None:
-            contract = PHASE_CONTRACTS.get(explicit)
-            return [contract] if contract is not None else []
-        governing = []
-        for contract in PHASE_CONTRACTS:
-            if not contract.modules:
-                continue
-            primary = contract.modules[0]
-            if module.rel == primary or module.rel.endswith("/" + primary):
-                governing.append(contract)
-        return governing
-
     def check(self, module: ModuleSource) -> Iterator[Finding]:
-        contracts = self._governing(module)
+        contracts = _governing_contracts(module)
         if not contracts:
             return
         tags: set[str] = set()

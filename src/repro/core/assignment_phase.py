@@ -14,6 +14,13 @@ phase: the paper instead *re-evaluates* the rules there, which is
 equivalent because rules are required to be deterministic (§III-A) — we
 memoize rather than recompute, and charge the re-evaluation work to the
 construction phase as the paper's system would incur it.
+
+Two message fabrics are supported (``fabric=``): the default
+``"columnar"`` path ships typed :class:`~repro.runtime.colfab.MessageBatch`
+blocks and vectorizes the mirror-set computation through the per-host
+:class:`HostGroups` cache; the ``"scalar"`` path is the original
+tuple-per-message formulation, kept bit-identical as a compatibility
+baseline.  Both charge the same bytes/messages/compute.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..runtime.colfab import ColumnSchema, MessageBatch, resolve_fabric
 from ..runtime.executor import HostTask, HostView
 from ..runtime.stats import PhaseStats
 from .policies import Policy
@@ -29,12 +37,104 @@ from .prop import GraphProp
 __all__ = [
     "run_edge_assignment",
     "EdgeAssignment",
+    "HostGroups",
     "assignment_from_owners",
     "host_edge_slice",
 ]
 
 _EMPTY_MESSAGE_BYTES = 8
 _MIRROR_ENTRY_BYTES = 12  # node id + master partition
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of ``values``.
+
+    Equivalent to ``np.unique`` but ~2x faster at phase sizes: one
+    stable sort plus a boundary mask instead of NumPy's hash path.
+    """
+    out = np.sort(values, kind="stable")
+    if out.size == 0:
+        return out
+    keep = np.empty(out.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(out[1:], out[:-1], out=keep[1:])
+    return out[keep]
+
+
+def _mask_unique(num_nodes: int, *id_arrays: np.ndarray) -> np.ndarray:
+    """Sorted distinct node ids across ``id_arrays``, by presence mask.
+
+    For ids bounded by ``num_nodes`` this replaces sort-based dedup with
+    an O(num_nodes + total ids) scatter + ``flatnonzero`` — the output
+    is identical to ``np.unique(np.concatenate(id_arrays))``.
+    """
+    mark = np.zeros(num_nodes, dtype=bool)
+    for ids in id_arrays:
+        mark[ids] = True
+    return np.flatnonzero(mark)
+
+
+class HostGroups:
+    """One host's edges grouped by owner, with per-group unique sources.
+
+    Built from a single stable ``argsort`` of the owner array.  Because
+    the host's ``src`` column is non-decreasing (it comes from the CSR
+    ``indptr`` walk) and the sort is stable, ``src`` stays non-decreasing
+    *within* each owner group, so the per-group sorted-unique source
+    lists fall out of one O(n) boundary scan instead of a ``np.unique``
+    per peer.  The same grouping serves edge assignment (mirror sets),
+    allocation (endpoint sets) and construction (edge shipping), so it
+    is computed once per host and cached on :class:`EdgeAssignment`.
+    """
+
+    __slots__ = (
+        "order", "cuts", "src_sorted", "dst_sorted", "usrc", "usrc_cuts"
+    )
+
+    def __init__(
+        self,
+        owner: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_hosts: int,
+    ):
+        order = np.argsort(owner, kind="stable")
+        cuts = np.searchsorted(owner[order], np.arange(num_hosts + 1))
+        s = src[order]
+        n = s.size
+        if n:
+            keep = np.empty(n, dtype=bool)
+            keep[0] = True
+            np.not_equal(s[1:], s[:-1], out=keep[1:])
+            starts = cuts[:-1]
+            keep[starts[starts < n]] = True
+            usrc = s[keep]
+            usrc_cuts = np.concatenate(([0], np.cumsum(keep)))[cuts]
+        else:
+            usrc = s
+            usrc_cuts = np.zeros(num_hosts + 1, dtype=np.int64)
+        self.order = order
+        self.cuts = cuts
+        self.src_sorted = s
+        self.dst_sorted = dst[order]
+        self.usrc = usrc
+        self.usrc_cuts = usrc_cuts
+
+    def group_rows(self, j: int) -> np.ndarray:
+        """Row indices (into the host's edge arrays) owned by host ``j``."""
+        return self.order[self.cuts[j] : self.cuts[j + 1]]
+
+    def group_src(self, j: int) -> np.ndarray:
+        """``src`` restricted to host ``j``'s group (non-decreasing)."""
+        return self.src_sorted[self.cuts[j] : self.cuts[j + 1]]
+
+    def group_dst(self, j: int) -> np.ndarray:
+        """``dst`` restricted to host ``j``'s group (a zero-copy view)."""
+        return self.dst_sorted[self.cuts[j] : self.cuts[j + 1]]
+
+    def unique_src(self, j: int) -> np.ndarray:
+        """Sorted distinct sources among host ``j``'s edges."""
+        return self.usrc[self.usrc_cuts[j] : self.usrc_cuts[j + 1]]
 
 
 class EdgeAssignment:
@@ -53,6 +153,34 @@ class EdgeAssignment:
         self.edges_to = np.zeros((num_hosts, num_hosts), dtype=np.int64)
         #: toReceive[j] = total edges host j expects (Algorithm 3 line 13).
         self.to_receive = np.zeros(num_hosts, dtype=np.int64)
+        # Lazy per-host owner-group cache shared by phases 3-5.  Slots
+        # are written at most once per host; under the parallel executor
+        # each host only touches its own slot (disjoint list cells).
+        self._groups: list[HostGroups | None] = [None] * num_hosts
+
+    def host_groups(self, h: int) -> HostGroups:
+        """The owner grouping of host ``h``'s edges (computed once)."""
+        groups = self._groups[h]
+        if groups is None:
+            owner = self.owners[h]
+            edges = self.edges[h]
+            if owner is None or edges is None:
+                raise ValueError(f"host {h}: edge assignment not yet run")
+            groups = HostGroups(
+                owner, edges[0], edges[1], self.edges_to.shape[0]
+            )
+            self._groups[h] = groups
+        return groups
+
+    def adopt_groups(self, other: "EdgeAssignment") -> None:
+        """Carry ``other``'s group cache onto this (rebuilt) assignment.
+
+        Used when the framework reconstructs the assignment from its
+        checkpoint: the grouping is a pure function of (owners, edges),
+        both of which round-trip bit-identically, so the cache computed
+        by the live phase remains valid for the rebuilt object.
+        """
+        self._groups = list(other._groups)
 
 
 def host_edge_slice(
@@ -100,19 +228,30 @@ def assignment_from_owners(
     return result
 
 
+def mirror_info_schema(masters_dtype: np.dtype) -> ColumnSchema:
+    """The edge-counts channel type: mirror (id, master) rows + a count."""
+    return ColumnSchema(
+        (("ids", np.dtype(np.int64)), ("masters", masters_dtype)),
+        scalars=("count",),
+    )
+
+
 def run_edge_assignment(
     phase: PhaseStats,
     prop: GraphProp,
     policy: Policy,
     ranges: list[tuple[int, int]],
     masters: np.ndarray,
+    fabric: str | None = None,
 ) -> EdgeAssignment:
     """Run edge assignment for all hosts with exact comm accounting."""
+    fabric = resolve_fabric(fabric)
     rule = policy.edge_rule
     num_hosts = len(ranges)
     k = prop.getNumPartitions()
     graph = prop.graph
     result = EdgeAssignment(num_hosts)
+    schema = mirror_info_schema(masters.dtype)
     estate = None
     if rule.stateful:
         try:
@@ -121,35 +260,86 @@ def run_edge_assignment(
             # User rules written to the paper's two-argument signature.
             estate = rule.make_state(k, num_hosts)
 
+    def assign_common(view: HostView, h: int, start: int, stop: int) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray
+    ]:
+        """Owner evaluation + bookkeeping shared by both fabrics."""
+        src, dst, _weights = host_edge_slice(graph, start, stop)
+        estate_view = estate.host_view(h) if estate is not None else None
+        owner = rule.owner_batch(
+            prop, src, dst, masters[src], masters[dst], estate_view
+        )
+        result.owners[h] = owner
+        result.edges[h] = (src, dst, _weights)
+        counts = np.bincount(owner, minlength=num_hosts).astype(np.int64)
+        result.edges_to[h, :] = counts
+        # Two abstract units per edge: owner evaluation + count update.
+        view.add_compute(2.0 * src.size)
+        if estate is not None:
+            # Periodic estate reconciliation (§IV-D4), one round per
+            # host's streamed chunk, non-blocking like master rounds.
+            # Safe despite living in a task body: stateful rules are
+            # dispatched through chain() below, which runs hosts
+            # sequentially on the main thread (no task context), so
+            # this collective never executes inside a mapped task.
+            # repro-lint: disable-next-line=comm-in-task -- chain()-only path, sequential by construction
+            estate.sync_round(phase.comm, blocking=False)
+        return src, dst, counts
+
+    num_nodes = prop.getNumNodes()
+
     def assign_task(h: int, start: int, stop: int) -> HostTask:
         def body(view: HostView) -> None:
-            src, dst, weights = host_edge_slice(graph, start, stop)
-            estate_view = estate.host_view(h) if estate is not None else None
-            owner = rule.owner_batch(
-                prop, src, dst, masters[src], masters[dst], estate_view
-            )
-            result.owners[h] = owner
-            result.edges[h] = (src, dst, weights)
-            counts = np.bincount(owner, minlength=num_hosts).astype(np.int64)
-            result.edges_to[h, :] = counts
-            # Two abstract units per edge: owner evaluation + count update.
-            view.add_compute(2.0 * src.size)
-            if estate is not None:
-                # Periodic estate reconciliation (§IV-D4), one round per
-                # host's streamed chunk, non-blocking like master rounds.
-                # Safe despite living in a task body: stateful rules are
-                # dispatched through chain() below, which runs hosts
-                # sequentially on the main thread (no task context), so
-                # this collective never executes inside a mapped task.
-                # repro-lint: disable-next-line=comm-in-task -- chain()-only path, sequential by construction
-                estate.sync_round(phase.comm, blocking=False)
+            src, dst, counts = assign_common(view, h, start, stop)
+            groups = result.host_groups(h)
+            nodes_read = stop - start
+            mark = np.empty(num_nodes, dtype=bool)
+            for j in range(num_hosts):
+                if j == h:
+                    continue
+                if counts[j] == 0:
+                    # Paper §IV-D2: "nothing to send" notification.
+                    view.send_batch(j, MessageBatch.empty(schema),
+                                    tag="edge-counts",
+                                    nbytes=_EMPTY_MESSAGE_BYTES)
+                    continue
+                # Mirror info: destination proxies on j whose master is
+                # elsewhere, plus source proxies on j whose master is
+                # elsewhere.  A presence mask + flatnonzero yields the
+                # scalar path's sorted-unique endpoints (minus the
+                # j-mastered ones) without any per-peer sort.
+                mark[:] = False
+                mark[groups.unique_src(j)] = True
+                mark[groups.group_dst(j)] = True
+                mirror_ids = np.flatnonzero(mark & (masters != j))
+                payload_bytes = (
+                    nodes_read * 8 + mirror_ids.size * _MIRROR_ENTRY_BYTES
+                )
+                view.send_batch(
+                    j,
+                    MessageBatch(
+                        schema,
+                        (mirror_ids, masters[mirror_ids]),
+                        scalars=(int(counts[j]),),
+                    ),
+                    tag="edge-counts",
+                    nbytes=payload_bytes,
+                )
 
+        return HostTask(h, body, label="assign-edges")
+
+    def assign_task_scalar(h: int, start: int, stop: int) -> HostTask:
+        def body(view: HostView) -> None:
+            src, dst, counts = assign_common(view, h, start, stop)
+            owner = result.owners[h]
+            assert owner is not None
             nodes_read = stop - start
             for j in range(num_hosts):
                 if j == h:
                     continue
                 if counts[j] == 0:
                     # Paper §IV-D2: "nothing to send" notification.
+                    # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
                     view.send(j, None, tag="edge-counts",
                               nbytes=_EMPTY_MESSAGE_BYTES)
                     continue
@@ -162,6 +352,7 @@ def run_edge_assignment(
                 payload_bytes = (
                     nodes_read * 8 + mirror_ids.size * _MIRROR_ENTRY_BYTES
                 )
+                # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
                 view.send(
                     j,
                     (counts[j], mirror_ids, masters[mirror_ids]),
@@ -171,7 +362,8 @@ def run_edge_assignment(
 
         return HostTask(h, body, label="assign-edges")
 
-    tasks = [assign_task(h, start, stop) for h, (start, stop) in enumerate(ranges)]
+    make_assign = assign_task if fabric == "columnar" else assign_task_scalar
+    tasks = [make_assign(h, start, stop) for h, (start, stop) in enumerate(ranges)]
     if estate is not None:
         # Stateful rules are a *cross-host-sequential* stream: host h+1
         # scores against the estate host h just synced, so no executor
@@ -183,6 +375,17 @@ def run_edge_assignment(
     # Every host tallies what it will receive (Algorithm 3 lines 10-14).
     def tally_task(j: int) -> HostTask:
         def body(view: HostView) -> None:
+            incoming = view.recv_all_batch(tag="edge-counts", schema=schema)
+            result.to_receive[j] = (
+                int(incoming.scalars["count"].sum())
+                + result.edges_to[j, j]
+            )
+            view.add_compute(float(incoming.num_blocks))
+
+        return HostTask(j, body, label="tally-counts")
+
+    def tally_task_scalar(j: int) -> HostTask:
+        def body(view: HostView) -> None:
             incoming = view.recv_all(tag="edge-counts")
             received = sum(
                 payload[0] for _, payload in incoming if payload is not None
@@ -192,6 +395,7 @@ def run_edge_assignment(
 
         return HostTask(j, body, label="tally-counts")
 
-    phase.executor.run(phase, [tally_task(j) for j in range(num_hosts)])
+    make_tally = tally_task if fabric == "columnar" else tally_task_scalar
+    phase.executor.run(phase, [make_tally(j) for j in range(num_hosts)])
 
     return result

@@ -10,6 +10,14 @@ serialized per source node, buffered up to the message-buffer threshold
 (§IV-D3) — and inserts received edges into its preallocated structure.
 If a CSC partition is requested, each host finishes with a local
 in-memory transpose, which needs no communication (Algorithm 4 line 13).
+
+Under the default ``"columnar"`` fabric both phases share the
+:class:`~repro.core.assignment_phase.HostGroups` owner grouping cached on
+the :class:`~repro.core.assignment_phase.EdgeAssignment` (one stable sort
+per host serves endpoint grouping, edge shipping and the per-peer unique
+source counts), and edges travel as typed
+:class:`~repro.runtime.colfab.MessageBatch` columns.  The ``"scalar"``
+fabric keeps the original per-payload formulation with identical charges.
 """
 
 from __future__ import annotations
@@ -17,9 +25,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..runtime.colfab import ColumnSchema, MessageBatch, resolve_fabric
 from ..runtime.executor import HostTask, HostView
 from ..runtime.stats import PhaseStats
-from .assignment_phase import EdgeAssignment
+from .assignment_phase import EdgeAssignment, _mask_unique
 from .partition import LocalPartition
 from .policies import Policy
 from .prop import GraphProp
@@ -32,6 +41,7 @@ def run_allocation(
     prop: GraphProp,
     assignment: EdgeAssignment,
     masters: np.ndarray,
+    fabric: str | None = None,
 ) -> list[np.ndarray]:
     """Build every host's proxy table and charge allocation work.
 
@@ -39,13 +49,33 @@ def run_allocation(
     every vertex mastered on the host plus every endpoint of an edge the
     host owns.
     """
+    fabric = resolve_fabric(fabric)
     num_hosts = len(assignment.owners)
     n = prop.getNumNodes()
 
     # Pass 1: each reading host groups its edge endpoints by owner.
     def group_task(h: int) -> HostTask:
         def body(view: HostView) -> list[tuple[int, np.ndarray, np.ndarray]]:
-            src, dst, _ = assignment.edges[h]
+            groups = assignment.host_groups(h)
+            pieces: list[tuple[int, np.ndarray, np.ndarray]] = []
+            for j in range(num_hosts):
+                if groups.cuts[j + 1] > groups.cuts[j]:
+                    # Sources arrive already deduplicated from the group
+                    # cache; destinations stay raw views — the owner
+                    # dedups once over its whole union instead of per
+                    # piece.
+                    pieces.append(
+                        (j, groups.unique_src(j), groups.group_dst(j))
+                    )
+            return pieces
+
+        return HostTask(h, body, label="group-endpoints")
+
+    def group_task_scalar(h: int) -> HostTask:
+        def body(view: HostView) -> list[tuple[int, np.ndarray, np.ndarray]]:
+            edges = assignment.edges[h]
+            assert edges is not None
+            src, dst = edges[0], edges[1]
             owner = assignment.owners[h]
             order = np.argsort(owner, kind="stable")
             sorted_owner = owner[order]
@@ -59,8 +89,9 @@ def run_allocation(
 
         return HostTask(h, body, label="group-endpoints")
 
+    make_group = group_task if fabric == "columnar" else group_task_scalar
     grouped = phase.executor.run(
-        phase, [group_task(h) for h in range(num_hosts)]
+        phase, [make_group(h) for h in range(num_hosts)]
     )
     endpoint_sets: list[list[np.ndarray]] = [[] for _ in range(num_hosts)]
     for pieces in grouped:
@@ -71,13 +102,14 @@ def run_allocation(
     # Pass 2: each owner unions what lands on it with what it masters.
     def proxy_task(j: int) -> HostTask:
         def body(view: HostView) -> np.ndarray:
-            mastered = np.flatnonzero(masters == j).astype(np.int64)
-            pieces = endpoint_sets[j] + [mastered]
-            gids = (
-                np.unique(np.concatenate(pieces))
-                if pieces
-                else np.empty(0, np.int64)
-            )
+            if fabric == "columnar":
+                gids = _mask_unique(
+                    n, np.flatnonzero(masters == j), *endpoint_sets[j]
+                )
+            else:
+                mastered = np.flatnonzero(masters == j).astype(np.int64)
+                pieces = endpoint_sets[j] + [mastered]
+                gids = np.unique(np.concatenate(pieces))
             # Allocation work: local arrays sized by proxies + expected
             # edges, plus the global-to-local map construction.
             view.add_compute(
@@ -90,6 +122,18 @@ def run_allocation(
     return phase.executor.run(phase, [proxy_task(j) for j in range(num_hosts)])
 
 
+def edge_stream_schema(prop: GraphProp) -> ColumnSchema:
+    """The edges channel type: (src, dst[, w]) columns in global ids."""
+    columns: list[tuple[str, np.dtype]] = [
+        ("src", np.dtype(np.int64)),
+        ("dst", np.dtype(np.int64)),
+    ]
+    if prop.graph.is_weighted:
+        assert prop.graph.edge_data is not None
+        columns.append(("w", prop.graph.edge_data.dtype))
+    return ColumnSchema(columns)
+
+
 def run_construction(
     phase: PhaseStats,
     prop: GraphProp,
@@ -98,18 +142,61 @@ def run_construction(
     masters: np.ndarray,
     proxies: list[np.ndarray],
     output: str = "csr",
+    fabric: str | None = None,
 ) -> list[LocalPartition]:
     """Exchange edges and build every host's local partition."""
     if output not in ("csr", "csc"):
         raise ValueError("output must be 'csr' or 'csc'")
+    fabric = resolve_fabric(fabric)
     num_hosts = len(assignment.owners)
     n = prop.getNumNodes()
     weighted = prop.graph.is_weighted
+    schema = edge_stream_schema(prop)
+    per_edge = 16 if weighted else 8
 
     # Senders: group each host's edges by owner and ship them.
     def send_task(h: int) -> HostTask:
         def body(view: HostView) -> None:
-            src, dst, w = assignment.edges[h]
+            edges = assignment.edges[h]
+            assert edges is not None
+            src, dst, w = edges
+            groups = assignment.host_groups(h)
+            for j in range(num_hosts):
+                lo, hi = int(groups.cuts[j]), int(groups.cuts[j + 1])
+                if hi == lo:
+                    continue
+                s = groups.src_sorted[lo:hi]
+                d = groups.dst_sorted[lo:hi]
+                if w is not None:
+                    cols = (s, d, w[groups.order[lo:hi]])
+                else:
+                    cols = (s, d)
+                # Serialized per source node: node id + its edge list
+                # (paper §IV-C3); the per-peer unique source count falls
+                # out of the group cache instead of an np.unique here.
+                unique_srcs = int(
+                    groups.usrc_cuts[j + 1] - groups.usrc_cuts[j]
+                )
+                nbytes = unique_srcs * 8 + s.size * per_edge
+                view.send_batch(
+                    j, MessageBatch(schema, cols), tag="edges",
+                    logical_messages=unique_srcs, nbytes=nbytes,
+                )
+            # Re-evaluating getEdgeOwner costs one unit per edge; remote
+            # edges additionally pay serialization.  Local edges are
+            # constructed in place (Algorithm 4 line 5) and are charged
+            # at the receiver only.
+            local = int(groups.cuts[h + 1] - groups.cuts[h])
+            remote = int(src.size) - local
+            view.add_compute(float(src.size) + float(remote))
+
+        return HostTask(h, body, label="ship-edges")
+
+    def send_task_scalar(h: int) -> HostTask:
+        def body(view: HostView) -> None:
+            edges = assignment.edges[h]
+            assert edges is not None
+            src, dst, w = edges
             owner = assignment.owners[h]
             order = np.argsort(owner, kind="stable")
             sorted_owner = owner[order]
@@ -124,8 +211,8 @@ def run_construction(
                 # (paper §IV-C3); the comm layer turns the byte volume
                 # into network messages according to the buffer threshold.
                 unique_srcs = int(np.unique(s).size)
-                per_edge = 16 if weighted else 8
                 nbytes = unique_srcs * 8 + s.size * per_edge
+                # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
                 view.send(
                     j, payload, tag="edges",
                     logical_messages=unique_srcs, nbytes=nbytes,
@@ -139,20 +226,63 @@ def run_construction(
 
         return HostTask(h, body, label="ship-edges")
 
-    phase.executor.run(phase, [send_task(h) for h in range(num_hosts)])
+    make_send = send_task if fabric == "columnar" else send_task_scalar
+    phase.executor.run(phase, [make_send(h) for h in range(num_hosts)])
 
     # Receivers: deserialize, map to local ids, build the CSR partition.
+    def build_partition(
+        view: HostView,
+        j: int,
+        all_src: np.ndarray,
+        all_dst: np.ndarray,
+        all_w: np.ndarray | None,
+    ) -> LocalPartition:
+        """Receiver-side assembly shared by both fabrics."""
+        gids = proxies[j]
+        lookup = np.full(n, -1, dtype=np.int64)
+        mastered_mask = masters[gids] == j
+        ordered = np.concatenate(
+            [gids[mastered_mask], gids[~mastered_mask]]
+        )
+        num_masters = int(mastered_mask.sum())
+        lookup[ordered] = np.arange(ordered.size, dtype=np.int64)
+        assert all_src.size == assignment.to_receive[j], (
+            "received edge count differs from edge-assignment metadata"
+        )
+        local_graph = CSRGraph.from_edges(
+            lookup[all_src],
+            lookup[all_dst],
+            num_nodes=ordered.size,
+            edge_data=all_w,
+        )
+        # Deserialization + parallel insertion: ~2 units/edge.
+        view.add_compute(2.0 * all_src.size)
+        local_csc = None
+        if output == "csc":
+            local_csc = local_graph.transpose()
+            view.add_compute(float(local_graph.num_edges))
+        return LocalPartition(
+            host=j,
+            global_ids=ordered,
+            num_masters=num_masters,
+            master_host=masters[ordered].astype(np.int32),
+            local_graph=local_graph,
+            local_csc=local_csc,
+            _lookup=lookup,
+        )
+
     def build_task(j: int) -> HostTask:
         def body(view: HostView) -> LocalPartition:
-            gids = proxies[j]
-            lookup = np.full(n, -1, dtype=np.int64)
-            mastered_mask = masters[gids] == j
-            ordered = np.concatenate(
-                [gids[mastered_mask], gids[~mastered_mask]]
+            rb = view.recv_all_batch(tag="edges", schema=schema)
+            all_w = rb.columns["w"] if weighted else None
+            return build_partition(
+                view, j, rb.columns["src"], rb.columns["dst"], all_w
             )
-            num_masters = int(mastered_mask.sum())
-            lookup[ordered] = np.arange(ordered.size, dtype=np.int64)
 
+        return HostTask(j, body, label="build-partition")
+
+    def build_task_scalar(j: int) -> HostTask:
+        def body(view: HostView) -> LocalPartition:
             received = view.recv_all(tag="edges")
             srcs = [p[0] for _, p in received]
             dsts = [p[1] for _, p in received]
@@ -165,31 +295,9 @@ def run_construction(
                 all_src = np.empty(0, dtype=np.int64)
                 all_dst = np.empty(0, dtype=np.int64)
                 all_w = np.empty(0, dtype=np.int64) if weighted else None
-            assert all_src.size == assignment.to_receive[j], (
-                "received edge count differs from edge-assignment metadata"
-            )
-            local_graph = CSRGraph.from_edges(
-                lookup[all_src],
-                lookup[all_dst],
-                num_nodes=ordered.size,
-                edge_data=all_w,
-            )
-            # Deserialization + parallel insertion: ~2 units/edge.
-            view.add_compute(2.0 * all_src.size)
-            local_csc = None
-            if output == "csc":
-                local_csc = local_graph.transpose()
-                view.add_compute(float(local_graph.num_edges))
-            return LocalPartition(
-                host=j,
-                global_ids=ordered,
-                num_masters=num_masters,
-                master_host=masters[ordered].astype(np.int32),
-                local_graph=local_graph,
-                local_csc=local_csc,
-                _lookup=lookup,
-            )
+            return build_partition(view, j, all_src, all_dst, all_w)
 
         return HostTask(j, body, label="build-partition")
 
-    return phase.executor.run(phase, [build_task(j) for j in range(num_hosts)])
+    make_build = build_task if fabric == "columnar" else build_task_scalar
+    return phase.executor.run(phase, [make_build(j) for j in range(num_hosts)])

@@ -61,6 +61,7 @@ MASTERS_CONTRACT = PhaseContract(
             "p2p",
             tag="master-requests",
             payload="requested node ids (8 B/entry)",
+            batched=True,
             when=lambda ctx: not ctx.master_pure
             and ctx.elide_master_communication,
         ),
@@ -70,6 +71,7 @@ MASTERS_CONTRACT = PhaseContract(
             "p2p",
             tag="master-assignments",
             payload="(node id, partition) pairs (12 B/entry)",
+            batched=True,
             when=lambda ctx: not ctx.master_pure,
         ),
         # Ablation of §IV-D5 for *pure* rules: broadcast every local
@@ -117,6 +119,7 @@ EDGES_CONTRACT = PhaseContract(
             tag="edge-counts",
             payload="per-node edge counts + mirror ids (8 B empty marker)",
             drained=True,
+            batched=True,
         ),
         # Stateful edge rules (GreedyVertexCut/HDRF) reconcile replica
         # sets and loads once per host chunk on the chain() path.
@@ -159,6 +162,7 @@ CONSTRUCTION_CONTRACT = PhaseContract(
             tag="edges",
             payload="serialized (src, dst[, weight]) bundles per source",
             drained=True,
+            batched=True,
         ),
     ),
     description=(

@@ -35,6 +35,7 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..graph.formats import read_gr
 from ..runtime.cluster import SimulatedCluster
+from ..runtime.colfab import resolve_fabric
 from ..runtime.cost_model import STAMPEDE2, CostModel
 from ..runtime.executor import HostTask
 from ..runtime.faults import (
@@ -118,6 +119,12 @@ class CuSP:
         afterwards.  Any contract breach raises
         :class:`~repro.analysis.contracts.ContractViolationError` at the
         offending phase's barrier.
+    fabric:
+        Message fabric for the phase pipeline: ``"columnar"`` (default)
+        moves typed :class:`~repro.runtime.colfab.MessageBatch` blocks
+        with vectorized pack/unpack; ``"scalar"`` is the original
+        object-per-message path, kept as a bit-identical compatibility
+        baseline (see ``docs/PERFORMANCE.md``).
     """
 
     def __init__(
@@ -136,6 +143,7 @@ class CuSP:
         max_retries: int = 3,
         executor=None,
         sanitizer=None,
+        fabric: str | None = None,
     ):
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
@@ -171,6 +179,11 @@ class CuSP:
         self.checkpoint_dir = checkpoint_dir
         self.max_retries = max_retries
         self.executor = executor
+        #: Message fabric: ``"columnar"`` (default) ships typed
+        #: MessageBatch blocks through the phases; ``"scalar"`` keeps the
+        #: original per-payload path.  Partitions and every comm/time
+        #: counter are bit-identical between the two.
+        self.fabric = resolve_fabric(fabric)
         if sanitizer is True:
             from ..analysis.contracts import CommSan
 
@@ -330,6 +343,7 @@ class CuSP:
                 ph, prop, self.policy, ranges,
                 sync_rounds=self.sync_rounds,
                 elide_master_communication=self.elide_master_communication,
+                fabric=self.fabric,
             )
 
         ma = recoverable(PHASE_NAMES[1], phase_masters)
@@ -337,22 +351,30 @@ class CuSP:
 
         # Phase 3: edge assignment.
         def phase_edges(ph):
-            return run_edge_assignment(ph, prop, self.policy, ranges, masters)
+            return run_edge_assignment(
+                ph, prop, self.policy, ranges, masters, fabric=self.fabric
+            )
 
-        assignment = recoverable(PHASE_NAMES[2], phase_edges)
+        live_assignment = recoverable(PHASE_NAMES[2], phase_edges)
         owner_blob = checkpoint.roundtrip(
             "assignment",
-            **{f"owners_{h}": assignment.owners[h] for h in range(k)},
+            **{f"owners_{h}": live_assignment.owners[h] for h in range(k)},
         )
         assignment = assignment_from_owners(
             prop, ranges, [owner_blob[f"owners_{h}"] for h in range(k)]
         )
+        # The owner grouping is a pure function of (owners, edges), both
+        # of which round-trip bit-identically through the checkpoint, so
+        # phases 4/5 reuse the grouping phase 3 already computed.
+        assignment.adopt_groups(live_assignment)
 
         # Phase 4: graph allocation.  Partitioning state is reset so rule
         # re-evaluation during construction reproduces the same decisions.
         def phase_alloc(ph):
             ma.state.reset()
-            return run_allocation(ph, prop, assignment, masters)
+            return run_allocation(
+                ph, prop, assignment, masters, fabric=self.fabric
+            )
 
         proxies = recoverable(PHASE_NAMES[3], phase_alloc)
         proxy_blob = checkpoint.roundtrip(
@@ -364,7 +386,7 @@ class CuSP:
         def phase_construct(ph):
             return run_construction(
                 ph, prop, self.policy, assignment, masters, proxies,
-                output=output,
+                output=output, fabric=self.fabric,
             )
 
         partitions = recoverable(PHASE_NAMES[4], phase_construct)

@@ -21,14 +21,22 @@ The paper notes this exchange is deliberately *not* deterministic on a
 real cluster (hosts don't block for slow peers).  The simulation is
 bulk-synchronous and therefore deterministic — a reproducibility-friendly
 member of the family of schedules the real system may produce.
+
+Under the default ``"columnar"`` fabric the request and shipping paths
+move typed :class:`~repro.runtime.colfab.MessageBatch` blocks — shipping
+goes through a per-host :class:`~repro.runtime.colfab.BatchAccumulator`
+that flushes at the executor's phase barrier — with byte/message charges
+identical to the ``"scalar"`` compatibility path.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.colfab import ColumnSchema, MessageBatch, resolve_fabric
 from ..runtime.executor import HostTask, HostView
 from ..runtime.stats import PhaseStats
+from .assignment_phase import _mask_unique
 from .policies import Policy
 from .prop import GraphProp
 from .state import PartitioningState
@@ -39,6 +47,12 @@ __all__ = ["run_master_assignment", "MasterAssignment"]
 _ASSIGNMENT_ENTRY_BYTES = 12
 #: Serialized size of one requested node id.
 _REQUEST_ENTRY_BYTES = 8
+
+#: Columnar channel types for the request-driven exchange.
+_REQUEST_SCHEMA = ColumnSchema((("ids", np.int64),))
+_ASSIGNMENT_SCHEMA = ColumnSchema(
+    (("ids", np.int64), ("masters", np.int32))
+)
 
 
 class MasterAssignment:
@@ -65,6 +79,7 @@ def run_master_assignment(
     ranges: list[tuple[int, int]],
     sync_rounds: int = 10,
     elide_master_communication: bool = True,
+    fabric: str | None = None,
 ) -> MasterAssignment:
     """Assign every vertex's master, with exact communication accounting.
 
@@ -75,6 +90,7 @@ def run_master_assignment(
     """
     if sync_rounds < 1:
         raise ValueError("sync_rounds must be >= 1")
+    fabric = resolve_fabric(fabric)
     rule = policy.master_rule
     k = prop.getNumPartitions()
     n = prop.getNumNodes()
@@ -101,10 +117,14 @@ def run_master_assignment(
                         rule.compute_units(node_ids.size, 0, k) + neighbor_count
                     )
                 else:
-                    # Ablation: naive broadcast of every assignment.
+                    # Ablation: naive broadcast of every assignment.  The
+                    # payload is accounting-only (None body), so there is
+                    # nothing to columnarize; it stays on the scalar verb
+                    # under both fabrics.
                     view.add_compute(rule.compute_units(node_ids.size, 0, k))
                     for peer in range(num_hosts):
                         if peer != h and node_ids.size:
+                            # repro-lint: disable-next-line=scalar-send-in-hot-loop -- accounting-only ablation broadcast, no payload to batch
                             view.send(
                                 peer, None, tag="master-broadcast",
                                 nbytes=node_ids.size * _ASSIGNMENT_ENTRY_BYTES,
@@ -136,6 +156,33 @@ def run_master_assignment(
         def request_task(j: int, start: int, stop: int) -> HostTask:
             def body(view: HostView) -> None:
                 lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
+                # ``nbrs`` is sorted, so the per-assigner split is a
+                # searchsorted against the host bounds instead of a
+                # boolean mask per assigner: nbrs[cuts[a]:cuts[a+1]] ==
+                # nbrs[_owning_host(nbrs, bounds) == a] exactly.
+                nbrs = _mask_unique(n, prop.graph.indices[lo:hi])
+                cuts = np.searchsorted(nbrs, bounds)
+                for assigner in range(num_hosts):
+                    wanted = nbrs[cuts[assigner] : cuts[assigner + 1]]
+                    # Task j writes only column j of the request table:
+                    # rows are indexed by `assigner`, but no two
+                    # concurrent tasks share a (assigner, j) cell.
+                    # repro-lint: disable-next-line=cross-host-write -- column-j writes are disjoint across tasks
+                    requests[assigner][j] = wanted
+                    if assigner != j and wanted.size:
+                        view.send_batch(
+                            assigner,
+                            MessageBatch(_REQUEST_SCHEMA, (wanted,)),
+                            tag="master-requests",
+                            nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
+                            coalesce=True,
+                        )
+
+            return HostTask(j, body, label="request-masters")
+
+        def request_task_scalar(j: int, start: int, stop: int) -> HostTask:
+            def body(view: HostView) -> None:
+                lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
                 nbrs = np.unique(prop.graph.indices[lo:hi])
                 owner = _owning_host(nbrs, bounds)
                 for assigner in range(num_hosts):
@@ -146,6 +193,7 @@ def run_master_assignment(
                     # repro-lint: disable-next-line=cross-host-write -- column-j writes are disjoint across tasks
                     requests[assigner][j] = wanted
                     if assigner != j and wanted.size:
+                        # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
                         view.send(
                             assigner, wanted, tag="master-requests",
                             nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
@@ -154,9 +202,12 @@ def run_master_assignment(
 
             return HostTask(j, body, label="request-masters")
 
+        make_request = (
+            request_task if fabric == "columnar" else request_task_scalar
+        )
         phase.executor.run(
             phase,
-            [request_task(j, start, stop) for j, (start, stop) in enumerate(ranges)],
+            [make_request(j, start, stop) for j, (start, stop) in enumerate(ranges)],
         )
     else:
         # Ablation: every host "requests" everything, so each assignment
@@ -207,12 +258,46 @@ def run_master_assignment(
             if fresh.size == 0:
                 return
             lo, hi = fresh[0], fresh[-1]
+            acc = view.accumulator()
             for j in range(num_hosts):
                 if j == h:
                     continue
                 wanted = requests[h][j]
                 ship = wanted[(wanted >= lo) & (wanted <= hi)]
                 if ship.size:
+                    # One staged block per requester; the accumulator
+                    # flushes at the executor barrier, charging exactly
+                    # the scalar path's per-peer coalesced send.
+                    acc.append(
+                        j,
+                        MessageBatch(
+                            _ASSIGNMENT_SCHEMA, (ship, masters[ship])
+                        ),
+                        tag="master-assignments",
+                        nbytes=ship.size * _ASSIGNMENT_ENTRY_BYTES,
+                        coalesce=True,
+                    )
+                    # Requester j learns the shipped assignments; two
+                    # shippers never overlap in ``known[j]`` (each ships
+                    # only ids from its own node range), and ``masters``
+                    # is frozen for the shipped range this round.
+                    # repro-lint: disable-next-line=cross-host-write -- shippers write disjoint id ranges of known[j]
+                    known[j][ship] = masters[ship]
+
+        return HostTask(h, body, label="ship-assignments")
+
+    def ship_task_scalar(h: int, fresh: np.ndarray) -> HostTask:
+        def body(view: HostView) -> None:
+            if fresh.size == 0:
+                return
+            lo, hi = fresh[0], fresh[-1]
+            for j in range(num_hosts):
+                if j == h:
+                    continue
+                wanted = requests[h][j]
+                ship = wanted[(wanted >= lo) & (wanted <= hi)]
+                if ship.size:
+                    # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
                     view.send(
                         j, (ship, masters[ship]), tag="master-assignments",
                         nbytes=ship.size * _ASSIGNMENT_ENTRY_BYTES,
@@ -227,6 +312,7 @@ def run_master_assignment(
 
         return HostTask(h, body, label="ship-assignments")
 
+    make_ship = ship_task if fabric == "columnar" else ship_task_scalar
     for r in range(sync_rounds):
         newly = phase.executor.run(
             phase, [assign_task(h, r) for h in range(num_hosts)]
@@ -235,7 +321,7 @@ def run_master_assignment(
         # Master-assignment rounds never block on peers (paper §IV-D5).
         state.sync_round(phase.comm, blocking=False)
         phase.executor.run(
-            phase, [ship_task(h, newly[h]) for h in range(num_hosts)]
+            phase, [make_ship(h, newly[h]) for h in range(num_hosts)]
         )
 
     return MasterAssignment(masters, state)

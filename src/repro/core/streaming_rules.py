@@ -85,10 +85,12 @@ class ReplicationState(PartitioningState):
             for h in range(self.num_hosts)
         ]
         comm.allreduce_sum(stacked, blocking=blocking, nbytes=payload_bytes)
+        # One reduction across the host axis per field (bit-equal to the
+        # per-host fold: boolean OR and int64 sums are associative).
+        self._snap_replicas |= np.logical_or.reduce(self._delta_replicas)
+        self._snap_load += np.add.reduce(self._delta_load)
+        self._snap_degree += np.add.reduce(self._delta_degree)
         for h in range(self.num_hosts):
-            self._snap_replicas |= self._delta_replicas[h]
-            self._snap_load += self._delta_load[h]
-            self._snap_degree += self._delta_degree[h]
             self._delta_replicas[h][:] = False
             self._delta_load[h][:] = 0
             self._delta_degree[h][:] = 0

@@ -1,0 +1,421 @@
+"""Columnar message fabric: typed structure-of-arrays record batches.
+
+CuSP's speedups come from treating communication as bulk buffered
+streams (paper §IV-D3), but a simulator that moves one Python object
+per logical message spends its time in the interpreter, not in the
+algorithm.  This module is the data plane of the batch message path:
+
+* :class:`ColumnSchema` — the *type* of a batch: named, dtyped columns
+  (all the same length) plus named 8-byte scalars.  Schemas compare by
+  value, so a sender and a receiver that construct the same schema
+  independently agree on the channel type.
+* :class:`MessageBatch` — one structure-of-arrays record batch.  Its
+  serialized size is O(1) exact (``rows * row_nbytes + 8 * scalars``,
+  no recursive payload walk) and :meth:`MessageBatch.slice` is
+  zero-copy (NumPy views).
+* :class:`ReceivedBatch` — the receiver-side view
+  :meth:`~repro.runtime.comm.Communicator.recv_all_batch` returns:
+  per-column concatenations of every queued block, the per-block source
+  hosts/lengths/scalars, and a lazily materialized per-row ``src``
+  column — instead of a Python list of ``(src, payload)`` tuples.
+* :class:`BatchAccumulator` — sender-side staging: append batches into
+  per-``(dst, tag)`` buffers and flush them as contiguous blocks at
+  explicit points (or automatically at the executor's phase barrier).
+  Every flushed block is exactly one transport send, so byte/message
+  accounting, fault-injection draws, and CommSan's mirrored traffic
+  matrix all see the same operations the scalar path would have issued
+  when one block is staged per peer — which is how the phases use it.
+
+The scalar ``send``/``recv_all`` path remains fully supported; the
+batch layer is sugar *plus vectorization*, never a different cost
+model.  See ``docs/PERFORMANCE.md`` for the design rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ColumnSchema",
+    "MessageBatch",
+    "ReceivedBatch",
+    "BatchAccumulator",
+    "FABRIC_NAMES",
+    "resolve_fabric",
+]
+
+#: Valid values for the ``fabric=`` knob threaded through CuSP and the CLI.
+FABRIC_NAMES = ("columnar", "scalar")
+
+#: Serialized size of one scalar field (one machine word, matching
+#: :func:`repro.runtime.comm.payload_nbytes` on a Python number).
+SCALAR_NBYTES = 8
+
+
+def resolve_fabric(spec: str | None) -> str:
+    """Validate a fabric name (``None`` means the default, columnar)."""
+    if spec is None:
+        return "columnar"
+    if spec not in FABRIC_NAMES:
+        raise ValueError(
+            f"unknown fabric {spec!r}; expected one of {FABRIC_NAMES}"
+        )
+    return spec
+
+
+class ColumnSchema:
+    """The type of a message batch: dtyped columns plus scalar fields.
+
+    ``columns`` maps names to dtypes; every column of a conforming batch
+    has the same row count.  ``scalars`` are per-batch 8-byte fields
+    (counts, flags) that ride along without a row dimension.  Schemas
+    are immutable, hashable, and compare by value.
+    """
+
+    __slots__ = ("columns", "scalars", "names", "row_nbytes", "_hash")
+
+    def __init__(
+        self,
+        columns: Sequence[tuple[str, Any]],
+        scalars: Sequence[str] = (),
+    ):
+        cols = tuple((str(name), np.dtype(dt)) for name, dt in columns)
+        names = tuple(name for name, _ in cols)
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {names}")
+        scalar_names = tuple(str(s) for s in scalars)
+        if len(set(scalar_names)) != len(scalar_names):
+            raise ValueError(f"duplicate scalar names in {scalar_names}")
+        object.__setattr__(self, "columns", cols)
+        object.__setattr__(self, "scalars", scalar_names)
+        object.__setattr__(self, "names", names)
+        # Memoized per-schema: the exact serialized bytes per row.  This
+        # is what makes MessageBatch.nbytes O(1) instead of a recursive
+        # payload walk.
+        object.__setattr__(
+            self, "row_nbytes", sum(dt.itemsize for _, dt in cols)
+        )
+        object.__setattr__(self, "_hash", hash((cols, scalar_names)))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("ColumnSchema is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnSchema):
+            return NotImplemented
+        return self.columns == other.columns and self.scalars == other.scalars
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{n}:{dt}" for n, dt in self.columns)
+        extra = f"; scalars={list(self.scalars)}" if self.scalars else ""
+        return f"ColumnSchema({cols}{extra})"
+
+    def empty_columns(self) -> tuple[np.ndarray, ...]:
+        """Zero-row arrays of the right dtypes, in column order."""
+        return tuple(np.empty(0, dtype=dt) for _, dt in self.columns)
+
+
+class MessageBatch:
+    """One structure-of-arrays record batch conforming to a schema.
+
+    Columns are held by reference (zero-copy); receivers must not
+    mutate arrays they do not own, exactly as with the scalar path.
+    """
+
+    __slots__ = ("schema", "columns", "scalars", "rows")
+
+    def __init__(
+        self,
+        schema: ColumnSchema,
+        columns: Sequence[np.ndarray] = (),
+        scalars: Sequence[float] = (),
+    ):
+        cols = tuple(np.asarray(c) for c in columns)
+        if len(cols) != len(schema.columns):
+            raise ValueError(
+                f"schema has {len(schema.columns)} column(s), "
+                f"got {len(cols)}"
+            )
+        rows = cols[0].shape[0] if cols else 0
+        for (name, dt), arr in zip(schema.columns, cols):
+            if arr.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D")
+            if arr.dtype != dt:
+                raise TypeError(
+                    f"column {name!r} is {arr.dtype}, schema says {dt}"
+                )
+            if arr.shape[0] != rows:
+                raise ValueError(
+                    f"column {name!r} has {arr.shape[0]} rows, "
+                    f"expected {rows}"
+                )
+        scal = tuple(scalars)
+        if len(scal) != len(schema.scalars):
+            raise ValueError(
+                f"schema has {len(schema.scalars)} scalar(s), "
+                f"got {len(scal)}"
+            )
+        self.schema = schema
+        self.columns = cols
+        self.scalars = scal
+        self.rows = rows
+
+    @classmethod
+    def empty(
+        cls, schema: ColumnSchema, scalars: Sequence[float] = ()
+    ) -> "MessageBatch":
+        """A zero-row batch (the columnar 'nothing to send' marker)."""
+        if not scalars and schema.scalars:
+            scalars = (0,) * len(schema.scalars)
+        return cls(schema, schema.empty_columns(), scalars)
+
+    @property
+    def nbytes(self) -> int:
+        """Exact serialized size, computed in O(1) from the schema."""
+        return self.rows * self.schema.row_nbytes + SCALAR_NBYTES * len(
+            self.scalars
+        )
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[self.schema.names.index(name)]
+
+    def scalar(self, name: str) -> float:
+        return self.scalars[self.schema.scalars.index(name)]
+
+    def slice(self, start: int, stop: int) -> "MessageBatch":
+        """A zero-copy row slice (columns are views, scalars shared)."""
+        return MessageBatch(
+            self.schema,
+            tuple(c[start:stop] for c in self.columns),
+            self.scalars,
+        )
+
+    def __len__(self) -> int:
+        return self.rows
+
+    def __repr__(self) -> str:
+        return (
+            f"MessageBatch(rows={self.rows}, nbytes={self.nbytes}, "
+            f"schema={self.schema!r})"
+        )
+
+
+def concat_batches(
+    schema: ColumnSchema, batches: Sequence[MessageBatch]
+) -> MessageBatch:
+    """One contiguous batch holding every row of ``batches`` in order.
+
+    Scalars do not concatenate meaningfully, so merging is only defined
+    for scalar-free schemas (enforced by :class:`BatchAccumulator`).
+    """
+    if schema.scalars:
+        raise ValueError("cannot merge batches of a schema with scalars")
+    for b in batches:
+        if b.schema != schema:
+            raise TypeError(f"schema mismatch: {b.schema!r} != {schema!r}")
+    columns = tuple(
+        np.concatenate([b.columns[i] for b in batches])
+        if batches
+        else np.empty(0, dtype=dt)
+        for i, (_, dt) in enumerate(schema.columns)
+    )
+    return MessageBatch(schema, columns)
+
+
+class ReceivedBatch:
+    """Receiver-side view of every block queued under one (tag, schema).
+
+    ``columns[name]`` is the concatenation of that column across all
+    blocks, in queue (FIFO) order — the exact arrays a scalar receiver
+    would have built with a Python loop plus ``np.concatenate``.
+    ``srcs``/``lengths`` record where each block came from and how many
+    rows it carried; ``scalars[name]`` stacks each block's scalar.
+    """
+
+    __slots__ = ("schema", "columns", "srcs", "lengths", "scalars",
+                 "_src_column")
+
+    def __init__(
+        self,
+        schema: ColumnSchema,
+        blocks: Sequence[tuple[int, MessageBatch]],
+    ):
+        for _, batch in blocks:
+            if not isinstance(batch, MessageBatch):
+                raise TypeError(
+                    "recv_all_batch on a queue holding "
+                    f"{type(batch).__name__} payloads; scalar payloads "
+                    "must be drained with recv_all"
+                )
+            if batch.schema != schema:
+                raise TypeError(
+                    f"schema mismatch on receive: {batch.schema!r} != "
+                    f"{schema!r}"
+                )
+        self.schema = schema
+        self.srcs = np.fromiter(
+            (src for src, _ in blocks), dtype=np.int64, count=len(blocks)
+        )
+        self.lengths = np.fromiter(
+            (b.rows for _, b in blocks), dtype=np.int64, count=len(blocks)
+        )
+        self.columns: dict[str, np.ndarray] = {}
+        for i, (name, dt) in enumerate(schema.columns):
+            self.columns[name] = (
+                np.concatenate([b.columns[i] for _, b in blocks])
+                if blocks
+                else np.empty(0, dtype=dt)
+            )
+        self.scalars: dict[str, np.ndarray] = {
+            name: np.asarray([b.scalars[i] for _, b in blocks])
+            for i, name in enumerate(schema.scalars)
+        }
+        self._src_column: np.ndarray | None = None
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.srcs.size)
+
+    @property
+    def rows(self) -> int:
+        return int(self.lengths.sum())
+
+    @property
+    def src_column(self) -> np.ndarray:
+        """Per-row source host (materialized on first use)."""
+        if self._src_column is None:
+            self._src_column = np.repeat(self.srcs, self.lengths)
+        return self._src_column
+
+    def __repr__(self) -> str:
+        return (
+            f"ReceivedBatch(blocks={self.num_blocks}, rows={self.rows}, "
+            f"schema={self.schema!r})"
+        )
+
+
+class BatchSender(Protocol):
+    """Where an accumulator flushes: a HostView, Communicator ledger view,
+    or anything else exposing the batch send verb."""
+
+    def send_batch(
+        self,
+        dst: int,
+        batch: MessageBatch,
+        tag: str = "default",
+        logical_messages: int = 1,
+        nbytes: int | None = None,
+        coalesce: bool = False,
+    ) -> None: ...
+
+
+class _Staged:
+    """Pending appends for one (dst, tag) channel."""
+
+    __slots__ = ("batches", "nbytes", "logical", "coalesce")
+
+    def __init__(self, coalesce: bool):
+        self.batches: list[MessageBatch] = []
+        self.nbytes = 0
+        self.logical = 0
+        self.coalesce = coalesce
+
+
+class BatchAccumulator:
+    """Sender-side staging buffers, one per ``(dst, tag)`` channel.
+
+    ``append`` stages a batch and records its charge (explicit
+    ``nbytes`` or the batch's own exact size; ``max(1, logical)``
+    logical messages, mirroring the communicator's stream accounting).
+    ``flush``/``flush_all`` emit each channel's staged rows as **one
+    contiguous block = one transport send**, so a single staged append
+    is bit-identical — bytes, messages, fault draws, sanitizer mirror —
+    to the scalar send it replaces.  Merging *several* appends into one
+    block is only allowed for ``coalesce=True`` channels, where the
+    stream formula makes the merged charge exactly equal to the sum of
+    the per-append charges (and is rejected otherwise, because the
+    per-send ``ceil`` would not distribute over the sum).
+
+    Unflushed channels are flushed automatically when the owning task
+    completes (the executor's phase barrier), in append order.
+    """
+
+    def __init__(self, sender: "BatchSender", host: int | None = None):
+        self._sender = sender
+        self._host = host
+        self._staged: dict[tuple[int, str], _Staged] = {}
+
+    def _guard(self, op: str) -> None:
+        from ..analysis import isolation
+
+        if isolation._depth and self._host is not None:
+            isolation.guard_owned(self._host, op)
+
+    def append(
+        self,
+        dst: int,
+        batch: MessageBatch,
+        tag: str = "default",
+        logical_messages: int = 1,
+        nbytes: int | None = None,
+        coalesce: bool = False,
+    ) -> None:
+        """Stage ``batch`` for ``dst`` under ``tag``."""
+        self._guard("BatchAccumulator.append")
+        if not isinstance(batch, MessageBatch):
+            raise TypeError(
+                f"append wants a MessageBatch, got {type(batch).__name__}"
+            )
+        key = (int(dst), tag)
+        staged = self._staged.get(key)
+        if staged is None:
+            staged = self._staged[key] = _Staged(coalesce)
+        elif staged.batches:
+            if not (staged.coalesce and coalesce):
+                raise ValueError(
+                    f"channel {key} already holds a staged block; merging "
+                    "appends is only exact for coalesce=True streams"
+                )
+            if staged.batches[0].schema != batch.schema:
+                raise TypeError(f"schema mismatch on channel {key}")
+        staged.batches.append(batch)
+        staged.nbytes += batch.nbytes if nbytes is None else int(nbytes)
+        staged.logical += max(1, logical_messages)
+
+    def staged_rows(self, dst: int, tag: str = "default") -> int:
+        """Rows currently staged for ``(dst, tag)``."""
+        staged = self._staged.get((int(dst), tag))
+        return sum(b.rows for b in staged.batches) if staged else 0
+
+    def channels(self) -> Iterator[tuple[int, str]]:
+        """Channels with staged rows, in first-append order."""
+        return iter(list(self._staged))
+
+    def flush(self, dst: int, tag: str = "default") -> None:
+        """Emit one channel's staged rows as one contiguous block."""
+        self._guard("BatchAccumulator.flush")
+        staged = self._staged.pop((int(dst), tag), None)
+        if staged is None or not staged.batches:
+            return
+        if len(staged.batches) == 1:
+            block = staged.batches[0]
+        else:
+            block = concat_batches(staged.batches[0].schema, staged.batches)
+        self._sender.send_batch(
+            int(dst),
+            block,
+            tag=tag,
+            logical_messages=staged.logical,
+            nbytes=staged.nbytes,
+            coalesce=staged.coalesce,
+        )
+
+    def flush_all(self) -> None:
+        """Flush every channel, in first-append order."""
+        for dst, tag in list(self._staged):
+            self.flush(dst, tag)

@@ -40,6 +40,7 @@ from typing import Any, Iterable, Protocol
 import numpy as np
 
 from ..analysis import isolation
+from .colfab import BatchAccumulator, ColumnSchema, MessageBatch, ReceivedBatch
 from .faults import FaultEvent, FaultInjector, SendRetriesExhausted
 
 __all__ = ["Communicator", "CommLedger", "CommObserver", "payload_nbytes"]
@@ -71,29 +72,46 @@ class _RetrySink(Protocol):
     def charge_duplicate(self, dst: int, size: int) -> None: ...
 
 
+#: Scalar types that serialize to one machine word.  ``np.bool_`` is
+#: listed explicitly: under NumPy 2 it is no longer a ``bool``/``int``
+#: subclass, so it would otherwise fall through to the TypeError.
+_WORD_SCALARS = (bool, int, float, np.bool_, np.integer, np.floating)
+
+
 def payload_nbytes(payload: Any) -> int:
     """Approximate serialized size of a payload in bytes.
 
     NumPy arrays (including 0-d scalars-in-arrays) count their buffer
-    size; containers count the sum of their elements; Python and NumPy
-    scalars count 8 bytes (one machine word).  ``np.bool_`` is listed
-    explicitly: under NumPy 2 it is no longer a ``bool``/``int``
-    subclass, so it would otherwise fall through to the TypeError.
+    size; :class:`~repro.runtime.colfab.MessageBatch` payloads answer in
+    O(1) from their schema's memoized per-row size; containers count the
+    sum of their elements; Python and NumPy scalars count 8 bytes (one
+    machine word).  Homogeneous NumPy containers — the common wire shape
+    ``(array, array, ...)`` — are sized in a single non-recursive pass.
     """
     if payload is None:
         return 0
     if isinstance(payload, np.ndarray):
         # Covers 0-d arrays too: np.asarray(3.0).nbytes == 8.
         return int(payload.nbytes)
+    if isinstance(payload, MessageBatch):
+        return payload.nbytes
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if isinstance(payload, (list, tuple, set, frozenset)):
-        return sum(payload_nbytes(p) for p in payload)
+        # Fast path: dispatch arrays and scalars inline instead of
+        # recursing per element (sizes are identical either way).
+        total = 0
+        for p in payload:
+            if isinstance(p, np.ndarray):
+                total += p.nbytes
+            elif isinstance(p, _WORD_SCALARS):
+                total += 8
+            elif p is not None:
+                total += payload_nbytes(p)
+        return int(total)
     if isinstance(payload, dict):
         return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items())
-    if isinstance(
-        payload, (bool, int, float, np.bool_, np.integer, np.floating)
-    ):
+    if isinstance(payload, _WORD_SCALARS):
         return 8
     if isinstance(payload, str):
         return len(payload.encode())
@@ -302,6 +320,53 @@ class Communicator:
         return len(self._queues.get((dst, tag), ()))
 
     # ------------------------------------------------------------------
+    # Columnar batch path (repro.runtime.colfab)
+    # ------------------------------------------------------------------
+    def send_batch(
+        self,
+        src: int,
+        dst: int,
+        batch: MessageBatch,
+        tag: str = "default",
+        logical_messages: int = 1,
+        nbytes: int | None = None,
+        coalesce: bool = False,
+    ) -> None:
+        """Send one columnar block: exactly one transport send.
+
+        Accounting, fault-injection draws, queue entries, and observer
+        hooks are those of :meth:`send` with the same ``(nbytes,
+        logical_messages, coalesce, tag)`` — the batch path never has
+        its own cost model.  ``nbytes`` defaults to the batch's O(1)
+        exact size.
+        """
+        if not isinstance(batch, MessageBatch):
+            raise TypeError(
+                f"send_batch wants a MessageBatch, got {type(batch).__name__}"
+            )
+        self.send(
+            src, dst, batch, tag=tag, logical_messages=logical_messages,
+            nbytes=nbytes, coalesce=coalesce,
+        )
+
+    def recv_all_batch(
+        self, dst: int, tag: str, schema: ColumnSchema
+    ) -> ReceivedBatch:
+        """Drain ``dst``'s queue for ``tag`` as one concatenated batch.
+
+        Every queued payload must be a :class:`MessageBatch` of
+        ``schema``; blocks are concatenated in the same FIFO order
+        :meth:`recv_all` would have returned them, with the per-block
+        sources preserved (``srcs``/``src_column``).
+        """
+        return ReceivedBatch(schema, self.recv_all(dst, tag))
+
+    def accumulator(self, src: int) -> BatchAccumulator:
+        """A per-host batch accumulator flushing through :meth:`send_batch`."""
+        self._check_host(src)
+        return BatchAccumulator(_BoundBatchSender(self, src), host=src)
+
+    # ------------------------------------------------------------------
     # Collectives (payload-carrying, with cost events)
     # ------------------------------------------------------------------
     def allreduce_sum(
@@ -413,6 +478,31 @@ class Communicator:
             raise ValueError(f"host {h} out of range [0, {self.num_hosts})")
 
 
+class _BoundBatchSender:
+    """Adapter binding a communicator's batch send to one source host."""
+
+    __slots__ = ("comm", "src")
+
+    def __init__(self, comm: Communicator, src: int):
+        self.comm = comm
+        self.src = src
+
+    def send_batch(
+        self,
+        dst: int,
+        batch: MessageBatch,
+        tag: str = "default",
+        logical_messages: int = 1,
+        nbytes: int | None = None,
+        coalesce: bool = False,
+    ) -> None:
+        self.comm.send_batch(
+            self.src, dst, batch, tag=tag,
+            logical_messages=logical_messages, nbytes=nbytes,
+            coalesce=coalesce,
+        )
+
+
 class _DirectRetrySink:
     """Retry sink that charges straight to the shared matrices."""
 
@@ -490,6 +580,29 @@ class CommLedger:
                     size, logical_messages
                 )
         self.queued.append((dst, tag, payload))
+
+    def send_batch(
+        self,
+        dst: int,
+        batch: MessageBatch,
+        tag: str = "default",
+        logical_messages: int = 1,
+        nbytes: int | None = None,
+        coalesce: bool = False,
+    ) -> None:
+        """Record one columnar block (one send) on this ledger."""
+        if not isinstance(batch, MessageBatch):
+            raise TypeError(
+                f"send_batch wants a MessageBatch, got {type(batch).__name__}"
+            )
+        self.send(
+            dst, batch, tag=tag, logical_messages=logical_messages,
+            nbytes=nbytes, coalesce=coalesce,
+        )
+
+    def accumulator(self) -> BatchAccumulator:
+        """A batch accumulator flushing through this private ledger."""
+        return BatchAccumulator(self, host=self.host)
 
     def charge_retry(self, dst: int, size: int, attempt: int) -> None:
         if isolation._depth:

@@ -55,6 +55,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..analysis import isolation
+from .colfab import BatchAccumulator, ColumnSchema, MessageBatch, ReceivedBatch
 
 if TYPE_CHECKING:
     from .stats import PhaseStats
@@ -99,6 +100,7 @@ class HostView:
     """
 
     host: int
+    _accumulators: "list[BatchAccumulator] | None"
 
     def send(self, dst: int, payload: Any, tag: str = "default",
              logical_messages: int = 1, nbytes: int | None = None,
@@ -107,6 +109,37 @@ class HostView:
 
     def recv_all(self, tag: str = "default") -> list[tuple[int, Any]]:
         raise NotImplementedError
+
+    def send_batch(self, dst: int, batch: MessageBatch,
+                   tag: str = "default", logical_messages: int = 1,
+                   nbytes: int | None = None,
+                   coalesce: bool = False) -> None:
+        """One columnar block = one transport send (same cost model)."""
+        self.send(
+            dst, batch, tag=tag, logical_messages=logical_messages,
+            nbytes=nbytes, coalesce=coalesce,
+        )
+
+    def recv_all_batch(self, tag: str, schema: ColumnSchema) -> ReceivedBatch:
+        raise NotImplementedError
+
+    def accumulator(self) -> BatchAccumulator:
+        """A batch accumulator owned by this host's task.
+
+        Channels left staged when the task body returns are flushed by
+        the executor at the phase barrier, in append order.
+        """
+        acc = BatchAccumulator(self, host=self.host)
+        if self._accumulators is None:
+            self._accumulators = []
+        self._accumulators.append(acc)
+        return acc
+
+    def flush_accumulators(self) -> None:
+        """Flush every accumulator handed out by :meth:`accumulator`."""
+        if self._accumulators:
+            for acc in self._accumulators:
+                acc.flush_all()
 
     def add_disk(self, nbytes: float) -> None:
         raise NotImplementedError
@@ -118,11 +151,12 @@ class HostView:
 class DirectHostView(HostView):
     """Charges land immediately on the shared ``PhaseStats``/``Communicator``."""
 
-    __slots__ = ("_stats", "host")
+    __slots__ = ("_stats", "host", "_accumulators")
 
     def __init__(self, stats: PhaseStats, host: int):
         self._stats = stats
         self.host = int(host)
+        self._accumulators = None
 
     def send(self, dst: int, payload: Any, tag: str = "default",
              logical_messages: int = 1, nbytes: int | None = None,
@@ -135,6 +169,9 @@ class DirectHostView(HostView):
 
     def recv_all(self, tag: str = "default") -> list[tuple[int, Any]]:
         return self._stats.comm.recv_all(self.host, tag)
+
+    def recv_all_batch(self, tag: str, schema: ColumnSchema) -> ReceivedBatch:
+        return self._stats.comm.recv_all_batch(self.host, tag, schema)
 
     def add_disk(self, nbytes: float) -> None:
         self._stats.add_disk(self.host, nbytes)
@@ -154,7 +191,7 @@ class LedgerHostView(HostView):
     """
 
     __slots__ = ("_stats", "_channel", "host", "ledger",
-                 "disk_bytes", "compute_units")
+                 "disk_bytes", "compute_units", "_accumulators")
 
     def __init__(self, stats: PhaseStats, host: int):
         self._stats = stats
@@ -162,6 +199,7 @@ class LedgerHostView(HostView):
         self.ledger = stats.comm.ledger(host)
         self.disk_bytes = 0.0
         self.compute_units = 0.0
+        self._accumulators = None
         injector = stats.comm.injector
         self._channel = None
         if injector is not None:
@@ -178,6 +216,9 @@ class LedgerHostView(HostView):
 
     def recv_all(self, tag: str = "default") -> list[tuple[int, Any]]:
         return self._stats.comm.recv_all(self.host, tag)
+
+    def recv_all_batch(self, tag: str, schema: ColumnSchema) -> ReceivedBatch:
+        return self._stats.comm.recv_all_batch(self.host, tag, schema)
 
     def add_disk(self, nbytes: float) -> None:
         if isolation._depth:
@@ -237,7 +278,16 @@ class Executor:
         stateful streaming edge rules): identical under every executor
         by construction.
         """
-        return [task.fn(DirectHostView(stats, task.host)) for task in tasks]
+        return [_run_direct(stats, task) for task in tasks]
+
+
+def _run_direct(stats: PhaseStats, task: HostTask) -> Any:
+    """Run one task on the shared ledgers, flushing staged batches at
+    the end of the body (the serial phase barrier)."""
+    view = DirectHostView(stats, task.host)
+    result = task.fn(view)
+    view.flush_accumulators()
+    return result
 
 
 class SerialExecutor(Executor):
@@ -246,7 +296,7 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def run(self, stats: PhaseStats, tasks: Sequence[HostTask]) -> list[Any]:
-        return [task.fn(DirectHostView(stats, task.host)) for task in tasks]
+        return [_run_direct(stats, task) for task in tasks]
 
 
 class ParallelExecutor(Executor):
@@ -306,7 +356,7 @@ class ParallelExecutor(Executor):
             raise ValueError("one task per host required in run()")
         if len(tasks) == 1:
             # No concurrency to gain; keep the direct (zero-copy) path.
-            return [tasks[0].fn(DirectHostView(stats, tasks[0].host))]
+            return [_run_direct(stats, tasks[0])]
         views = [LedgerHostView(stats, t.host) for t in tasks]
         pool = self._ensure_pool(len(tasks))
         phase_name = getattr(stats, "name", "")
@@ -344,8 +394,12 @@ class ParallelExecutor(Executor):
         try:
             if monitor is not None:
                 with monitor.task(view.host, phase_name, label):
-                    return fn(view), None
-            return fn(view), None
+                    result = fn(view)
+                    view.flush_accumulators()
+                    return result, None
+            result = fn(view)
+            view.flush_accumulators()
+            return result, None
         except Exception as exc:  # noqa: BLE001 — re-raised at the barrier
             return None, exc
 

@@ -1,0 +1,422 @@
+"""The columnar message fabric (``repro.runtime.colfab``).
+
+Two layers of coverage.  Unit: schemas, batches, receiver views and the
+sender-side :class:`BatchAccumulator`, including the accounting contract
+— every flushed block is exactly one transport send, and merging staged
+appends is only legal where the stream formula makes the merged charge
+equal the sum of per-append charges.  End-to-end: the ``fabric=`` knob,
+where the columnar pipeline must produce bit-identical partitions *and*
+bit-identical simulated breakdowns to the scalar compatibility path on
+every policy, on every executor, under CommSan, and under injected
+faults — the columnar path is a vectorization, never a different cost
+model.
+
+Also here: the ``recv_all`` queue-semantics tests (tag isolation, FIFO
+across ledger merges, ``pending`` with mixed direct/ledger sends) that
+the batch receiver builds on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CuSP
+from repro.graph import erdos_renyi
+from repro.runtime.colfab import (
+    BatchAccumulator,
+    ColumnSchema,
+    MessageBatch,
+    ReceivedBatch,
+    resolve_fabric,
+)
+from repro.runtime.colfab import concat_batches
+from repro.runtime.comm import Communicator
+from repro.runtime.faults import FaultPlan, HostCrash
+
+from .test_executors import assert_same_breakdown, assert_same_partition
+
+I64 = np.dtype(np.int64)
+I32 = np.dtype(np.int32)
+
+
+def ids_batch(schema, *cols, scalars=()):
+    return MessageBatch(
+        schema, tuple(np.asarray(c, dtype=dt) for c, (_, dt) in
+                      zip(cols, schema.columns)),
+        scalars,
+    )
+
+
+class TestColumnSchema:
+    def test_value_equality_and_hash(self):
+        a = ColumnSchema((("ids", I64), ("masters", I32)), scalars=("count",))
+        b = ColumnSchema((("ids", np.int64), ("masters", np.int32)),
+                         scalars=("count",))
+        assert a == b and hash(a) == hash(b)
+        assert a != ColumnSchema((("ids", I64),))
+        assert a != ColumnSchema((("ids", I64), ("masters", I32)))
+
+    def test_row_nbytes_is_sum_of_itemsizes(self):
+        s = ColumnSchema((("a", I64), ("b", I32), ("c", np.float64)))
+        assert s.row_nbytes == 8 + 4 + 8
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSchema((("x", I64), ("x", I32)))
+        with pytest.raises(ValueError):
+            ColumnSchema((("x", I64),), scalars=("n", "n"))
+
+    def test_immutable(self):
+        s = ColumnSchema((("x", I64),))
+        with pytest.raises(AttributeError):
+            s.row_nbytes = 0
+
+
+class TestMessageBatch:
+    SCHEMA = ColumnSchema((("src", I64), ("dst", I64)))
+
+    def test_nbytes_is_exact_and_o1(self):
+        b = ids_batch(self.SCHEMA, [1, 2, 3], [4, 5, 6])
+        assert b.nbytes == b.columns[0].nbytes + b.columns[1].nbytes == 48
+        s = ColumnSchema((("x", I64),), scalars=("count",))
+        assert MessageBatch(s, (np.arange(2),), (7,)).nbytes == 16 + 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MessageBatch(self.SCHEMA, (np.arange(3),))  # missing column
+        with pytest.raises(TypeError):
+            MessageBatch(self.SCHEMA,
+                         (np.arange(3, dtype=np.int32), np.arange(3)))
+        with pytest.raises(ValueError):
+            MessageBatch(self.SCHEMA, (np.arange(3), np.arange(4)))
+        with pytest.raises(ValueError):
+            MessageBatch(self.SCHEMA,
+                         (np.zeros((2, 2), dtype=I64), np.arange(4)))
+        with pytest.raises(ValueError):  # scalar count mismatch
+            MessageBatch(ColumnSchema((), scalars=("n",)), (), ())
+
+    def test_empty_zero_fills_scalars(self):
+        s = ColumnSchema((("x", I64),), scalars=("count",))
+        b = MessageBatch.empty(s)
+        assert b.rows == 0 and b.scalars == (0,)
+        assert b.nbytes == 8  # the scalar still travels
+
+    def test_slice_is_zero_copy(self):
+        b = ids_batch(self.SCHEMA, np.arange(10), np.arange(10))
+        view = b.slice(2, 7)
+        assert view.rows == 5
+        assert np.shares_memory(view.columns[0], b.columns[0])
+
+    def test_column_accessor(self):
+        b = ids_batch(self.SCHEMA, [1], [9])
+        assert b.column("dst")[0] == 9
+
+
+class TestConcatBatches:
+    SCHEMA = ColumnSchema((("x", I64),))
+
+    def test_preserves_order(self):
+        parts = [ids_batch(self.SCHEMA, [1, 2]), ids_batch(self.SCHEMA, [3])]
+        merged = concat_batches(self.SCHEMA, parts)
+        assert merged.columns[0].tolist() == [1, 2, 3]
+
+    def test_rejects_scalar_schemas_and_mismatch(self):
+        with pytest.raises(ValueError):
+            concat_batches(ColumnSchema((), scalars=("n",)), [])
+        other = ids_batch(ColumnSchema((("y", I64),)), [1])
+        with pytest.raises(TypeError):
+            concat_batches(self.SCHEMA, [other])
+
+
+class TestReceivedBatch:
+    SCHEMA = ColumnSchema((("x", I64),), scalars=("count",))
+
+    def test_fifo_concatenation_and_block_metadata(self):
+        blocks = [
+            (2, ids_batch(self.SCHEMA, [1, 2], scalars=(2,))),
+            (0, ids_batch(self.SCHEMA, [3], scalars=(1,))),
+            (2, ids_batch(self.SCHEMA, [], scalars=(0,))),
+        ]
+        rb = ReceivedBatch(self.SCHEMA, blocks)
+        assert rb.columns["x"].tolist() == [1, 2, 3]
+        assert rb.srcs.tolist() == [2, 0, 2]
+        assert rb.lengths.tolist() == [2, 1, 0]
+        assert rb.scalars["count"].tolist() == [2, 1, 0]
+        assert rb.src_column.tolist() == [2, 2, 0]
+        assert rb.num_blocks == 3 and rb.rows == 3
+
+    def test_empty_queue(self):
+        rb = ReceivedBatch(self.SCHEMA, [])
+        assert rb.rows == 0 and rb.num_blocks == 0
+        assert rb.columns["x"].dtype == I64
+
+    def test_rejects_scalar_payloads_and_schema_mismatch(self):
+        with pytest.raises(TypeError):
+            ReceivedBatch(self.SCHEMA, [(0, np.arange(3))])
+        other = ids_batch(ColumnSchema((("y", I64),)), [1])
+        with pytest.raises(TypeError):
+            ReceivedBatch(self.SCHEMA, [(0, other)])
+
+
+class TestBatchAccumulator:
+    SCHEMA = ColumnSchema((("x", I64),))
+
+    def test_single_staged_block_is_bit_identical_to_a_scalar_send(self):
+        """One append + flush charges exactly like the send it replaces."""
+        batch_comm = Communicator(4, buffer_size=64)
+        scalar_comm = Communicator(4, buffer_size=64)
+        payload = np.arange(100, dtype=np.int64)
+        acc = batch_comm.accumulator(0)
+        acc.append(1, ids_batch(self.SCHEMA, payload), tag="t",
+                   logical_messages=5, nbytes=320)
+        acc.flush_all()
+        scalar_comm.send(0, 1, payload, tag="t", logical_messages=5,
+                         nbytes=320)
+        assert np.array_equal(batch_comm.sent_bytes, scalar_comm.sent_bytes)
+        assert np.array_equal(batch_comm.sent_messages,
+                              scalar_comm.sent_messages)
+        assert batch_comm.pending(1, "t") == scalar_comm.pending(1, "t") == 1
+
+    def test_merging_appends_requires_coalesce(self):
+        acc = Communicator(4).accumulator(0)
+        acc.append(1, ids_batch(self.SCHEMA, [1]), tag="t")
+        with pytest.raises(ValueError):
+            acc.append(1, ids_batch(self.SCHEMA, [2]), tag="t")
+        # A different channel is fine.
+        acc.append(2, ids_batch(self.SCHEMA, [2]), tag="t")
+        acc.append(1, ids_batch(self.SCHEMA, [3]), tag="u")
+
+    def test_coalesced_merge_charge_equals_sum_of_per_append_charges(self):
+        batch_comm = Communicator(4, buffer_size=64)
+        scalar_comm = Communicator(4, buffer_size=64)
+        a = np.arange(5, dtype=np.int64)
+        b = np.arange(7, dtype=np.int64)
+        acc = batch_comm.accumulator(0)
+        acc.append(1, ids_batch(self.SCHEMA, a), tag="t", coalesce=True)
+        acc.append(1, ids_batch(self.SCHEMA, b), tag="t", coalesce=True)
+        acc.flush_all()
+        scalar_comm.send(0, 1, a, tag="t", coalesce=True)
+        scalar_comm.send(0, 1, b, tag="t", coalesce=True)
+        assert np.array_equal(batch_comm.sent_bytes, scalar_comm.sent_bytes)
+        assert np.array_equal(batch_comm._stream_bytes,
+                              scalar_comm._stream_bytes)
+        assert np.array_equal(batch_comm._stream_logical,
+                              scalar_comm._stream_logical)
+        # The merged rows arrive as one contiguous block, in append order.
+        rb = batch_comm.recv_all_batch(1, "t", self.SCHEMA)
+        assert rb.num_blocks == 1
+        assert rb.columns["x"].tolist() == a.tolist() + b.tolist()
+
+    def test_coalesced_merge_rejects_schema_drift(self):
+        acc = Communicator(4).accumulator(0)
+        acc.append(1, ids_batch(self.SCHEMA, [1]), tag="t", coalesce=True)
+        other = ColumnSchema((("y", I64),))
+        with pytest.raises(TypeError):
+            acc.append(1, ids_batch(other, [2]), tag="t", coalesce=True)
+
+    def test_flush_order_is_first_append_order(self):
+        comm = Communicator(4, buffer_size=0)
+        sent = []
+        orig = comm.send_batch
+
+        def spy(src, dst, batch, **kw):
+            sent.append((dst, kw["tag"]))
+            return orig(src, dst, batch, **kw)
+
+        comm.send_batch = spy
+        acc = comm.accumulator(0)
+        for dst, tag in [(3, "a"), (1, "b"), (2, "a")]:
+            acc.append(dst, ids_batch(self.SCHEMA, [dst]), tag=tag)
+        assert acc.staged_rows(3, "a") == 1
+        assert list(acc.channels()) == [(3, "a"), (1, "b"), (2, "a")]
+        acc.flush_all()
+        assert sent == [(3, "a"), (1, "b"), (2, "a")]
+        assert acc.staged_rows(3, "a") == 0
+        acc.flush(3, "a")  # flushing an empty channel is a no-op
+        assert sent == [(3, "a"), (1, "b"), (2, "a")]
+
+    def test_append_rejects_non_batches(self):
+        acc = Communicator(2).accumulator(0)
+        with pytest.raises(TypeError):
+            acc.append(1, np.arange(3), tag="t")
+
+    def test_ledger_accumulator_stays_private_until_merge(self):
+        comm = Communicator(3, buffer_size=0)
+        ledger = comm.ledger(0)
+        acc = ledger.accumulator()
+        acc.append(1, ids_batch(self.SCHEMA, [1, 2]), tag="t")
+        acc.flush_all()
+        assert comm.pending(1, "t") == 0  # buffered on the ledger
+        assert ledger.sent_bytes[1] == 16
+        comm.merge_ledger(ledger)
+        assert comm.pending(1, "t") == 1
+        assert comm.sent_bytes[0, 1] == 16
+
+
+class TestCommBatchPath:
+    SCHEMA = ColumnSchema((("x", I64),))
+
+    def test_send_batch_accounts_exactly_like_send(self):
+        batch_comm = Communicator(3, buffer_size=10)
+        scalar_comm = Communicator(3, buffer_size=10)
+        payload = np.arange(9, dtype=np.int64)  # 72 bytes -> ceil = 8 msgs
+        batch_comm.send_batch(0, 1, ids_batch(self.SCHEMA, payload), tag="t")
+        scalar_comm.send(0, 1, payload, tag="t")
+        assert np.array_equal(batch_comm.sent_bytes, scalar_comm.sent_bytes)
+        assert np.array_equal(batch_comm.sent_messages,
+                              scalar_comm.sent_messages)
+
+    def test_send_batch_rejects_raw_payloads(self):
+        comm = Communicator(2)
+        with pytest.raises(TypeError):
+            comm.send_batch(0, 1, np.arange(3), tag="t")
+
+    def test_recv_all_batch_matches_recv_all_concatenation(self):
+        comm = Communicator(3, buffer_size=0)
+        shadow = Communicator(3, buffer_size=0)
+        rng = np.random.default_rng(7)
+        for src, rows in [(0, 3), (2, 5), (0, 0), (1, 4)]:
+            col = rng.integers(0, 100, size=rows)
+            comm.send_batch(src, 1, ids_batch(self.SCHEMA, col), tag="t")
+            shadow.send(src, 1, (np.asarray(col, dtype=np.int64),), tag="t")
+        rb = comm.recv_all_batch(1, "t", self.SCHEMA)
+        manual = np.concatenate(
+            [p[0] for _, p in shadow.recv_all(1, "t")]
+        )
+        assert np.array_equal(rb.columns["x"], manual)
+        assert comm.pending(1, "t") == 0  # drained
+
+    def test_recv_all_batch_rejects_mixed_scalar_traffic(self):
+        comm = Communicator(2, buffer_size=0)
+        comm.send(0, 1, np.arange(3), tag="t")
+        with pytest.raises(TypeError):
+            comm.recv_all_batch(1, "t", self.SCHEMA)
+
+
+class TestRecvAllSemantics:
+    """Queue semantics the batch receiver is built on (satellite)."""
+
+    def test_tag_isolation(self):
+        comm = Communicator(2, buffer_size=0)
+        comm.send(0, 1, "a1", tag="alpha")
+        comm.send(0, 1, "b1", tag="beta")
+        comm.send(0, 1, "a2", tag="alpha")
+        assert [p for _, p in comm.recv_all(1, "alpha")] == ["a1", "a2"]
+        assert comm.pending(1, "alpha") == 0
+        assert comm.pending(1, "beta") == 1  # untouched by the other drain
+        assert [p for _, p in comm.recv_all(1, "beta")] == ["b1"]
+
+    def test_fifo_order_across_merge_ledger_in_host_order(self):
+        """Merging ledgers host-by-host reproduces the serial queue order:
+        grouped by source host, send order preserved within a host."""
+        comm = Communicator(4, buffer_size=0)
+        ledgers = [comm.ledger(h) for h in range(3)]
+        for h, ledger in enumerate(ledgers):
+            for i in range(2):
+                ledger.send(3, f"h{h}m{i}", tag="t")
+        for ledger in ledgers:  # host order, as at the phase barrier
+            comm.merge_ledger(ledger)
+        received = comm.recv_all(3, "t")
+        assert [src for src, _ in received] == [0, 0, 1, 1, 2, 2]
+        assert [p for _, p in received] == [
+            "h0m0", "h0m1", "h1m0", "h1m1", "h2m0", "h2m1",
+        ]
+
+    def test_pending_counts_mixed_direct_and_ledger_sends(self):
+        comm = Communicator(3, buffer_size=0)
+        comm.send(0, 2, "direct", tag="t")
+        assert comm.pending(2, "t") == 1
+        ledger = comm.ledger(1)
+        ledger.send(2, "buffered", tag="t")
+        # The ledger buffers: nothing lands on the shared queue until merge.
+        assert comm.pending(2, "t") == 1
+        comm.merge_ledger(ledger)
+        assert comm.pending(2, "t") == 2
+        assert [p for _, p in comm.recv_all(2, "t")] == ["direct", "buffered"]
+        assert comm.pending(2, "t") == 0
+
+
+class TestResolveFabric:
+    def test_default_and_validation(self):
+        assert resolve_fabric(None) == "columnar"
+        assert resolve_fabric("scalar") == "scalar"
+        with pytest.raises(ValueError):
+            resolve_fabric("vectorized")
+
+    def test_cusp_rejects_unknown_fabric(self):
+        with pytest.raises(ValueError):
+            CuSP(4, "CVC", fabric="vectorized")
+
+
+GRAPH = erdos_renyi(220, 2400, seed=11)
+
+
+def _weighted_graph(num_nodes=160, num_edges=1600, seed=12):
+    from repro.graph import CSRGraph
+
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    w = rng.integers(1, 1000, size=num_edges, dtype=np.int64)
+    return CSRGraph.from_edges(src, dst, num_nodes=num_nodes, edge_data=w)
+
+
+WEIGHTED = _weighted_graph()
+
+
+def run(policy="CVC", graph=GRAPH, output="csr", **kw):
+    return CuSP(4, policy, **kw).partition(graph, output=output)
+
+
+class TestFabricEquivalence:
+    """Columnar vs scalar: partitions AND breakdowns bit-identical."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        ["EEC", "HVC", "CVC", "FEC", "GVC", "SVC", "CEC", "FVC", "DBH",
+         "PGC", "HDRF", "BVC", "JVC", "LEC"],
+    )
+    def test_every_policy_serial(self, policy):
+        col = run(policy, fabric="columnar")
+        sca = run(policy, fabric="scalar")
+        assert_same_partition(col, sca)
+        assert_same_breakdown(col.breakdown, sca.breakdown)
+
+    def test_weighted_graph_with_csc_output(self):
+        col = run("HVC", graph=WEIGHTED, output="csc", fabric="columnar")
+        sca = run("HVC", graph=WEIGHTED, output="csc", fabric="scalar")
+        assert_same_partition(col, sca)
+        assert_same_breakdown(col.breakdown, sca.breakdown)
+        for pc, ps in zip(col.partitions, sca.partitions):
+            assert np.array_equal(pc.local_graph.edge_data,
+                                  ps.local_graph.edge_data)
+            assert np.array_equal(pc.local_csc.indptr, ps.local_csc.indptr)
+
+    @pytest.mark.parametrize("executor", ["parallel", "parallel-checked"])
+    def test_parallel_executors(self, executor):
+        col = run("CVC", fabric="columnar", executor=executor)
+        sca = run("CVC", fabric="scalar", executor="serial")
+        assert_same_partition(col, sca)
+        assert_same_breakdown(col.breakdown, sca.breakdown)
+
+    def test_under_commsan(self):
+        col = run("FVC", fabric="columnar", sanitizer=True)
+        sca = run("FVC", fabric="scalar", sanitizer=True)
+        assert_same_partition(col, sca)
+        assert_same_breakdown(col.breakdown, sca.breakdown)
+
+    @pytest.mark.parametrize("executor", ["serial", "parallel"])
+    def test_under_injected_faults(self, executor):
+        """Same fault plan, same draws: the columnar op sequence matches
+        the scalar one operation for operation."""
+        plan = FaultPlan(
+            seed=2, send_failure_rate=0.05, drop_rate=0.03,
+            duplicate_rate=0.03,
+            crashes=(HostCrash(host=1, phase=2, op_count=5),
+                     HostCrash(host=2, phase=4)),
+        )
+        col = run("CVC", fabric="columnar", fault_plan=plan,
+                  executor=executor)
+        sca = run("CVC", fabric="scalar", fault_plan=plan, executor="serial")
+        assert_same_partition(col, sca)
+        assert_same_breakdown(col.breakdown, sca.breakdown)
+        assert col.breakdown.failed_phases()  # the crashes actually fired

@@ -57,6 +57,11 @@ class TestContractModel:
         with pytest.raises(ValueError, match="must declare a message tag"):
             OpSpec("p2p")
 
+    def test_batched_applies_to_p2p_only(self):
+        OpSpec("p2p", tag="t", batched=True)  # fine
+        with pytest.raises(ValueError, match="batched"):
+            OpSpec("allreduce", batched=True)
+
     def test_collectives_carry_no_tag(self):
         with pytest.raises(ValueError, match="carry no tag"):
             OpSpec("allreduce", tag="t")
@@ -207,6 +212,46 @@ class TestStaticExtraction:
         report = check_contracts(tmp_path, contracts=ContractSet([contract]))
         [finding] = report.errors
         assert finding.kind == "dynamic-tag"
+
+    def test_batch_traffic_on_unbatched_clause_is_an_error(self, tmp_path):
+        mod = tmp_path / "core"
+        mod.mkdir()
+        (mod / "phase.py").write_text(
+            "from repro.runtime.colfab import MessageBatch\n"
+            "def run(view, batch):\n"
+            "    view.send_batch(1, batch, tag='data', nbytes=8)\n"
+        )
+        contract = PhaseContract(
+            phase="P",
+            modules=("core/phase.py",),
+            entry_points=("run",),
+            ops=(OpSpec("p2p", tag="data"),),
+        )
+        report = check_contracts(tmp_path, contracts=ContractSet([contract]))
+        [finding] = report.errors
+        assert finding.kind == "unbatched-op"
+        assert "batched=True" in finding.message
+
+    def test_batched_clause_accepts_batch_and_accumulator_traffic(
+        self, tmp_path
+    ):
+        mod = tmp_path / "core"
+        mod.mkdir()
+        (mod / "phase.py").write_text(
+            "def run(view, batch, schema):\n"
+            "    view.send_batch(1, batch, tag='data', nbytes=8)\n"
+            "    acc = view.accumulator()\n"
+            "    acc.append(2, batch, tag='data', nbytes=8)\n"
+            "    view.recv_all_batch(tag='data', schema=schema)\n"
+        )
+        contract = PhaseContract(
+            phase="P",
+            modules=("core/phase.py",),
+            entry_points=("run",),
+            ops=(OpSpec("p2p", tag="data", drained=True, batched=True),),
+        )
+        report = check_contracts(tmp_path, contracts=ContractSet([contract]))
+        assert report.errors == [] and report.warnings == []
 
     def test_missing_module_and_entry_reported(self, tmp_path):
         (tmp_path / "core").mkdir()
