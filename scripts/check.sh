@@ -27,6 +27,9 @@ python -m pytest -x -q
 echo "== fault-injection and crash-recovery suite =="
 python -m pytest -x -q -m faults
 
+echo "== chaos campaign: full fault family, bit-identity gate =="
+python -m repro chaos --plans 10 --seed 7 --quiet
+
 echo "== bench-smoke: throughput floor + partition digest =="
 python scripts/bench_smoke.py
 

@@ -23,6 +23,7 @@ __all__ = [
     "CrossHostWriteRule",
     "ScalarSendInHotLoopRule",
     "ContractUndeclaredOpRule",
+    "SwallowedErrorRule",
 ]
 
 
@@ -741,3 +742,95 @@ class ContractUndeclaredOpRule(LintRule):
                         f"`{attr}` has no matching clause in the {phases} "
                         "contract",
                     )
+
+
+@register
+class SwallowedErrorRule(LintRule):
+    """An ``except`` body that only ``pass``es erases the failure.
+
+    Fault injection, checkpoint verification, and crash recovery all
+    communicate through exceptions; an ``except: pass`` (or a broad
+    ``except Exception: pass``) on their paths turns an injected fault
+    or a corrupt checkpoint into silent success — the chaos campaign
+    then "passes" a run that never exercised the recovery it claims to.
+    Handlers that swallow a *fault- or checkpoint-flavoured* exception,
+    or any bare/broad catch, are errors; swallowing a specific narrow
+    exception is a warning.  Legitimate swallows (e.g. closing an
+    already-broken pipe on exit) must say why in a suppression comment.
+    """
+
+    name = "swallowed-error"
+    severity = ERROR
+    description = (
+        "except body only passes, dropping the exception; handle it, "
+        "re-raise, or justify the swallow in a suppression comment"
+    )
+
+    _BROAD = {"Exception", "BaseException"}
+    #: Name fragments marking exceptions the robustness machinery
+    #: signals through — swallowing these always defeats it.
+    _CRITICAL_MARKERS = (
+        "Fault", "Checkpoint", "Corruption", "Crash", "Recovery",
+        "Unrecoverable", "Retries",
+    )
+
+    @staticmethod
+    def _only_passes(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or bare `...`
+            return False
+        return True
+
+    @staticmethod
+    def _type_names(node: ast.AST | None) -> list[str]:
+        if node is None:
+            return []
+        exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+        names = []
+        for expr in exprs:
+            dotted = _dotted(expr)
+            if dotted is not None:
+                names.append(dotted.rsplit(".", 1)[-1])
+        return names
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._only_passes(node.body):
+                continue
+            names = self._type_names(node.type)
+            if node.type is None:
+                severity, what = ERROR, "bare `except:`"
+            elif any(n in self._BROAD for n in names):
+                severity = ERROR
+                what = f"broad `except {', '.join(names)}`"
+            elif any(
+                marker in n
+                for n in names
+                for marker in self._CRITICAL_MARKERS
+            ):
+                severity = ERROR
+                what = (
+                    f"`except {', '.join(names)}` on a fault/checkpoint "
+                    "signal path"
+                )
+            else:
+                severity = WARNING
+                what = f"`except {', '.join(names) or '?'}`"
+            yield Finding(
+                rule=self.name,
+                severity=severity,
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{what} swallows the exception without handling it; "
+                    "recover, re-raise, or suppress with a justification"
+                ),
+            )

@@ -6,7 +6,13 @@ Subcommands:
 ``generate``    write a synthetic graph to disk
 ``partition``   partition a graph file and report quality + timing
                 (``--inject-faults`` exercises crash recovery,
-                ``--validate`` runs the full invariant checker)
+                ``--validate`` runs the full invariant checker,
+                ``--resume DIR`` continues an interrupted checkpointed
+                run, ``--supervise`` enables straggler mitigation)
+``chaos``       run a seeded chaos campaign: N derived fault plans
+                spanning the full fault family, each asserted
+                bit-identical to the fault-free partition (exit 1 on
+                any surviving divergence)
 ``experiment``  regenerate one of the paper's tables/figures
 ``info``        print a graph file's Table III properties
 ``validate``    check a saved partition directory (exit 1 if invalid)
@@ -16,7 +22,7 @@ Subcommands:
                 declared communication contracts (exit 1 on undeclared
                 ops; ``--strict`` escalates dead contract clauses)
 
-``lint``, ``contracts`` and ``validate`` are all *checking* subcommands
+``lint``, ``contracts``, ``chaos`` and ``validate`` are all *checking* subcommands
 and share one verdict convention (:func:`_check_exit`): a single summary
 line — ``OK:`` on stdout with exit 0, or a failure line on stderr with
 exit 1.
@@ -29,7 +35,7 @@ import os
 import sys
 
 from . import __version__
-from .core import CuSP, make_policy, policy_names
+from .core import CheckpointCorruptionError, CuSP, make_policy, policy_names
 from .graph import (
     compute_properties,
     convert,
@@ -102,6 +108,24 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--checkpoint-dir", metavar="DIR",
         help="durable per-phase checkpoints under DIR (in-memory otherwise)",
+    )
+    p.add_argument(
+        "--resume", metavar="DIR",
+        help=(
+            "resume an interrupted run from the durable checkpoint in "
+            "DIR: completed phases are verified against their recorded "
+            "digests and skipped, and the run continues from the first "
+            "unverified phase — bit-identical to an uninterrupted run"
+        ),
+    )
+    p.add_argument(
+        "--supervise", action="store_true",
+        help=(
+            "run under the phase-deadline supervisor: hosts breaching "
+            "the hard deadline (from the cost model's healthy-host "
+            "baseline) are quarantined and their read slices migrate "
+            "to healthy hosts"
+        ),
     )
     p.add_argument(
         "--max-retries", type=int, default=3,
@@ -210,17 +234,48 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="report format (default text)")
     p.add_argument("--json", action="store_true",
                    help="shorthand for --format json")
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos campaign over the full fault family",
+        description=(
+            "Derive N deterministic fault plans (message faults, payload "
+            "corruption, host crashes, stragglers, torn checkpoint "
+            "writes, kill+resume) and assert that every plan's partition "
+            "is bit-identical to the fault-free run with zero sanitizer "
+            "violations.  See the chaos section of docs/FAULTS.md."
+        ),
+    )
+    p.add_argument("--plans", type=int, default=10,
+                   help="number of fault plans to derive (default 10)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="campaign seed (default 7)")
+    p.add_argument("--hosts", type=int, default=4,
+                   help="number of simulated hosts / partitions (default 4)")
+    p.add_argument(
+        "-p", "--policy", default="CVC",
+        help=f"CuSP policy under test, one of {', '.join(policy_names())}",
+    )
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the per-plan result lines")
     return parser
 
 
 def _run_partitioner(graph, args):
     """Dispatch the ``partition`` subcommand's --policy string."""
     spec = args.policy.lower()
-    fault_extras = spec.startswith("window") or spec in ("xtrapulp", "multilevel")
-    if fault_extras and (args.inject_faults or args.checkpoint_dir):
+    if args.resume and args.checkpoint_dir and args.resume != args.checkpoint_dir:
         raise SystemExit(
-            "--inject-faults/--checkpoint-dir only apply to CuSP policies, "
-            f"not to {args.policy!r}"
+            f"--resume {args.resume!r} and --checkpoint-dir "
+            f"{args.checkpoint_dir!r} name different directories; --resume "
+            "already implies checkpointing to the directory it resumes from"
+        )
+    checkpoint_dir = args.resume or args.checkpoint_dir
+    fault_extras = spec.startswith("window") or spec in ("xtrapulp", "multilevel")
+    if fault_extras and (args.inject_faults or checkpoint_dir or args.supervise):
+        raise SystemExit(
+            "--inject-faults/--checkpoint-dir/--resume/--supervise only "
+            f"apply to CuSP policies, not to {args.policy!r}"
         )
     if fault_extras and args.fabric:
         raise SystemExit(
@@ -259,7 +314,9 @@ def _run_partitioner(graph, args):
             sync_rounds=args.sync_rounds,
             buffer_size=args.buffer_size,
             fault_plan=fault_plan,
-            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_dir=checkpoint_dir,
+            resume=bool(args.resume),
+            supervise=args.supervise,
             max_retries=args.max_retries,
             executor=args.executor,
             sanitizer=args.commsan,
@@ -267,7 +324,12 @@ def _run_partitioner(graph, args):
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
-    dg = cusp.partition(graph, output=args.output_format)
+    try:
+        dg = cusp.partition(graph, output=args.output_format)
+    except (ValueError, CheckpointCorruptionError) as exc:
+        if args.resume:
+            raise SystemExit(f"cannot resume from {args.resume!r}: {exc}")
+        raise
     if args.commsan:
         san = cusp.sanitizer
         print(
@@ -286,6 +348,8 @@ def _run_partitioner(graph, args):
         replayed = [p.name for p in dg.breakdown.failed_phases()]
         if replayed:
             print(f"replayed phases    : {', '.join(replayed)}")
+    if args.supervise and cusp.last_supervisor_report is not None:
+        print(f"supervision        : {cusp.last_supervisor_report.summary()}")
     return dg, policy.describe()
 
 
@@ -377,6 +441,9 @@ def main(argv: list[str] | None = None) -> int:
 
         try:
             sys.stdout.close()
+        # stdout already broke; closing can only fail the same way, and
+        # os._exit follows immediately.
+        # repro-lint: disable-next-line=swallowed-error -- broken-pipe exit path
         except Exception:
             pass
         os._exit(0)
@@ -502,6 +569,24 @@ def _dispatch(argv: list[str] | None = None) -> int:
             f"OK: {dg} — {report.summary()}"
             + (" (edge multiset matches the input graph)" if reference else ""),
             f"INVALID: {report.summary()}",
+        )
+
+    elif args.command == "chaos":
+        from .chaos import run_campaign
+
+        try:
+            report = run_campaign(
+                plans=args.plans, seed=args.seed, num_hosts=args.hosts,
+                policy=args.policy,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if not args.quiet:
+            print(report.render_text())
+        return _check_exit(
+            report.ok(),
+            f"OK: {report.summary()}",
+            f"FAIL: {report.summary()}",
         )
 
     elif args.command == "lint":

@@ -15,7 +15,12 @@ from .edge_rules import (
 )
 from .contracts import PHASE_CONTRACTS, contract_context_for
 from .framework import PHASE_NAMES, CuSP
-from .partition_io import PartitionCheckpoint, load_partitions, save_partitions
+from .partition_io import (
+    CheckpointCorruptionError,
+    PartitionCheckpoint,
+    load_partitions,
+    save_partitions,
+)
 from .window import WindowedPartitioner
 from .master_rules import (
     LDG,
@@ -84,6 +89,7 @@ __all__ = [
     "read_bytes_for_range",
     "read_bytes_for_ranges",
     "PartitionCheckpoint",
+    "CheckpointCorruptionError",
     "ValidationReport",
     "check_csr",
     "check_partition",

@@ -46,6 +46,8 @@ from ..runtime.faults import (
     RecoveryManager,
     UnrecoverableClusterError,
 )
+from ..runtime.stats import PhaseReport, TimeBreakdown
+from ..runtime.supervisor import DeadlinePolicy, RunSupervisor
 from .assignment_phase import assignment_from_owners, run_edge_assignment
 from .construction_phase import run_allocation, run_construction
 from .contracts import contract_context_for
@@ -102,7 +104,25 @@ class CuSP:
         :attr:`last_fault_report` describes what happened.
     checkpoint_dir:
         Directory for durable per-phase checkpoints (in-memory snapshots
-        when ``None``).
+        when ``None``).  Durable checkpoints are written atomically and
+        digest-verified on every load.
+    resume:
+        Resume an interrupted run from ``checkpoint_dir``: the manifest
+        is validated, completed stages are digest-verified in order
+        (falling back to the longest verified prefix), the injector/
+        recovery/supervisor state recorded with the last verified stage
+        is restored, and only the remaining phases execute — producing a
+        partition and :class:`~repro.runtime.stats.TimeBreakdown`
+        bit-identical to an uninterrupted run.
+    supervise:
+        Run supervision (:class:`~repro.runtime.supervisor.
+        RunSupervisor`): ``True`` derives per-phase soft/hard deadlines
+        from the cost model with the default
+        :class:`~repro.runtime.supervisor.DeadlinePolicy` (or pass a
+        policy instance) and quarantines hosts breaching the hard
+        deadline, migrating their read slices to healthy hosts; the
+        migration's re-reads are charged to the cost model.
+        ``last_supervisor_report`` exposes the deadline history.
     max_retries:
         Retry budget, both per send (transient failures/drops) and per
         phase (crash replays).
@@ -144,11 +164,15 @@ class CuSP:
         executor=None,
         sanitizer=None,
         fabric: str | None = None,
+        resume: bool = False,
+        supervise: bool | DeadlinePolicy = False,
     ):
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
         self.num_partitions = num_partitions
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.cost_model = cost_model
@@ -177,6 +201,10 @@ class CuSP:
                     )
         self.fault_plan = fault_plan
         self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        if isinstance(supervise, DeadlinePolicy):
+            supervise.validate()
+        self.supervise = supervise
         self.max_retries = max_retries
         self.executor = executor
         #: Message fabric: ``"columnar"`` (default) ships typed
@@ -195,6 +223,9 @@ class CuSP:
         #: :meth:`partition` call (None before the first call, or when no
         #: fault plan is attached).
         self.last_fault_report: FaultReport | None = None
+        #: :class:`~repro.runtime.supervisor.RunSupervisor` of the most
+        #: recent :meth:`partition` call (None unless ``supervise``).
+        self.last_supervisor_report: RunSupervisor | None = None
 
     def _effective_host_speeds(self):
         """Merge the straggler knob with the fault plan's slow hosts."""
@@ -268,8 +299,79 @@ class CuSP:
                 "num_nodes": graph.num_nodes,
                 "num_edges": graph.num_edges,
             },
+            injector=injector,
+            resume=self.resume,
         )
+        supervisor = None
+        if self.supervise:
+            supervisor = RunSupervisor(
+                self.cost_model,
+                recovery,
+                policy=(
+                    self.supervise
+                    if isinstance(self.supervise, DeadlinePolicy)
+                    else None
+                ),
+                injector=injector,
+            )
+        self.last_supervisor_report = supervisor
+
+        #: Reports of phases completed by the interrupted process (resume
+        #: only); prepended to this process's breakdown at the end.
+        prior_reports: list[PhaseReport] = []
+        done: list[str] = []
+        if self.resume:
+            done = checkpoint.completed()
+            if done:
+                state = checkpoint.runtime_state(done[-1])
+                if state is None:
+                    raise ValueError(
+                        f"cannot resume: stage {done[-1]!r} carries no "
+                        "runtime state; the checkpoint predates resume "
+                        "support"
+                    )
+                prior_reports = [
+                    PhaseReport.from_dict(d) for d in state["phase_reports"]
+                ]
+                if injector is not None and state.get("injector") is not None:
+                    injector.restore_state(state["injector"])
+                recovery.restore_state(state["recovery"])
+                if supervisor is not None and state.get("supervisor") is not None:
+                    supervisor.restore_state(state["supervisor"])
+            logger.info(
+                "resuming from %s: %d stage(s) verified%s",
+                self.checkpoint_dir, len(done),
+                (
+                    f" (fell back at {checkpoint.fallback_stage!r})"
+                    if checkpoint.fallback_stage
+                    else ""
+                ),
+            )
         prop = GraphProp(graph, k)
+
+        def snapshot_runtime(stage):
+            """Record restorable run state alongside ``stage``'s arrays.
+
+            Written into the same atomic manifest update as the stage
+            save, so a resumed process restores state that is exactly
+            consistent with the arrays it replays from.
+            """
+            reports = prior_reports + [
+                s.report(self.cost_model) for s in cluster.phase_stats
+            ]
+            checkpoint.set_runtime_state(
+                stage,
+                {
+                    "phase_reports": [r.to_dict() for r in reports],
+                    "injector": (
+                        None if injector is None else injector.state_dict()
+                    ),
+                    "recovery": recovery.state_dict(),
+                    "supervisor": (
+                        None if supervisor is None else supervisor.state_dict()
+                    ),
+                },
+            )
 
         def recoverable(name, body, charge_reread=True):
             """Run one phase; on a host crash, reassign and replay.
@@ -293,6 +395,14 @@ class CuSP:
                                     read_bytes_for_range(graph, start, stop),
                                 )
                         result = body(ph)
+                    if supervisor is not None:
+                        quarantined = supervisor.after_phase(ph)
+                        for host in quarantined:
+                            logger.warning(
+                                "host %d breached the hard deadline in %r; "
+                                "quarantined, slices migrate to healthy "
+                                "hosts", host, name,
+                            )
                     return result
                 except HostCrashError as exc:
                     attempt += 1
@@ -329,13 +439,15 @@ class CuSP:
                 ],
             )
 
-        recoverable(PHASE_NAMES[0], phase_reading, charge_reread=False)
-        ranges = [
-            (int(start), int(stop))
-            for start, stop in checkpoint.roundtrip(
+        if "reading" in done:
+            ranges_blob = checkpoint.load("reading")["ranges"]
+        else:
+            recoverable(PHASE_NAMES[0], phase_reading, charge_reread=False)
+            snapshot_runtime("reading")
+            ranges_blob = checkpoint.roundtrip(
                 "reading", ranges=np.asarray(ranges, dtype=np.int64)
             )["ranges"]
-        ]
+        ranges = [(int(start), int(stop)) for start, stop in ranges_blob]
 
         # Phase 2: master assignment.
         def phase_masters(ph):
@@ -346,8 +458,17 @@ class CuSP:
                 fabric=self.fabric,
             )
 
-        ma = recoverable(PHASE_NAMES[1], phase_masters)
-        masters = checkpoint.roundtrip("masters", masters=ma.masters)["masters"]
+        ma = None
+        if "masters" in done:
+            # A fresh process's policy state equals the post-phase reset,
+            # so no live MasterAssignment is needed past this stage.
+            masters = checkpoint.load("masters")["masters"]
+        else:
+            ma = recoverable(PHASE_NAMES[1], phase_masters)
+            snapshot_runtime("masters")
+            masters = checkpoint.roundtrip("masters", masters=ma.masters)[
+                "masters"
+            ]
 
         # Phase 3: edge assignment.
         def phase_edges(ph):
@@ -355,31 +476,45 @@ class CuSP:
                 ph, prop, self.policy, ranges, masters, fabric=self.fabric
             )
 
-        live_assignment = recoverable(PHASE_NAMES[2], phase_edges)
-        owner_blob = checkpoint.roundtrip(
-            "assignment",
-            **{f"owners_{h}": live_assignment.owners[h] for h in range(k)},
-        )
-        assignment = assignment_from_owners(
-            prop, ranges, [owner_blob[f"owners_{h}"] for h in range(k)]
-        )
-        # The owner grouping is a pure function of (owners, edges), both
-        # of which round-trip bit-identically through the checkpoint, so
-        # phases 4/5 reuse the grouping phase 3 already computed.
-        assignment.adopt_groups(live_assignment)
+        if "assignment" in done:
+            owner_blob = checkpoint.load("assignment")
+            assignment = assignment_from_owners(
+                prop, ranges, [owner_blob[f"owners_{h}"] for h in range(k)]
+            )
+        else:
+            live_assignment = recoverable(PHASE_NAMES[2], phase_edges)
+            snapshot_runtime("assignment")
+            owner_blob = checkpoint.roundtrip(
+                "assignment",
+                **{f"owners_{h}": live_assignment.owners[h] for h in range(k)},
+            )
+            assignment = assignment_from_owners(
+                prop, ranges, [owner_blob[f"owners_{h}"] for h in range(k)]
+            )
+            # The owner grouping is a pure function of (owners, edges),
+            # both of which round-trip bit-identically through the
+            # checkpoint, so phases 4/5 reuse the grouping phase 3
+            # already computed.  (A resumed run recomputes it from the
+            # same inputs, with the same result.)
+            assignment.adopt_groups(live_assignment)
 
         # Phase 4: graph allocation.  Partitioning state is reset so rule
         # re-evaluation during construction reproduces the same decisions.
         def phase_alloc(ph):
-            ma.state.reset()
+            if ma is not None:
+                ma.state.reset()
             return run_allocation(
                 ph, prop, assignment, masters, fabric=self.fabric
             )
 
-        proxies = recoverable(PHASE_NAMES[3], phase_alloc)
-        proxy_blob = checkpoint.roundtrip(
-            "allocation", **{f"proxies_{h}": proxies[h] for h in range(k)}
-        )
+        if "allocation" in done:
+            proxy_blob = checkpoint.load("allocation")
+        else:
+            proxies = recoverable(PHASE_NAMES[3], phase_alloc)
+            snapshot_runtime("allocation")
+            proxy_blob = checkpoint.roundtrip(
+                "allocation", **{f"proxies_{h}": proxies[h] for h in range(k)}
+            )
         proxies = [proxy_blob[f"proxies_{h}"] for h in range(k)]
 
         # Phase 5: graph construction.
@@ -397,13 +532,19 @@ class CuSP:
                 events=tuple(injector.events),
                 crash_log=tuple(recovery.crash_log),
                 replays=recovery.replays,
+                straggler_log=tuple(recovery.straggler_log),
+                torn_repairs=checkpoint.torn_repairs,
             )
             if injector.events:
                 logger.info("fault report: %s", self.last_fault_report.summary())
         else:
             self.last_fault_report = None
+        if supervisor is not None and supervisor.mitigations:
+            logger.info("supervisor: %s", supervisor.summary())
 
-        breakdown = cluster.breakdown()
+        breakdown = TimeBreakdown(
+            prior_reports + cluster.breakdown().phases
+        )
         logger.info(
             "partitioned with %s in %.6f simulated seconds "
             "(%.0f KB exchanged)",

@@ -24,6 +24,7 @@ from .faults import (
     UnrecoverableClusterError,
 )
 from .stats import PhaseReport, PhaseStats, TimeBreakdown
+from .supervisor import DeadlinePolicy, PhaseDeadline, RunSupervisor
 from .memory import (
     MemoryBudgetExceeded,
     check_memory,
@@ -50,6 +51,9 @@ __all__ = [
     "PhaseReport",
     "PhaseStats",
     "TimeBreakdown",
+    "DeadlinePolicy",
+    "PhaseDeadline",
+    "RunSupervisor",
     "FaultPlan",
     "HostCrash",
     "FaultInjector",

@@ -33,6 +33,7 @@ model.  See ``docs/PERFORMANCE.md`` for the design rationale.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Iterator, Protocol, Sequence
 
 import numpy as np
@@ -180,6 +181,26 @@ class MessageBatch:
         return self.rows * self.schema.row_nbytes + SCALAR_NBYTES * len(
             self.scalars
         )
+
+    def checksum(self) -> int:
+        """CRC-32 over the batch's serialized content (columns + scalars).
+
+        This is the per-block integrity check of the reliable transport:
+        a sender stamps each flushed block, the receiver recomputes the
+        CRC and re-requests any block whose checksum disagrees — the
+        ``corrupt-payload`` fault family.  In the simulation payloads are
+        delivered by reference, so delivery stays exactly-once while the
+        injector charges the re-request + retransmission cost; the
+        checksum itself is real, and any bit flip in a column or scalar
+        changes it.
+        """
+        crc = 0
+        for (name, dt), col in zip(self.schema.columns, self.columns):
+            crc = zlib.crc32(name.encode(), crc)
+            crc = zlib.crc32(np.ascontiguousarray(col).tobytes(), crc)
+        for value in self.scalars:
+            crc = zlib.crc32(repr(value).encode(), crc)
+        return crc
 
     def column(self, name: str) -> np.ndarray:
         return self.columns[self.schema.names.index(name)]

@@ -71,6 +71,8 @@ class _RetrySink(Protocol):
 
     def charge_duplicate(self, dst: int, size: int) -> None: ...
 
+    def charge_corruption(self, dst: int, size: int) -> None: ...
+
 
 #: Scalar types that serialize to one machine word.  ``np.bool_`` is
 #: listed explicitly: under NumPy 2 it is no longer a ``bool``/``int``
@@ -248,6 +250,16 @@ class Communicator:
             if attempt > self.max_retries:
                 raise SendRetriesExhausted(
                     f"send {src}->{dst} dropped {self.max_retries} times"
+                )
+        # Corrupted delivery: the receiver's block checksum rejects the
+        # payload and sends a re-request; the sender retransmits (the
+        # retransmission may be corrupted again).
+        while channel.corrupted(dst):
+            retry_sink.charge_corruption(dst, size)
+            attempt += 1
+            if attempt > self.max_retries:
+                raise SendRetriesExhausted(
+                    f"send {src}->{dst} corrupted {self.max_retries} times"
                 )
         # Duplicated delivery: the receiver dedups, the wire paid twice.
         if channel.duplicated(dst):
@@ -521,6 +533,13 @@ class _DirectRetrySink:
         self.comm.retry_bytes[self.src, dst] += size
         self.comm.retry_messages[self.src, dst] += 1
 
+    def charge_corruption(self, dst: int, size: int) -> None:
+        # A checksum failure costs two wire messages on the src->dst
+        # channel: the receiver's one-word re-request plus the sender's
+        # full retransmission (matching retry_event_channels' weight 2).
+        self.comm.retry_bytes[self.src, dst] += size + 8
+        self.comm.retry_messages[self.src, dst] += 2
+
 
 class CommLedger:
     """Private per-host recording view over a :class:`Communicator`.
@@ -616,3 +635,10 @@ class CommLedger:
             isolation.guard_owned(self.host, "CommLedger.charge_duplicate")
         self.retry_bytes[dst] += size
         self.retry_messages[dst] += 1
+
+    def charge_corruption(self, dst: int, size: int) -> None:
+        if isolation._depth:
+            isolation.guard_owned(self.host, "CommLedger.charge_corruption")
+        # Re-request (one word) + retransmission, as in _DirectRetrySink.
+        self.retry_bytes[dst] += size + 8
+        self.retry_messages[dst] += 2

@@ -30,10 +30,20 @@ executor's thread pool, whatever the thread interleaving — which is what
 makes the recovery guarantee testable: a faulty run must converge to the
 same partition as the fault-free run, on every executor.
 
-Functional payloads are never corrupted: retries, retransmissions and
-duplicates are charged to the byte/message accounting (and therefore to
-the simulated breakdown) while delivery stays exactly-once, mirroring a
-reliable transport over a lossy fabric.
+* **payload corruption** — a delivered message fails its per-block
+  checksum at the receiver, which issues a re-request; the sender
+  retransmits, so one corrupt event charges *two* retry messages (the
+  re-request plus the retransmission);
+* **torn checkpoint writes** — a planned stage of the durable
+  checkpoint store is written truncated (simulating kill -9 mid-write);
+  digest verification detects and repairs it
+  (:class:`~repro.core.partition_io.PartitionCheckpoint`).
+
+Functional payloads are never *delivered* corrupted: retries,
+retransmissions, re-requests and duplicates are charged to the
+byte/message accounting (and therefore to the simulated breakdown)
+while delivery stays exactly-once, mirroring a reliable checksummed
+transport over a lossy fabric.
 
 The columnar fabric (:mod:`repro.runtime.colfab`) changes none of this:
 a ``send_batch`` — including each per-(peer, tag) block a
@@ -53,29 +63,41 @@ from typing import Any, Iterable, Mapping
 
 import numpy as np
 
-#: One injected-fault log entry: ``("crash", phase, host)`` or
-#: ``("send-failure" | "drop" | "duplicate", phase, src, dst)``.
+#: One injected-fault log entry: ``("crash", phase, host)``,
+#: ``("torn-checkpoint", phase, stage)``, ``("straggler", phase, host)``
+#: or ``("send-failure" | "drop" | "duplicate" | "corrupt-payload",
+#: phase, src, dst)``.
 FaultEvent = tuple[str | int | None, ...]
 
-#: Event kinds that correspond to exactly one charged retransmission.
-_RETRY_EVENT_KINDS = frozenset({"send-failure", "drop", "duplicate"})
+#: Retry messages charged per event of each kind.  A corrupt payload is
+#: detected by the receiver's block checksum, which sends a re-request
+#: before the sender retransmits — two messages on the wire.
+_RETRY_EVENT_WEIGHTS = {
+    "send-failure": 1,
+    "drop": 1,
+    "duplicate": 1,
+    "corrupt-payload": 2,
+}
 
 
 def retry_event_channels(events: Iterable[FaultEvent]) -> dict[tuple[int, int], int]:
-    """Per-(src, dst) count of retry-charging events in ``events``.
+    """Per-(src, dst) count of charged retry messages in ``events``.
 
-    Every ``send-failure``/``drop``/``duplicate`` event is drawn
-    immediately before its retransmission is charged, so for any window
-    of the injector's event stream this count must equal the retry
-    messages charged on the same channels — the conservation law the
-    contract sanitizer checks at every phase barrier.  Crash events
-    charge nothing and are ignored.
+    Every message-fault event is drawn immediately before its retry
+    traffic is charged — one retransmission for ``send-failure``/
+    ``drop``/``duplicate``, a re-request *plus* a retransmission for
+    ``corrupt-payload`` — so for any window of the injector's event
+    stream this weighted count must equal the retry messages charged on
+    the same channels: the conservation law the contract sanitizer
+    checks at every phase barrier.  Crash, straggler and
+    torn-checkpoint events charge no wire traffic and are ignored.
     """
     counts: dict[tuple[int, int], int] = {}
     for event in events:
-        if event[0] in _RETRY_EVENT_KINDS:
+        weight = _RETRY_EVENT_WEIGHTS.get(event[0])  # type: ignore[arg-type]
+        if weight is not None:
             key = (int(event[2]), int(event[3]))  # type: ignore[arg-type]
-            counts[key] = counts.get(key, 0) + 1
+            counts[key] = counts.get(key, 0) + weight
     return counts
 
 
@@ -150,13 +172,24 @@ class FaultPlan:
     drop_rate: float = 0.0
     #: Probability that a delivered message arrives twice on the wire.
     duplicate_rate: float = 0.0
+    #: Probability that a delivered message fails its block checksum at
+    #: the receiver (re-requested and retransmitted; never delivered).
+    corrupt_rate: float = 0.0
     crashes: tuple[HostCrash, ...] = ()
     #: Per-host compute-speed factors (host -> factor, 0 < factor <= 1
     #: slows the host down; factors multiply any ``host_speeds`` setting).
     slow_hosts: Mapping[int, float] = field(default_factory=dict)
+    #: Checkpoint stages (e.g. ``"masters"``) whose first durable write
+    #: is torn — truncated mid-write as by kill -9 — once per run.
+    torn_checkpoints: tuple[str, ...] = ()
 
     def validate(self) -> None:
-        for name in ("send_failure_rate", "drop_rate", "duplicate_rate"):
+        for name in (
+            "send_failure_rate",
+            "drop_rate",
+            "duplicate_rate",
+            "corrupt_rate",
+        ):
             rate = getattr(self, name)
             if not (0.0 <= rate < 1.0):
                 raise ValueError(f"{name} must be in [0, 1), got {rate}")
@@ -170,6 +203,11 @@ class FaultPlan:
         for host, factor in self.slow_hosts.items():
             if int(host) < 0 or not float(factor) > 0:
                 raise ValueError("slow_hosts needs host >= 0 and factor > 0")
+        for stage in self.torn_checkpoints:
+            if not isinstance(stage, str) or not stage:
+                raise ValueError(
+                    f"torn_checkpoints entries must be stage names, got {stage!r}"
+                )
 
     def is_null(self) -> bool:
         """True when the plan injects nothing at all."""
@@ -177,8 +215,10 @@ class FaultPlan:
             self.send_failure_rate == 0.0
             and self.drop_rate == 0.0
             and self.duplicate_rate == 0.0
+            and self.corrupt_rate == 0.0
             and not self.crashes
             and not self.slow_hosts
+            and not self.torn_checkpoints
         )
 
     def with_seed(self, seed: int) -> "FaultPlan":
@@ -198,14 +238,25 @@ class FaultPlan:
           this class (``crashes`` is a list of ``{"host", "phase",
           "op_count"}`` objects, ``slow_hosts`` maps host -> factor);
         * a compact ``key=value`` list:
-          ``seed=42,send-fail=0.05,drop=0.01,dup=0.01,crash=1@2,``
-          ``crash=0@3:25,slow=3:0.5`` where ``crash=HOST@PHASE[:OPS]``
-          uses a phase index and ``slow=HOST:FACTOR``.
+          ``seed=42,send-fail=0.05,drop=0.01,dup=0.01,corrupt=0.01,``
+          ``crash=1@2,crash=0@3:25,slow=3:0.5,torn=masters`` where
+          ``crash=HOST@PHASE[:OPS]`` uses a phase index,
+          ``slow=HOST:FACTOR`` slows one host and ``torn=STAGE`` tears
+          one checkpoint stage's write.
         """
         spec = spec.strip()
         if spec.startswith("@"):
-            with open(spec[1:]) as f:
-                return cls.from_json(f.read())
+            path = spec[1:]
+            try:
+                with open(path) as f:
+                    text = f.read()
+            except OSError as exc:
+                raise ValueError(
+                    f"cannot read fault plan file {path!r}: {exc}; the "
+                    "@file form of --inject-faults needs a readable JSON "
+                    "plan document"
+                ) from exc
+            return cls.from_json(text)
         if spec.startswith("{"):
             return cls.from_json(spec)
         return cls._from_compact(spec)
@@ -229,8 +280,12 @@ class FaultPlan:
             send_failure_rate=float(doc.get("send_failure_rate", 0.0)),
             drop_rate=float(doc.get("drop_rate", 0.0)),
             duplicate_rate=float(doc.get("duplicate_rate", 0.0)),
+            corrupt_rate=float(doc.get("corrupt_rate", 0.0)),
             crashes=crashes,
             slow_hosts=slow,
+            torn_checkpoints=tuple(
+                str(s) for s in doc.get("torn_checkpoints", ())
+            ),
         )
         plan.validate()
         return plan
@@ -246,7 +301,10 @@ class FaultPlan:
             "drop_rate": "drop_rate",
             "dup": "duplicate_rate",
             "duplicate_rate": "duplicate_rate",
+            "corrupt": "corrupt_rate",
+            "corrupt_rate": "corrupt_rate",
         }
+        torn: list[str] = []
         for item in filter(None, (part.strip() for part in spec.split(","))):
             if "=" not in item:
                 raise ValueError(f"expected key=value in fault spec, got {item!r}")
@@ -273,9 +331,12 @@ class FaultPlan:
                 if not factor:
                     raise ValueError(f"slow spec needs HOST:FACTOR, got {value!r}")
                 kwargs["slow_hosts"][int(host_part)] = float(factor)
+            elif key == "torn":
+                torn.append(value.strip())
             else:
                 raise ValueError(f"unknown fault spec key {key!r}")
         kwargs["crashes"] = tuple(kwargs["crashes"])
+        kwargs["torn_checkpoints"] = tuple(torn)
         plan = cls(**kwargs)
         plan.validate()
         return plan
@@ -288,11 +349,15 @@ class FaultPlan:
             parts.append(f"drop={self.drop_rate:g}")
         if self.duplicate_rate:
             parts.append(f"dup={self.duplicate_rate:g}")
+        if self.corrupt_rate:
+            parts.append(f"corrupt={self.corrupt_rate:g}")
         for c in self.crashes:
             where = f"{c.phase}" + (f":{c.op_count}" if c.op_count else "")
             parts.append(f"crash={c.host}@{where}")
         for h, f in sorted(self.slow_hosts.items()):
             parts.append(f"slow={h}:{f:g}")
+        for stage in self.torn_checkpoints:
+            parts.append(f"torn={stage}")
         return ",".join(parts)
 
 
@@ -369,6 +434,9 @@ class HostFaultChannel:
     def duplicated(self, dst: int) -> bool:
         return self._draw("duplicate", self.injector.plan.duplicate_rate, dst)
 
+    def corrupted(self, dst: int) -> bool:
+        return self._draw("corrupt-payload", self.injector.plan.corrupt_rate, dst)
+
 
 class FaultInjector:
     """Stateful executor of a :class:`FaultPlan`.
@@ -385,6 +453,7 @@ class FaultInjector:
         plan.validate()
         self.plan = plan
         self._fired: set[int] = set()
+        self._torn_fired: set[str] = set()
         self._phase: str | None = None
         self._phase_order: list[str] = []
         #: Phase attempts opened so far (replays count); salts the
@@ -456,6 +525,48 @@ class FaultInjector:
     def duplicated(self, src: int, dst: int) -> bool:
         return self.channel(src).duplicated(dst)
 
+    def corrupted(self, src: int, dst: int) -> bool:
+        return self.channel(src).corrupted(dst)
+
+    # ------------------------------------------------------------------
+    # Checkpoint faults (driven by PartitionCheckpoint)
+    # ------------------------------------------------------------------
+    def torn_checkpoint(self, stage: str) -> bool:
+        """True when ``stage``'s durable write should be torn (once)."""
+        if stage not in self.plan.torn_checkpoints or stage in self._torn_fired:
+            return False
+        self._torn_fired.add(stage)
+        self.events.append(("torn-checkpoint", self._phase, stage))
+        return True
+
+    # ------------------------------------------------------------------
+    # Cross-process resume
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the injector's restorable state.
+
+        Restoring it in a fresh process reproduces the remaining phases'
+        channel seeds (``attempt``), crash bookkeeping and event log, so
+        a resumed run injects the same fault sequence an uninterrupted
+        run would have from that point on.
+        """
+        return {
+            "attempt": self.attempt,
+            "fired": sorted(self._fired),
+            "torn_fired": sorted(self._torn_fired),
+            "phase_order": list(self._phase_order),
+            "events": [list(e) for e in self.events],
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        self.attempt = int(state["attempt"])
+        self._fired = {int(i) for i in state["fired"]}
+        self._torn_fired = {str(s) for s in state.get("torn_fired", ())}
+        self._phase_order = [str(p) for p in state["phase_order"]]
+        self.events = [tuple(e) for e in state["events"]]
+        self._phase = None
+        self._channels = {}
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -476,6 +587,14 @@ class RecoveryManager:
     re-read the slot's graph slice from disk before replaying — the
     logical schedule itself never changes, which is what makes recovery
     produce a partition bit-identical to the fault-free run.
+
+    Stragglers are handled the same way, short of declaring the host
+    dead: :meth:`on_straggler` *quarantines* a host the run supervisor
+    found breaching its hard phase deadline, moving its slots (and the
+    matching charged re-reads) to healthy hosts.  A quarantined host
+    stays alive — it merely receives no further slots — so mitigation
+    only re-times the run; the logical schedule, and with it the output
+    partition, is unchanged.
     """
 
     def __init__(self, num_hosts: int):
@@ -483,9 +602,14 @@ class RecoveryManager:
             raise ValueError("num_hosts must be >= 1")
         self.num_hosts = num_hosts
         self.alive = np.ones(num_hosts, dtype=bool)
+        #: Hosts the supervisor quarantined for straggling (still alive,
+        #: but excluded from new slot assignments).
+        self.quarantined = np.zeros(num_hosts, dtype=bool)
         #: executors[slot] = physical host currently executing the slot.
         self.executors_map = np.arange(num_hosts, dtype=np.int64)
         self.crash_log: list[tuple[str | None, int]] = []
+        #: (phase, host) for every quarantined straggler.
+        self.straggler_log: list[tuple[str | None, int]] = []
         self.replays = 0
         self._pending_reread: list[int] = []
 
@@ -509,12 +633,42 @@ class RecoveryManager:
             self.executors_map[slot] = self._least_loaded_survivor()
         self._pending_reread.extend(int(s) for s in lost)
 
+    def on_straggler(self, host: int, phase: str | None) -> bool:
+        """Quarantine a straggling host and migrate its slots.
+
+        Returns False (and does nothing) when ``host`` is already dead
+        or quarantined, or when quarantining it would leave no healthy
+        host — a cluster of stragglers has no fast host to migrate to,
+        so the run must simply wait.  Migrated slots join the pending
+        re-read list; the framework charges their disk re-reads exactly
+        as it does for crash recovery.
+        """
+        host = int(host)
+        if (
+            not (0 <= host < self.num_hosts)
+            or not self.alive[host]
+            or self.quarantined[host]
+        ):
+            return False
+        remaining = self.alive & ~self.quarantined
+        remaining[host] = False
+        if not remaining.any():
+            return False
+        self.quarantined[host] = True
+        self.straggler_log.append((phase, host))
+        moved = np.flatnonzero(self.executors_map == host)
+        for slot in moved:
+            self.executors_map[slot] = self._least_loaded_survivor()
+        self._pending_reread.extend(int(s) for s in moved)
+        return True
+
     def _least_loaded_survivor(self) -> int:
-        survivors = np.flatnonzero(self.alive)
+        healthy = self.alive & ~self.quarantined
+        pool = np.flatnonzero(healthy) if healthy.any() else np.flatnonzero(self.alive)
         loads = np.array(
-            [(self.executors_map == p).sum() for p in survivors], dtype=np.int64
+            [(self.executors_map == p).sum() for p in pool], dtype=np.int64
         )
-        return int(survivors[int(np.argmin(loads))])
+        return int(pool[int(np.argmin(loads))])
 
     def drain_rereads(self) -> list[int]:
         """Logical slots whose graph slice must be re-read from disk."""
@@ -524,6 +678,32 @@ class RecoveryManager:
     @property
     def num_dead(self) -> int:
         return int((~self.alive).sum())
+
+    # ------------------------------------------------------------------
+    # Cross-process resume
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the recovery state."""
+        return {
+            "alive": [bool(a) for a in self.alive],
+            "quarantined": [bool(q) for q in self.quarantined],
+            "executors_map": [int(e) for e in self.executors_map],
+            "crash_log": [list(entry) for entry in self.crash_log],
+            "straggler_log": [list(entry) for entry in self.straggler_log],
+            "replays": self.replays,
+            "pending_reread": list(self._pending_reread),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        self.alive = np.array(state["alive"], dtype=bool)
+        self.quarantined = np.array(state["quarantined"], dtype=bool)
+        self.executors_map = np.array(state["executors_map"], dtype=np.int64)
+        self.crash_log = [(p, int(h)) for p, h in state["crash_log"]]
+        self.straggler_log = [
+            (p, int(h)) for p, h in state.get("straggler_log", ())
+        ]
+        self.replays = int(state["replays"])
+        self._pending_reread = [int(s) for s in state["pending_reread"]]
 
 
 @dataclass(frozen=True)
@@ -537,18 +717,28 @@ class FaultReport:
     crash_log: tuple[tuple[str | None, int], ...]
     #: Number of phase replays performed.
     replays: int
+    #: (phase, host) for every straggler the supervisor quarantined.
+    straggler_log: tuple[tuple[str | None, int], ...] = ()
+    #: Torn durable-checkpoint writes detected and repaired by digest
+    #: verification.
+    torn_repairs: int = 0
 
     def counts(self) -> dict[str, int]:
         out: dict[str, int] = {}
         for event in self.events:
-            out[event[0]] = out.get(event[0], 0) + 1
+            key = str(event[0])
+            out[key] = out.get(key, 0) + 1
         return out
 
     def summary(self) -> str:
         counts = self.counts()
-        if not counts and not self.replays:
+        if not counts and not self.replays and not self.straggler_log:
             return "no faults injected"
         bits = [f"{n} {kind}(s)" for kind, n in sorted(counts.items())]
         if self.replays:
             bits.append(f"{self.replays} phase replay(s)")
+        if self.straggler_log:
+            bits.append(f"{len(self.straggler_log)} straggler(s) quarantined")
+        if self.torn_repairs:
+            bits.append(f"{self.torn_repairs} torn write(s) repaired")
         return ", ".join(bits)

@@ -82,15 +82,18 @@ class PhaseStats:
             return np.arange(self.num_hosts, dtype=np.int64)
         return np.asarray(self.host_map, dtype=np.int64)
 
-    def report(self, model: CostModel) -> "PhaseReport":
-        """Evaluate this phase under ``model``.
+    def per_host_times(
+        self, model: CostModel
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-physical-host phase times under ``model``.
 
-        The phase is bulk-synchronous: its duration is the slowest host's
-        disk + compute + point-to-point communication time, plus the cost
-        of collectives and barriers (which involve every host).  When a
-        ``host_map`` is set, each logical slot's work is first folded onto
-        the physical host executing it, so a survivor that adopted a dead
-        host's slice pays for both.
+        Folds each logical slot's recorded work onto the physical host
+        executing it (the ``host_map``) and returns ``(total, disk,
+        compute, comm)`` vectors indexed by physical host, excluding
+        collectives/barriers (which involve every host equally).  This
+        is both the inner loop of :meth:`report` and the signal the run
+        supervisor's straggler detector reads: a host whose total is far
+        above its peers' is holding the bulk-synchronous barrier hostage.
         """
         executor = self._executor_of()
         disk = np.zeros(self.num_hosts, dtype=np.float64)
@@ -110,8 +113,9 @@ class PhaseStats:
 
         disk_times = model.disk_time(list(disk))
         per_host = np.zeros(self.num_hosts, dtype=np.float64)
-        disk_part = comp_part = comm_part = 0.0
-        slowest = 0
+        disk_v = np.zeros(self.num_hosts, dtype=np.float64)
+        comp_v = np.zeros(self.num_hosts, dtype=np.float64)
+        comm_v = np.zeros(self.num_hosts, dtype=np.float64)
         for h in range(self.num_hosts):
             d = disk_times[h]
             c = model.compute_time(float(units[h]))
@@ -123,10 +127,29 @@ class PhaseStats:
             # (paper §IV-D1), so communication overlaps computation: a
             # host's phase time is its disk time plus whichever of
             # compute/communication dominates.
+            disk_v[h], comp_v[h], comm_v[h] = d, c, m
             per_host[h] = d + max(c, m)
+        return per_host, disk_v, comp_v, comm_v
+
+    def report(self, model: CostModel) -> "PhaseReport":
+        """Evaluate this phase under ``model``.
+
+        The phase is bulk-synchronous: its duration is the slowest host's
+        disk + compute + point-to-point communication time, plus the cost
+        of collectives and barriers (which involve every host).  When a
+        ``host_map`` is set, each logical slot's work is first folded onto
+        the physical host executing it, so a survivor that adopted a dead
+        host's slice pays for both.
+        """
+        per_host, disk_v, comp_v, comm_v = self.per_host_times(model)
+        disk_part = comp_part = comm_part = 0.0
+        slowest = 0
+        for h in range(self.num_hosts):
             if per_host[h] >= per_host[slowest]:
                 slowest = h
-                disk_part, comp_part, comm_part = d, c, m
+                disk_part = float(disk_v[h])
+                comp_part = float(comp_v[h])
+                comm_part = float(comm_v[h])
         collective = sum(
             model.allreduce_time(
                 nbytes, self.num_hosts, blocking=(kind != "allreduce-async")
@@ -168,6 +191,43 @@ class PhaseReport:
     retry_messages: float = 0.0
     #: True for a phase attempt that aborted (host crash) and was replayed.
     failed: bool = False
+
+    def to_dict(self) -> dict[str, str | float | bool]:
+        """JSON-serializable form (for checkpointed runtime state).
+
+        Floats survive a JSON round-trip bit-exactly, so a resumed run's
+        restored reports equal the originals — which is what makes the
+        resumed :class:`TimeBreakdown` *exactly* the uninterrupted one.
+        """
+        return {
+            "name": self.name,
+            "total": self.total,
+            "disk": self.disk,
+            "compute": self.compute,
+            "comm": self.comm,
+            "collective": self.collective,
+            "comm_bytes": self.comm_bytes,
+            "comm_messages": self.comm_messages,
+            "retry_bytes": self.retry_bytes,
+            "retry_messages": self.retry_messages,
+            "failed": self.failed,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "PhaseReport":
+        return cls(
+            name=str(doc["name"]),
+            total=float(doc["total"]),
+            disk=float(doc["disk"]),
+            compute=float(doc["compute"]),
+            comm=float(doc["comm"]),
+            collective=float(doc["collective"]),
+            comm_bytes=float(doc["comm_bytes"]),
+            comm_messages=float(doc["comm_messages"]),
+            retry_bytes=float(doc["retry_bytes"]),
+            retry_messages=float(doc["retry_messages"]),
+            failed=bool(doc["failed"]),
+        )
 
 
 @dataclass

@@ -1,0 +1,203 @@
+"""Run supervision: phase deadlines and straggler mitigation.
+
+A bulk-synchronous partitioner is hostage to its slowest host: every
+phase barrier waits for the last arrival, so one degraded host (thermal
+throttling, a failing disk, a noisy neighbour) stretches the whole run
+— the paper's homogeneous-Stampede2 assumption does not survive contact
+with real clusters.  :class:`RunSupervisor` closes that gap for the
+simulated cluster:
+
+* After every successful phase it evaluates the phase's
+  :meth:`~repro.runtime.stats.PhaseStats.per_host_times` under the run's
+  cost model and derives a *baseline* (the median over the healthy hosts
+  that executed work) plus **soft** and **hard deadlines** as
+  multiples of it (:class:`DeadlinePolicy`).
+* A host over the soft deadline is recorded as a breach (visible in
+  :attr:`RunSupervisor.deadlines`); a host over the hard deadline is
+  **quarantined** via :meth:`~repro.runtime.faults.RecoveryManager.
+  on_straggler`: its logical slots migrate to healthy hosts for the
+  remaining phases, and the migrated slices join the pending re-read
+  list — so the framework charges the mitigation's disk cost exactly as
+  it charges crash recovery, and CommSan audits the phases it lands in.
+* Mitigation only re-maps *physical* execution (the ``host_map``); the
+  logical phase schedule — and with it every byte on the wire and the
+  output partition — is unchanged, so a supervised run stays
+  bit-identical to an unsupervised one.
+
+Detection is deterministic: simulated per-host times are pure functions
+of the counted work and the cost model, so the same run always breaches
+(or not) at the same phase — which is what makes supervised runs
+resumable and their mitigation decisions replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from .cost_model import CostModel
+from .faults import FaultInjector, RecoveryManager
+from .stats import PhaseStats
+
+__all__ = ["DeadlinePolicy", "PhaseDeadline", "RunSupervisor"]
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """How phase deadlines are derived from the healthy-host baseline.
+
+    ``soft_factor`` × baseline is the reporting threshold; breaching it
+    records the host but changes nothing.  ``hard_factor`` × baseline
+    triggers quarantine.  Phases whose baseline is at or below
+    ``min_baseline`` (simulated seconds) are exempt: a near-zero
+    denominator would turn rounding noise into mitigations.
+    """
+
+    soft_factor: float = 2.0
+    hard_factor: float = 4.0
+    min_baseline: float = 0.0
+
+    def validate(self) -> None:
+        if not 1.0 <= self.soft_factor <= self.hard_factor:
+            raise ValueError(
+                "need 1 <= soft_factor <= hard_factor, got "
+                f"soft={self.soft_factor} hard={self.hard_factor}"
+            )
+        if self.min_baseline < 0:
+            raise ValueError(f"min_baseline must be >= 0, got {self.min_baseline}")
+
+
+@dataclass(frozen=True)
+class PhaseDeadline:
+    """One phase's deadline evaluation."""
+
+    phase: str
+    #: Median simulated time over healthy executing hosts (0 when the
+    #: phase was exempt from deadlines).
+    baseline: float
+    soft: float
+    hard: float
+    #: (host, simulated time) for every host over the soft deadline.
+    breaches: tuple[tuple[int, float], ...] = ()
+    #: Hosts quarantined for breaching the hard deadline.
+    quarantined: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "baseline": self.baseline,
+            "soft": self.soft,
+            "hard": self.hard,
+            "breaches": [list(b) for b in self.breaches],
+            "quarantined": list(self.quarantined),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "PhaseDeadline":
+        return cls(
+            phase=str(doc["phase"]),
+            baseline=float(doc["baseline"]),
+            soft=float(doc["soft"]),
+            hard=float(doc["hard"]),
+            breaches=tuple(
+                (int(h), float(t)) for h, t in doc["breaches"]
+            ),
+            quarantined=tuple(int(h) for h in doc["quarantined"]),
+        )
+
+
+class RunSupervisor:
+    """Deadline bookkeeping and straggler mitigation for one run.
+
+    The framework calls :meth:`after_phase` once per *successful* phase
+    (aborted attempts are the crash machinery's problem).  Mitigation is
+    applied between phases — the bulk-synchronous barrier has already
+    paid for the straggler's last phase; what the supervisor prevents is
+    paying again for every remaining one.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        recovery: RecoveryManager,
+        policy: DeadlinePolicy | None = None,
+        injector: FaultInjector | None = None,
+    ):
+        policy = policy if policy is not None else DeadlinePolicy()
+        policy.validate()
+        self.cost_model = cost_model
+        self.recovery = recovery
+        self.policy = policy
+        self.injector = injector
+        #: One :class:`PhaseDeadline` per supervised phase, in order.
+        self.deadlines: list[PhaseDeadline] = []
+
+    def after_phase(self, stats: PhaseStats) -> list[int]:
+        """Evaluate one completed phase; returns newly quarantined hosts."""
+        per_host, _, _, _ = stats.per_host_times(self.cost_model)
+        executing = np.unique(stats._executor_of())
+        healthy = [
+            int(h)
+            for h in executing
+            if self.recovery.alive[h] and not self.recovery.quarantined[h]
+        ]
+        baseline = float(np.median(per_host[healthy])) if healthy else 0.0
+        if baseline <= self.policy.min_baseline or baseline <= 0.0:
+            self.deadlines.append(
+                PhaseDeadline(phase=stats.name, baseline=0.0, soft=0.0, hard=0.0)
+            )
+            return []
+        soft = baseline * self.policy.soft_factor
+        hard = baseline * self.policy.hard_factor
+        breaches = tuple(
+            (h, float(per_host[h])) for h in healthy if per_host[h] > soft
+        )
+        quarantined: list[int] = []
+        for host, t in breaches:
+            if t > hard and self.recovery.on_straggler(host, stats.name):
+                quarantined.append(host)
+                if self.injector is not None:
+                    self.injector.events.append(
+                        ("straggler", stats.name, host)
+                    )
+        self.deadlines.append(
+            PhaseDeadline(
+                phase=stats.name,
+                baseline=baseline,
+                soft=soft,
+                hard=hard,
+                breaches=breaches,
+                quarantined=tuple(quarantined),
+            )
+        )
+        return quarantined
+
+    @property
+    def mitigations(self) -> list[tuple[str, int]]:
+        """(phase, host) for every quarantine this supervisor applied."""
+        return [
+            (d.phase, h) for d in self.deadlines for h in d.quarantined
+        ]
+
+    # ------------------------------------------------------------------
+    # Cross-process resume
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the supervision history."""
+        return {"deadlines": [d.to_dict() for d in self.deadlines]}
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        self.deadlines = [
+            PhaseDeadline.from_dict(d) for d in state["deadlines"]
+        ]
+
+    def summary(self) -> str:
+        soft = sum(len(d.breaches) for d in self.deadlines)
+        quarantined = sum(len(d.quarantined) for d in self.deadlines)
+        return (
+            f"{len(self.deadlines)} phase(s) supervised, "
+            f"{soft} soft-deadline breach(es), "
+            f"{quarantined} host(s) quarantined"
+        )

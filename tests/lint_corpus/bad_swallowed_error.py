@@ -1,0 +1,41 @@
+"""Corpus: except bodies that drop the exception (rule: swallowed-error)."""
+
+
+class CheckpointCorruptionError(RuntimeError):
+    pass
+
+
+def load_or_nothing(checkpoint, stage):
+    try:
+        return checkpoint.load(stage)
+    except CheckpointCorruptionError:  # a torn write vanishes here
+        pass
+
+
+def best_effort(fn):
+    try:
+        fn()
+    except Exception:
+        pass
+
+
+def really_anything(fn):
+    try:
+        fn()
+    except:  # noqa: E722
+        ...
+
+
+def narrow_but_silent(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:  # warning: narrow, but still silent
+        pass
+
+
+def handled_is_fine(fn, log):
+    # Not flagged: the handler actually does something with the failure.
+    try:
+        fn()
+    except ValueError as exc:
+        log.append(str(exc))

@@ -30,7 +30,12 @@ from repro.runtime.executor import (
     SerialExecutor,
     make_executor,
 )
-from repro.runtime.faults import FaultInjector, FaultPlan, HostCrash
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultPlan,
+    HostCrash,
+    SendRetriesExhausted,
+)
 
 from .strategies import fault_plans, graphs
 
@@ -158,7 +163,16 @@ class TestEquivalenceUnderFaults:
         checked = ParallelExecutor(check_isolation=True)
         parallel = CuSP(4, policy, fault_plan=plan, executor=checked,
                         sanitizer=True)
-        dg_s, dg_p = serial.partition(graph), parallel.partition(graph)
+        try:
+            dg_s = serial.partition(graph)
+        except SendRetriesExhausted:
+            # An unlucky seed can legitimately fail one send past the
+            # retry budget.  Fault draws are keyed to (host, op), so the
+            # parallel executor must reach the identical verdict.
+            with pytest.raises(SendRetriesExhausted):
+                parallel.partition(graph)
+            return
+        dg_p = parallel.partition(graph)
         assert not checked.monitor.violations
         assert serial.sanitizer.violations == []
         assert parallel.sanitizer.violations == []

@@ -36,6 +36,7 @@ RULE_FIXTURES = {
     "cross-host-write": "bad_cross_host_write.py",
     "scalar-send-in-hot-loop": "bad_scalar_send_loop.py",
     "contract-undeclared-op": "bad_undeclared_op.py",
+    "swallowed-error": "bad_swallowed_error.py",
 }
 
 
