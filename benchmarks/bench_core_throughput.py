@@ -33,9 +33,10 @@ def test_partition_throughput_fennel(benchmark, graph):
     assert result.num_global_edges == graph.num_edges
 
 
-@pytest.mark.parametrize("executor", ["serial", "parallel"])
+@pytest.mark.parametrize("executor", ["serial", "parallel", "process"])
 def test_partition_throughput_executor(benchmark, graph, executor):
-    """Serial vs thread-pool execution engine on the same workload."""
+    """Serial vs thread-pool vs forked-worker execution engine on the
+    same workload (the trio recorded in BENCH_executors.json)."""
     cusp = CuSP(8, "CVC", executor=executor)
     result = benchmark(lambda: cusp.partition(graph))
     assert result.num_global_edges == graph.num_edges

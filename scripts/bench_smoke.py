@@ -61,9 +61,16 @@ def run() -> dict:
     dg = CuSP(NUM_HOSTS, POLICY, fabric="columnar").partition(graph)
     elapsed = time.perf_counter() - t0
     scalar_dg = CuSP(NUM_HOSTS, POLICY, fabric="scalar").partition(graph)
+    # The process executor must complete and reproduce the digest (its
+    # wall-clock is not floored: fork/pickle overhead dominates at this
+    # graph size and only the serial throughput guards regressions).
+    process_dg = CuSP(
+        NUM_HOSTS, POLICY, fabric="columnar", executor="process"
+    ).partition(graph)
     return {
         "digest": partition_digest(dg),
         "scalar_digest": partition_digest(scalar_dg),
+        "process_digest": partition_digest(process_dg),
         "edges": graph.num_edges,
         "elapsed_s": elapsed,
         "edges_per_s": graph.num_edges / elapsed,
@@ -81,6 +88,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if result["digest"] != result["scalar_digest"]:
         print("FAIL: columnar and scalar fabrics disagree", file=sys.stderr)
+        return 1
+
+    if result["digest"] != result["process_digest"]:
+        print("FAIL: process executor diverges from serial", file=sys.stderr)
         return 1
 
     if args.write_reference:

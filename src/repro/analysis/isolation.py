@@ -82,6 +82,15 @@ class IsolationViolation(RuntimeError):
         self.phase = phase
         self.attribute = attribute
 
+    def __reduce__(self) -> tuple:
+        # Default exception pickling replays __init__ with the message
+        # only, dropping the (host, phase, attribute) evidence; process
+        # executor workers ship violations back to the parent's monitor.
+        return (
+            IsolationViolation,
+            (self.args[0], self.host, self.phase, self.attribute),
+        )
+
 
 @dataclass(frozen=True)
 class Access:

@@ -21,6 +21,7 @@ __all__ = [
     "LedgerBypassRule",
     "UnaccountedSendRule",
     "CrossHostWriteRule",
+    "UnshippableTaskCaptureRule",
     "ScalarSendInHotLoopRule",
     "ContractUndeclaredOpRule",
     "SwallowedErrorRule",
@@ -576,6 +577,93 @@ class CrossHostWriteRule(LintRule):
             indices.append(node.slice)
             node = node.value  # type: ignore[assignment]
         return indices
+
+
+def _flatten_store_targets(node: ast.AST) -> Iterator[ast.AST]:
+    """Leaf assignment targets under tuple/list/star unpacking."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for elt in node.elts:
+            yield from _flatten_store_targets(elt)
+    elif isinstance(node, ast.Starred):
+        yield from _flatten_store_targets(node.value)
+    else:
+        yield node
+
+
+@register
+class UnshippableTaskCaptureRule(LintRule):
+    """A HostTask body must not mutate state captured from its closure.
+
+    Task bodies may run in a forked worker process (``--executor
+    process``): a write to captured shared state lands in the worker's
+    copy-on-write snapshot and dies with the worker, silently diverging
+    from the serial schedule.  Bodies must *return* their results — the
+    parent installs them through the task's ``apply`` callback at the
+    merge barrier — and take per-host inputs through the declared
+    ``payload``.  A mutation that is provably worker-local (recomputed
+    scratch, idempotent caches) must say so in a suppression
+    justification.
+    """
+
+    name = "unshippable-task-capture"
+    severity = WARNING
+    description = (
+        "HostTask body writes captured shared state, which a forked "
+        "worker cannot ship back; return the value and install it via "
+        "the task's apply callback"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for body, _call in _iter_host_task_bodies(module):
+            if isinstance(body, ast.Lambda):
+                # A lambda body is a single expression: it can only
+                # mutate through calls, which this rule does not model.
+                continue
+            args = body.args
+            local_names: set[str] = {
+                a.arg for a in (
+                    *args.posonlyargs, *args.args, *args.kwonlyargs
+                )
+            }
+            for extra in (args.vararg, args.kwarg):
+                if extra is not None:
+                    local_names.add(extra.arg)
+            # Any name the body (or a function nested in it) binds is
+            # treated as local — an over-approximation that errs toward
+            # silence, the right direction for a lint.
+            for node in ast.walk(body):
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    local_names.add(node.id)
+                elif isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    local_names.add(node.name)
+            for node in ast.walk(body):
+                targets: list[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                elif isinstance(node, ast.Delete):
+                    targets = list(node.targets)
+                for target in targets:
+                    for leaf in _flatten_store_targets(target):
+                        if not isinstance(
+                            leaf, (ast.Subscript, ast.Attribute)
+                        ):
+                            continue
+                        root = _root_name(leaf)
+                        if root is None or root in local_names:
+                            continue
+                        yield self.finding(
+                            module, leaf,
+                            f"write to captured `{root}` inside a task "
+                            "body dies with a forked worker; return the "
+                            "value and install it in the task's apply "
+                            "callback",
+                        )
 
 
 def _explicit_phase(module: ModuleSource) -> str | None:

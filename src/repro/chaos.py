@@ -197,13 +197,15 @@ def _same_partition(a: Any, b: Any) -> bool:
 
 
 def _run_scenario(
-    scenario: ChaosScenario, graph: Any, base: Any, policy: str, k: int
+    scenario: ChaosScenario, graph: Any, base: Any, policy: str, k: int,
+    executor: str = "serial",
 ) -> ChaosResult:
     plan = scenario.plan
     kwargs: dict[str, Any] = {
         "fault_plan": plan,
         "sanitizer": True,
         "supervise": scenario.supervise,
+        "executor": executor,
     }
 
     def finish(cusp: CuSP, dg: Any, extra: str = "") -> ChaosResult:
@@ -289,15 +291,23 @@ def run_campaign(
     policy: str = "CVC",
     graph: Any = None,
     verbose: bool = False,
+    executor: str = "serial",
 ) -> ChaosReport:
-    """Run a seeded chaos campaign and return its report."""
+    """Run a seeded chaos campaign and return its report.
+
+    ``executor`` selects the execution engine for every scenario run;
+    the fault-free reference always runs serially, so a non-serial
+    campaign additionally proves executor equivalence under chaos.
+    """
     if graph is None:
         graph = erdos_renyi(300, 2400, seed=11)
     base = CuSP(num_hosts, policy).partition(graph)
     report = ChaosReport()
     for scenario in derive_scenarios(plans, seed, num_hosts=num_hosts):
         try:
-            result = _run_scenario(scenario, graph, base, policy, num_hosts)
+            result = _run_scenario(
+                scenario, graph, base, policy, num_hosts, executor=executor
+            )
         except Exception as exc:
             result = ChaosResult(
                 scenario, False, f"{type(exc).__name__}: {exc}"

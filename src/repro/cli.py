@@ -136,8 +136,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "per-host execution engine: 'serial' (reference), "
             "'parallel' (thread pool; identical partitions and "
-            "simulated breakdown by construction), or "
-            "'parallel-checked' (parallel under the host-isolation "
+            "simulated breakdown by construction), 'process' (forked "
+            "worker processes shipping columnar batches and ledger "
+            "deltas over pipes; same guarantees, true multi-core), or "
+            "their '-checked' variants (run under the host-isolation "
             "race detector)"
         ),
     )
@@ -255,6 +257,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-p", "--policy", default="CVC",
         help=f"CuSP policy under test, one of {', '.join(policy_names())}",
+    )
+    p.add_argument(
+        "--executor", choices=list(EXECUTOR_NAMES), default="serial",
+        help=(
+            "execution engine for every scenario run (the fault-free "
+            "reference stays serial, so a non-serial campaign also "
+            "proves executor equivalence under chaos)"
+        ),
     )
     p.add_argument("--quiet", action="store_true",
                    help="suppress the per-plan result lines")
@@ -577,7 +587,7 @@ def _dispatch(argv: list[str] | None = None) -> int:
         try:
             report = run_campaign(
                 plans=args.plans, seed=args.seed, num_hosts=args.hosts,
-                policy=args.policy,
+                policy=args.policy, executor=args.executor,
             )
         except ValueError as exc:
             raise SystemExit(str(exc))

@@ -153,9 +153,11 @@ class EdgeAssignment:
         self.edges_to = np.zeros((num_hosts, num_hosts), dtype=np.int64)
         #: toReceive[j] = total edges host j expects (Algorithm 3 line 13).
         self.to_receive = np.zeros(num_hosts, dtype=np.int64)
-        # Lazy per-host owner-group cache shared by phases 3-5.  Slots
-        # are written at most once per host; under the parallel executor
-        # each host only touches its own slot (disjoint list cells).
+        # Lazy per-host owner-group cache shared by phases 3-5.  The
+        # assignment phase's barrier callback installs each host's
+        # grouping; a cache miss inside a task recomputes the (pure,
+        # deterministic) grouping without relying on the cached write
+        # surviving the task — it may run in a forked worker.
         self._groups: list[HostGroups | None] = [None] * num_hosts
 
     def host_groups(self, h: int) -> HostGroups:
@@ -261,18 +263,20 @@ def run_edge_assignment(
             estate = rule.make_state(k, num_hosts)
 
     def assign_common(view: HostView, h: int, start: int, stop: int) -> tuple[
-        np.ndarray, np.ndarray, np.ndarray
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray
     ]:
-        """Owner evaluation + bookkeeping shared by both fabrics."""
+        """Owner evaluation + bookkeeping shared by both fabrics.
+
+        Pure with respect to shared state: the owner/count arrays are
+        returned and the task's ``apply`` callback installs them into
+        ``result`` at the barrier (task-payload seam).
+        """
         src, dst, _weights = host_edge_slice(graph, start, stop)
         estate_view = estate.host_view(h) if estate is not None else None
         owner = rule.owner_batch(
             prop, src, dst, masters[src], masters[dst], estate_view
         )
-        result.owners[h] = owner
-        result.edges[h] = (src, dst, _weights)
         counts = np.bincount(owner, minlength=num_hosts).astype(np.int64)
-        result.edges_to[h, :] = counts
         # Two abstract units per edge: owner evaluation + count update.
         view.add_compute(2.0 * src.size)
         if estate is not None:
@@ -284,14 +288,35 @@ def run_edge_assignment(
             # this collective never executes inside a mapped task.
             # repro-lint: disable-next-line=comm-in-task -- chain()-only path, sequential by construction
             estate.sync_round(phase.comm, blocking=False)
-        return src, dst, counts
+        return src, dst, owner, counts
+
+    def install_assignment(h: int, start: int, stop: int):
+        """Parent-side barrier callback installing one host's results.
+
+        The edge arrays are a pure function of (graph, range), so they
+        are recomputed here instead of shipped across the process
+        boundary; the grouping (when the columnar body built one) rides
+        along by reference on the serial/thread paths and by pickle on
+        the process path.
+        """
+        def install(outcome):
+            owner, counts, groups = outcome
+            src, dst, weights = host_edge_slice(graph, start, stop)
+            result.owners[h] = owner
+            result.edges[h] = (src, dst, weights)
+            result.edges_to[h, :] = counts
+            if groups is not None:
+                result._groups[h] = groups
+            return owner
+
+        return install
 
     num_nodes = prop.getNumNodes()
 
     def assign_task(h: int, start: int, stop: int) -> HostTask:
-        def body(view: HostView) -> None:
-            src, dst, counts = assign_common(view, h, start, stop)
-            groups = result.host_groups(h)
+        def body(view: HostView):
+            src, dst, owner, counts = assign_common(view, h, start, stop)
+            groups = HostGroups(owner, src, dst, num_hosts)
             nodes_read = stop - start
             mark = np.empty(num_nodes, dtype=bool)
             for j in range(num_hosts):
@@ -325,14 +350,16 @@ def run_edge_assignment(
                     tag="edge-counts",
                     nbytes=payload_bytes,
                 )
+            return owner, counts, groups
 
-        return HostTask(h, body, label="assign-edges")
+        return HostTask(
+            h, body, label="assign-edges",
+            apply=install_assignment(h, start, stop),
+        )
 
     def assign_task_scalar(h: int, start: int, stop: int) -> HostTask:
-        def body(view: HostView) -> None:
-            src, dst, counts = assign_common(view, h, start, stop)
-            owner = result.owners[h]
-            assert owner is not None
+        def body(view: HostView):
+            src, dst, owner, counts = assign_common(view, h, start, stop)
             nodes_read = stop - start
             for j in range(num_hosts):
                 if j == h:
@@ -359,8 +386,14 @@ def run_edge_assignment(
                     tag="edge-counts",
                     nbytes=payload_bytes,
                 )
+            # The scalar path never groups by owner here; construction's
+            # scalar tasks argsort locally, so the cache stays lazy.
+            return owner, counts, None
 
-        return HostTask(h, body, label="assign-edges")
+        return HostTask(
+            h, body, label="assign-edges",
+            apply=install_assignment(h, start, stop),
+        )
 
     make_assign = assign_task if fabric == "columnar" else assign_task_scalar
     tasks = [make_assign(h, start, stop) for h, (start, stop) in enumerate(ranges)]
@@ -373,27 +406,30 @@ def run_edge_assignment(
         phase.executor.run(phase, tasks)
 
     # Every host tallies what it will receive (Algorithm 3 lines 10-14).
-    def tally_task(j: int) -> HostTask:
-        def body(view: HostView) -> None:
-            incoming = view.recv_all_batch(tag="edge-counts", schema=schema)
-            result.to_receive[j] = (
-                int(incoming.scalars["count"].sum())
-                + result.edges_to[j, j]
-            )
-            view.add_compute(float(incoming.num_blocks))
+    def install_tally(j: int):
+        def install(received: int) -> int:
+            result.to_receive[j] = received + result.edges_to[j, j]
+            return received
 
-        return HostTask(j, body, label="tally-counts")
+        return install
+
+    def tally_task(j: int) -> HostTask:
+        def body(view: HostView) -> int:
+            incoming = view.recv_all_batch(tag="edge-counts", schema=schema)
+            view.add_compute(float(incoming.num_blocks))
+            return int(incoming.scalars["count"].sum())
+
+        return HostTask(j, body, label="tally-counts", apply=install_tally(j))
 
     def tally_task_scalar(j: int) -> HostTask:
-        def body(view: HostView) -> None:
+        def body(view: HostView) -> int:
             incoming = view.recv_all(tag="edge-counts")
-            received = sum(
-                payload[0] for _, payload in incoming if payload is not None
-            )
-            result.to_receive[j] = received + result.edges_to[j, j]
             view.add_compute(float(len(incoming)))
+            return int(sum(
+                payload[0] for _, payload in incoming if payload is not None
+            ))
 
-        return HostTask(j, body, label="tally-counts")
+        return HostTask(j, body, label="tally-counts", apply=install_tally(j))
 
     make_tally = tally_task if fabric == "columnar" else tally_task_scalar
     phase.executor.run(phase, [make_tally(j) for j in range(num_hosts)])

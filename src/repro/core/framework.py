@@ -76,6 +76,11 @@ PHASE_NAMES = [
 ]
 
 
+def _read_slice(view, nbytes: int) -> None:
+    """Charge one host's share of the input file (task-payload seam)."""
+    view.add_disk(nbytes)
+
+
 class CuSP:
     """Customizable streaming edge partitioner.
 
@@ -130,7 +135,11 @@ class CuSP:
         The per-host execution engine: ``"serial"`` (default, the
         deterministic reference), ``"parallel"`` (thread pool with
         deterministic ledger merging — same partitions, same simulated
-        breakdown), or an :class:`~repro.runtime.executor.Executor`.
+        breakdown), ``"process"`` (forked worker processes shipping
+        columnar batches and ledger deltas back over pipes — same
+        guarantees, true multi-core), their ``"-checked"`` variants
+        (isolation monitoring), or an
+        :class:`~repro.runtime.executor.Executor`.
     sanitizer:
         Phase-communication auditing: ``True`` attaches a fresh
         :class:`~repro.analysis.contracts.CommSan` (bound to this run's
@@ -428,13 +437,10 @@ class CuSP:
         )
 
         def phase_reading(ph):
-            def read_slice(nbytes):
-                return lambda view: view.add_disk(nbytes)
-
             ph.executor.run(
                 ph,
                 [
-                    HostTask(h, read_slice(nbytes), label="read-slice")
+                    HostTask(h, _read_slice, label="read-slice", payload=nbytes)
                     for h, nbytes in enumerate(read_bytes_for_ranges(graph, ranges))
                 ],
             )

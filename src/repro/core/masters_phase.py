@@ -99,13 +99,19 @@ def run_master_assignment(
     masters = np.full(n, -1, dtype=np.int32)
 
     if rule.is_pure:
-        # Pure rules are embarrassingly per-host: each task assigns its
-        # own node slice (disjoint writes into ``masters``).
+        # Pure rules are embarrassingly per-host: each task computes its
+        # own node slice and the parent installs it at the barrier (the
+        # task-payload seam — bodies never write shared state, so the
+        # same code runs unchanged in a forked worker).
         def pure_task(h: int, start: int, stop: int) -> HostTask:
-            def body(view: HostView) -> None:
+            def body(view: HostView, span: tuple[int, int]) -> np.ndarray | None:
+                start, stop = span
                 node_ids = np.arange(start, stop, dtype=np.int64)
-                if node_ids.size:
-                    masters[start:stop] = rule.assign_batch(prop, node_ids, None)
+                assigned = (
+                    rule.assign_batch(prop, node_ids, None)
+                    if node_ids.size
+                    else None
+                )
                 if elide_master_communication:
                     # No communication: each host recomputes neighbors'
                     # assignments on demand (§IV-D5); charge the
@@ -130,8 +136,17 @@ def run_master_assignment(
                                 nbytes=node_ids.size * _ASSIGNMENT_ENTRY_BYTES,
                                 coalesce=True,
                             )
+                return assigned
 
-            return HostTask(h, body, label="assign-pure")
+            def install(assigned: np.ndarray | None) -> np.ndarray | None:
+                if assigned is not None:
+                    masters[start:stop] = assigned
+                return assigned
+
+            return HostTask(
+                h, body, label="assign-pure", payload=(start, stop),
+                apply=install,
+            )
 
         phase.executor.run(
             phase,
@@ -151,10 +166,10 @@ def run_master_assignment(
 
     if elide_master_communication:
         # Request-driven exchange (§IV-D5): each host asks only for the
-        # masters of its read-nodes' neighbors.  Task j fills column j of
-        # the request table — disjoint writes across hosts.
+        # masters of its read-nodes' neighbors.  Task j computes column j
+        # of the request table; the parent installs it at the barrier.
         def request_task(j: int, start: int, stop: int) -> HostTask:
-            def body(view: HostView) -> None:
+            def body(view: HostView) -> list[np.ndarray]:
                 lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
                 # ``nbrs`` is sorted, so the per-assigner split is a
                 # searchsorted against the host bounds instead of a
@@ -162,13 +177,10 @@ def run_master_assignment(
                 # nbrs[_owning_host(nbrs, bounds) == a] exactly.
                 nbrs = _mask_unique(n, prop.graph.indices[lo:hi])
                 cuts = np.searchsorted(nbrs, bounds)
+                per_assigner = []
                 for assigner in range(num_hosts):
                     wanted = nbrs[cuts[assigner] : cuts[assigner + 1]]
-                    # Task j writes only column j of the request table:
-                    # rows are indexed by `assigner`, but no two
-                    # concurrent tasks share a (assigner, j) cell.
-                    # repro-lint: disable-next-line=cross-host-write -- column-j writes are disjoint across tasks
-                    requests[assigner][j] = wanted
+                    per_assigner.append(wanted)
                     if assigner != j and wanted.size:
                         view.send_batch(
                             assigner,
@@ -177,21 +189,26 @@ def run_master_assignment(
                             nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
                             coalesce=True,
                         )
+                return per_assigner
 
-            return HostTask(j, body, label="request-masters")
+            def install(per_assigner: list[np.ndarray]) -> list[np.ndarray]:
+                # The parent fills column j of the request table at the
+                # barrier; bodies only compute and send.
+                for assigner, wanted in enumerate(per_assigner):
+                    requests[assigner][j] = wanted
+                return per_assigner
+
+            return HostTask(j, body, label="request-masters", apply=install)
 
         def request_task_scalar(j: int, start: int, stop: int) -> HostTask:
-            def body(view: HostView) -> None:
+            def body(view: HostView) -> list[np.ndarray]:
                 lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
                 nbrs = np.unique(prop.graph.indices[lo:hi])
                 owner = _owning_host(nbrs, bounds)
+                per_assigner = []
                 for assigner in range(num_hosts):
                     wanted = nbrs[owner == assigner]
-                    # Task j writes only column j of the request table:
-                    # rows are indexed by `assigner`, but no two
-                    # concurrent tasks share a (assigner, j) cell.
-                    # repro-lint: disable-next-line=cross-host-write -- column-j writes are disjoint across tasks
-                    requests[assigner][j] = wanted
+                    per_assigner.append(wanted)
                     if assigner != j and wanted.size:
                         # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
                         view.send(
@@ -199,8 +216,16 @@ def run_master_assignment(
                             nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
                             coalesce=True,
                         )
+                return per_assigner
 
-            return HostTask(j, body, label="request-masters")
+            def install(per_assigner: list[np.ndarray]) -> list[np.ndarray]:
+                # The parent fills column j of the request table at the
+                # barrier; bodies only compute and send.
+                for assigner, wanted in enumerate(per_assigner):
+                    requests[assigner][j] = wanted
+                return per_assigner
+
+            return HostTask(j, body, label="request-masters", apply=install)
 
         make_request = (
             request_task if fabric == "columnar" else request_task_scalar
@@ -229,19 +254,18 @@ def run_master_assignment(
         masters_arg = [None] * num_hosts
 
     def assign_task(h: int, r: int) -> HostTask:
-        def body(view: HostView) -> np.ndarray:
+        def body(view: HostView):
             c0, c1 = int(chunk_bounds[h][r]), int(chunk_bounds[h][r + 1])
             node_ids = np.arange(c0, c1, dtype=np.int64)
             if node_ids.size == 0:
-                return node_ids
+                return node_ids, None, None
             # Each host scores against the frozen snapshot plus its own
-            # pending delta, and writes its own chunk of ``masters`` and
-            # ``known[h]`` — all writes are host-disjoint within a round.
+            # pending delta.  The rule's in-place updates (masters_arg,
+            # state delta) are scratch work in a forked worker; the body
+            # returns everything the parent needs to install them.
             assigned = rule.assign_batch(
                 prop, node_ids, state.host_view(h), masters_arg[h]
             )
-            masters[c0:c1] = assigned
-            known[h][c0:c1] = assigned  # own assignments visible immediately
             view.add_compute(
                 rule.compute_units(
                     node_ids.size,
@@ -249,16 +273,28 @@ def run_master_assignment(
                     k,
                 )
             )
+            return node_ids, assigned, state.export_host_delta(h)
+
+        def install(result) -> np.ndarray:
+            node_ids, assigned, delta = result
+            if assigned is not None:
+                c0, c1 = int(chunk_bounds[h][r]), int(chunk_bounds[h][r + 1])
+                masters[c0:c1] = assigned
+                known[h][c0:c1] = assigned  # own assignments visible at once
+                state.import_host_delta(h, delta)
             return node_ids
 
-        return HostTask(h, body, label="assign-chunk")
+        return HostTask(h, body, label="assign-chunk", apply=install)
 
     def ship_task(h: int, fresh: np.ndarray) -> HostTask:
-        def body(view: HostView) -> None:
+        def body(
+            view: HostView, fresh: np.ndarray
+        ) -> list[tuple[int, np.ndarray]]:
             if fresh.size == 0:
-                return
+                return []
             lo, hi = fresh[0], fresh[-1]
             acc = view.accumulator()
+            shipped = []
             for j in range(num_hosts):
                 if j == h:
                     continue
@@ -277,20 +313,30 @@ def run_master_assignment(
                         nbytes=ship.size * _ASSIGNMENT_ENTRY_BYTES,
                         coalesce=True,
                     )
-                    # Requester j learns the shipped assignments; two
-                    # shippers never overlap in ``known[j]`` (each ships
-                    # only ids from its own node range), and ``masters``
-                    # is frozen for the shipped range this round.
-                    # repro-lint: disable-next-line=cross-host-write -- shippers write disjoint id ranges of known[j]
-                    known[j][ship] = masters[ship]
+                    shipped.append((j, ship))
+            return shipped
 
-        return HostTask(h, body, label="ship-assignments")
+        def install(
+            shipped: list[tuple[int, np.ndarray]],
+        ) -> list[tuple[int, np.ndarray]]:
+            # Requester j learns the shipped assignments at the barrier;
+            # ``masters`` is frozen for the shipped ranges this round.
+            for j, ship in shipped:
+                known[j][ship] = masters[ship]
+            return shipped
+
+        return HostTask(
+            h, body, label="ship-assignments", payload=fresh, apply=install
+        )
 
     def ship_task_scalar(h: int, fresh: np.ndarray) -> HostTask:
-        def body(view: HostView) -> None:
+        def body(
+            view: HostView, fresh: np.ndarray
+        ) -> list[tuple[int, np.ndarray]]:
             if fresh.size == 0:
-                return
+                return []
             lo, hi = fresh[0], fresh[-1]
+            shipped = []
             for j in range(num_hosts):
                 if j == h:
                     continue
@@ -303,14 +349,21 @@ def run_master_assignment(
                         nbytes=ship.size * _ASSIGNMENT_ENTRY_BYTES,
                         coalesce=True,
                     )
-                    # Requester j learns the shipped assignments; two
-                    # shippers never overlap in ``known[j]`` (each ships
-                    # only ids from its own node range), and ``masters``
-                    # is frozen for the shipped range this round.
-                    # repro-lint: disable-next-line=cross-host-write -- shippers write disjoint id ranges of known[j]
-                    known[j][ship] = masters[ship]
+                    shipped.append((j, ship))
+            return shipped
 
-        return HostTask(h, body, label="ship-assignments")
+        def install(
+            shipped: list[tuple[int, np.ndarray]],
+        ) -> list[tuple[int, np.ndarray]]:
+            # Requester j learns the shipped assignments at the barrier;
+            # ``masters`` is frozen for the shipped ranges this round.
+            for j, ship in shipped:
+                known[j][ship] = masters[ship]
+            return shipped
+
+        return HostTask(
+            h, body, label="ship-assignments", payload=fresh, apply=install
+        )
 
     make_ship = ship_task if fabric == "columnar" else ship_task_scalar
     for r in range(sync_rounds):

@@ -46,6 +46,23 @@ class PartitioningState:
         that re-invoking the rules yields the same decisions (§IV-B4).
         """
 
+    def export_host_delta(self, host: int):
+        """Picklable snapshot of ``host``'s unsynchronized delta.
+
+        The process executor's task-payload seam: a worker's in-place
+        state updates die with the worker, so the task body exports the
+        delta and the parent replays it via :meth:`import_host_delta`.
+        Stateless subclasses return ``None`` (nothing to ship).
+        """
+        return None
+
+    def import_host_delta(self, host: int, delta) -> None:
+        """Install a delta exported by :meth:`export_host_delta`.
+
+        Set semantics (idempotent): applying a host's own exported delta
+        on the serial path is a no-op re-assignment of identical values.
+        """
+
 
 class VoidState(PartitioningState):
     """No state: used by Contiguous/ContiguousEB and all edge rules here."""
@@ -129,6 +146,19 @@ class PartitionLoadState(PartitioningState):
         for h in range(self.num_hosts):
             self._delta_nodes[h][:] = 0
             self._delta_edges[h][:] = 0
+
+    def export_host_delta(self, host: int) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            self._delta_nodes[host].copy(),
+            self._delta_edges[host].copy(),
+        )
+
+    def import_host_delta(self, host: int, delta) -> None:
+        if delta is None:
+            return
+        nodes, edges = delta
+        self._delta_nodes[host][:] = nodes
+        self._delta_edges[host][:] = edges
 
     def totals(self) -> tuple[np.ndarray, np.ndarray]:
         """Fully-reconciled (nodes, edges) counts, ignoring sync boundaries."""

@@ -33,6 +33,7 @@ model.  See ``docs/PERFORMANCE.md`` for the design rationale.
 
 from __future__ import annotations
 
+import struct
 import zlib
 from typing import Any, Iterator, Protocol, Sequence
 
@@ -44,8 +45,24 @@ __all__ = [
     "ReceivedBatch",
     "BatchAccumulator",
     "FABRIC_NAMES",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
     "resolve_fabric",
 ]
+
+#: Wire-format framing for :meth:`MessageBatch.to_bytes`.
+WIRE_MAGIC = b"RBAT"
+WIRE_VERSION = 1
+
+#: Column storage kinds in the wire format.
+_STORE_INLINE = 0
+_STORE_SHM = 1
+
+#: Scalar kinds in the wire format (signed 64-bit int / IEEE double).
+_SCALAR_INT = 0
+_SCALAR_FLOAT = 1
+
+_HEADER = struct.Struct("<4sHHQHHI")  # magic, version, flags, rows, ncols, nscalars, crc
 
 #: Valid values for the ``fabric=`` knob threaded through CuSP and the CLI.
 FABRIC_NAMES = ("columnar", "scalar")
@@ -103,6 +120,11 @@ class ColumnSchema:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("ColumnSchema is immutable")
 
+    def __reduce__(self) -> tuple[Any, ...]:
+        # The immutability guard above breaks the default slot-state
+        # protocol, so pickling goes through the constructor instead.
+        return (ColumnSchema, (self.columns, self.scalars))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ColumnSchema):
             return NotImplemented
@@ -128,7 +150,7 @@ class MessageBatch:
     mutate arrays they do not own, exactly as with the scalar path.
     """
 
-    __slots__ = ("schema", "columns", "scalars", "rows")
+    __slots__ = ("schema", "columns", "scalars", "rows", "_shm")
 
     def __init__(
         self,
@@ -165,6 +187,9 @@ class MessageBatch:
         self.columns = cols
         self.scalars = scal
         self.rows = rows
+        #: ``(column_index, SharedMemory)`` pairs keeping shared-memory
+        #: backed columns mapped (populated only by :meth:`from_bytes`).
+        self._shm: tuple[tuple[int, Any], ...] = ()
 
     @classmethod
     def empty(
@@ -216,6 +241,176 @@ class MessageBatch:
             self.scalars,
         )
 
+    # ------------------------------------------------------------------
+    # Versioned wire format (process executor / cross-process shipping)
+    # ------------------------------------------------------------------
+    def to_bytes(self, shm_threshold: int | None = None) -> bytes:
+        """Serialize to the versioned wire format.
+
+        Layout (little-endian, version 1): a fixed header (magic,
+        version, flags, rows, #columns, #scalars, CRC-32 of
+        :meth:`checksum`), the schema (length-prefixed UTF-8 column
+        names + dtype strings, then scalar names), the scalar values
+        (kind-tagged int64/float64 words), and finally each column as
+        either inline raw bytes or — when ``shm_threshold`` is given and
+        ``col.nbytes >= shm_threshold`` — a named POSIX shared-memory
+        segment holding the data, so a worker process can hand a large
+        column to its parent without copying it through the pipe.
+
+        Shared-memory segments are owned by whoever decodes the buffer:
+        :meth:`from_bytes` maps them zero-copy and
+        :meth:`detach_shared` copies them private and unlinks.  The
+        creator deliberately unregisters the segments from the
+        ``multiprocessing`` resource tracker — lifecycle is explicit
+        here, not process-exit-scoped.
+        """
+        crc = self.checksum()
+        parts = [
+            _HEADER.pack(
+                WIRE_MAGIC, WIRE_VERSION, 0, self.rows,
+                len(self.schema.columns), len(self.schema.scalars), crc,
+            )
+        ]
+        for name, dt in self.schema.columns:
+            nb = name.encode()
+            db = dt.str.encode()
+            parts.append(struct.pack("<H", len(nb)) + nb)
+            parts.append(struct.pack("<H", len(db)) + db)
+        for sname in self.schema.scalars:
+            sb = sname.encode()
+            parts.append(struct.pack("<H", len(sb)) + sb)
+        for value in self.scalars:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(
+                    "wire format carries int/float scalars only, got "
+                    f"{type(value).__name__}"
+                )
+            if isinstance(value, int):
+                if not -(2**63) <= value < 2**63:
+                    raise TypeError(f"scalar {value} exceeds int64 range")
+                parts.append(struct.pack("<Bq", _SCALAR_INT, value))
+            else:
+                parts.append(struct.pack("<Bd", _SCALAR_FLOAT, value))
+        for col in self.columns:
+            raw = np.ascontiguousarray(col)
+            if shm_threshold is not None and raw.nbytes >= shm_threshold:
+                seg = _create_shared_segment(raw)
+                nm = seg.name.encode()
+                parts.append(
+                    struct.pack("<BH", _STORE_SHM, len(nm)) + nm
+                    + struct.pack("<Q", raw.nbytes)
+                )
+                seg.close()
+            else:
+                parts.append(
+                    struct.pack("<BQ", _STORE_INLINE, raw.nbytes)
+                    + raw.tobytes()
+                )
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "MessageBatch":
+        """Decode :meth:`to_bytes` output (zero-copy where possible).
+
+        Inline columns become read-only views over ``buf``;
+        shared-memory columns are mapped in place and stay mapped until
+        :meth:`detach_shared`.  The embedded CRC-32 is recomputed over
+        the decoded batch and a mismatch raises ``ValueError`` — the
+        same integrity check the reliable transport performs per block.
+        """
+        view = memoryview(buf)
+        if len(view) < _HEADER.size:
+            raise ValueError("truncated wire batch (short header)")
+        magic, version, _flags, rows, ncols, nscalars, crc = _HEADER.unpack(
+            view[: _HEADER.size]
+        )
+        if magic != WIRE_MAGIC:
+            raise ValueError(f"bad wire magic {magic!r}")
+        if version != WIRE_VERSION:
+            raise ValueError(f"unsupported wire version {version}")
+        off = _HEADER.size
+
+        def take(n: int) -> memoryview:
+            nonlocal off
+            if off + n > len(view):
+                raise ValueError("truncated wire batch")
+            chunk = view[off : off + n]
+            off += n
+            return chunk
+
+        def take_str() -> str:
+            (n,) = struct.unpack("<H", take(2))
+            return bytes(take(n)).decode()
+
+        columns_spec = []
+        for _ in range(ncols):
+            name = take_str()
+            columns_spec.append((name, np.dtype(take_str())))
+        scalar_names = tuple(take_str() for _ in range(nscalars))
+        schema = ColumnSchema(columns_spec, scalar_names)
+        scalars: list[float] = []
+        for _ in range(nscalars):
+            (kind,) = struct.unpack("<B", take(1))
+            if kind == _SCALAR_INT:
+                scalars.append(struct.unpack("<q", take(8))[0])
+            elif kind == _SCALAR_FLOAT:
+                scalars.append(struct.unpack("<d", take(8))[0])
+            else:
+                raise ValueError(f"unknown scalar kind {kind}")
+        columns: list[np.ndarray] = []
+        segments: list[tuple[int, Any]] = []
+        for i, (name, dt) in enumerate(schema.columns):
+            (store,) = struct.unpack("<B", take(1))
+            if store == _STORE_INLINE:
+                (nbytes,) = struct.unpack("<Q", take(8))
+                columns.append(np.frombuffer(take(nbytes), dtype=dt))
+            elif store == _STORE_SHM:
+                (nm_len,) = struct.unpack("<H", take(2))
+                seg_name = bytes(take(nm_len)).decode()
+                (nbytes,) = struct.unpack("<Q", take(8))
+                seg = _attach_shared_segment(seg_name)
+                columns.append(
+                    np.frombuffer(seg.buf, dtype=dt, count=nbytes // dt.itemsize)
+                )
+                segments.append((i, seg))
+            else:
+                raise ValueError(f"unknown column storage {store}")
+        batch = cls(schema, tuple(columns), tuple(scalars))
+        batch._shm = tuple(segments)
+        if batch.rows != rows:
+            raise ValueError(
+                f"row count mismatch: header says {rows}, decoded {batch.rows}"
+            )
+        actual = batch.checksum()
+        if actual != crc:
+            raise ValueError(
+                f"wire checksum mismatch: header {crc:#010x}, "
+                f"recomputed {actual:#010x}"
+            )
+        return batch
+
+    def detach_shared(self) -> None:
+        """Copy shared-memory columns private, then close + unlink them.
+
+        Call once on the decoding side after :meth:`from_bytes` to take
+        ownership of the data; a no-op for purely inline batches.
+        """
+        if not self._shm:
+            return
+        cols = list(self.columns)
+        for i, seg in self._shm:
+            cols[i] = cols[i].copy()
+        self.columns = tuple(cols)
+        for _, seg in self._shm:
+            seg.close()
+            seg.unlink()
+        self._shm = ()
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        # Pickle rides the wire format (inline columns only), so a batch
+        # crossing a process boundary keeps its exact checksum/nbytes.
+        return (_batch_from_wire, (self.to_bytes(),))
+
     def __len__(self) -> int:
         return self.rows
 
@@ -224,6 +419,45 @@ class MessageBatch:
             f"MessageBatch(rows={self.rows}, nbytes={self.nbytes}, "
             f"schema={self.schema!r})"
         )
+
+
+def _batch_from_wire(buf: bytes) -> MessageBatch:
+    """Module-level unpickle hook for :meth:`MessageBatch.__reduce__`."""
+    return MessageBatch.from_bytes(buf)
+
+
+def _create_shared_segment(raw: np.ndarray) -> Any:
+    """A new shared-memory segment holding ``raw``'s bytes.
+
+    Unregistered from the ``multiprocessing`` resource tracker on
+    purpose: the decoding side unlinks explicitly (``detach_shared``),
+    and a fork-spawned creator calling ``os._exit`` must not leave a
+    tracker entry behind to double-unlink.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    seg = shared_memory.SharedMemory(create=True, size=max(1, raw.nbytes))
+    try:
+        resource_tracker.unregister(seg._name, "shared_memory")  # noqa: SLF001
+    # repro-lint: disable-next-line=swallowed-error -- tracker API is CPython-internal; segment lifetime is managed explicitly either way
+    except Exception:  # pragma: no cover
+        pass
+    seg.buf[: raw.nbytes] = raw.tobytes()
+    return seg
+
+
+def _attach_shared_segment(name: str) -> Any:
+    """Map an existing segment, leaving its tracker registration alone.
+
+    Attaching registers with the resource tracker (CPython < 3.13 does
+    so unconditionally) and ``detach_shared``'s ``unlink()`` unregisters
+    again internally — so the attach-side registration is already
+    balanced, and an explicit unregister here would make the tracker
+    daemon print a KeyError for every segment.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
 
 
 def concat_batches(

@@ -331,6 +331,33 @@ class Communicator:
         """Number of undelivered messages for ``dst``."""
         return len(self._queues.get((dst, tag), ()))
 
+    def replay_recv(self, dst: int, tag: str, count: int) -> None:
+        """Re-play a worker process's drain of ``dst``'s queue.
+
+        The process executor's workers drain queues against their
+        copy-on-write snapshot of this communicator; at the barrier the
+        parent removes the same ``count`` oldest entries here so queue
+        state and the observer's drain tally match what a serial sweep
+        would have produced.  Entries merged from other hosts at the
+        same barrier are appended *behind* the snapshot the worker saw,
+        so popping from the front removes exactly the drained messages.
+        """
+        self._check_host(dst)
+        if count <= 0:
+            return
+        q = self._queues.get((dst, tag))
+        if q is None or len(q) < count:
+            have = 0 if q is None else len(q)
+            raise RuntimeError(
+                f"replay_recv({dst}, {tag!r}): worker drained {count} "
+                f"message(s) but only {have} are queued; the queue was "
+                "mutated outside the barrier protocol"
+            )
+        for _ in range(count):
+            q.popleft()
+        if self.observer is not None:
+            self.observer.on_recv(dst, tag, count)
+
     # ------------------------------------------------------------------
     # Columnar batch path (repro.runtime.colfab)
     # ------------------------------------------------------------------

@@ -15,6 +15,22 @@ computes* from *how the hosts are driven*:
   recording onto a *private* :class:`~repro.runtime.comm.CommLedger`
   (plus private disk/compute accumulators and a redirected fault-event
   sink) that is merged back in **host order** at the barrier.
+  :class:`ProcessExecutor` runs them in forked worker processes — the
+  GIL-free engine: each worker gets a copy-on-write snapshot of the
+  barrier-entry state, records the same private ledger, and ships a
+  picklable delta (accounting vectors, queued payloads on the
+  :mod:`~repro.runtime.colfab` wire format, fault-channel RNG state,
+  isolation evidence) back over a pipe for the identical host-order
+  merge.
+
+The task-payload seam: because a worker's writes die with the worker,
+task bodies must not mutate shared structures.  A :class:`HostTask` may
+therefore declare a picklable per-host ``payload`` (passed to ``fn`` as
+a second argument) and an ``apply`` callback that the executor runs *in
+the parent, at the barrier, in host order* with the body's result —
+that is where shared-state writes go.  The serial path runs ``apply``
+immediately after each body, which is the same order (phases submit
+tasks in host order), so the seam changes nothing observably.
 
 Determinism argument (why parallel is bit-identical to serial):
 
@@ -50,6 +66,8 @@ and must be issued between task submissions, never inside a mapped task.
 from __future__ import annotations
 
 import os
+import pickle
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -68,26 +86,49 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ProcessExecutor",
     "make_executor",
     "EXECUTOR_NAMES",
 ]
 
-EXECUTOR_NAMES = ("serial", "parallel", "parallel-checked")
+EXECUTOR_NAMES = (
+    "serial", "parallel", "parallel-checked", "process", "process-checked",
+)
+
+#: Sentinel distinguishing "no declared payload" from ``payload=None``.
+_NO_PAYLOAD = object()
+
+#: Columns at or above this size ride POSIX shared memory instead of the
+#: worker's result pipe (see :meth:`MessageBatch.to_bytes`).
+_SHM_THRESHOLD = 64 * 1024
+
+_CAN_FORK = hasattr(os, "fork")
 
 
 @dataclass(frozen=True)
 class HostTask:
     """One host's unit of phase work: a closure plus the host it charges.
 
-    ``fn`` receives a :class:`HostView` and performs the host's compute,
-    declaring its communication and compute/disk charges through the
-    view.  It must touch shared structures only through the view (or
-    through per-host slices no other task writes).
+    ``fn`` receives a :class:`HostView` (plus ``payload``, when one is
+    declared) and performs the host's compute, declaring its
+    communication and compute/disk charges through the view.  It must
+    touch shared structures only through the view (or through per-host
+    slices no other task writes).
+
+    ``payload`` is the task's declared input: a picklable value handed
+    to ``fn`` as a second argument, which is what lets a worker process
+    run the body against its own copy of the world.  ``apply`` is the
+    declared output seam: the executor calls it in the parent, at the
+    barrier, in host order, with the body's result, and its return
+    value becomes the task's result — all shared-state writes belong
+    there, never in ``fn``.
     """
 
     host: int
-    fn: Callable[["HostView"], Any]
+    fn: Callable[..., Any]
     label: str = ""
+    payload: Any = _NO_PAYLOAD
+    apply: Callable[[Any], Any] | None = None
 
 
 class HostView:
@@ -281,12 +322,22 @@ class Executor:
         return [_run_direct(stats, task) for task in tasks]
 
 
+def _invoke(task: HostTask, view: HostView) -> Any:
+    """Call a task body, passing its declared payload when it has one."""
+    if task.payload is _NO_PAYLOAD:
+        return task.fn(view)
+    return task.fn(view, task.payload)
+
+
 def _run_direct(stats: PhaseStats, task: HostTask) -> Any:
     """Run one task on the shared ledgers, flushing staged batches at
-    the end of the body (the serial phase barrier)."""
+    the end of the body (the serial phase barrier), then applying its
+    declared output."""
     view = DirectHostView(stats, task.host)
-    result = task.fn(view)
+    result = _invoke(task, view)
     view.flush_accumulators()
+    if task.apply is not None:
+        result = task.apply(result)
     return result
 
 
@@ -326,6 +377,7 @@ class ParallelExecutor(Executor):
             raise ValueError("max_workers must be >= 1")
         self._max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_width = 0
         if monitor is None and check_isolation:
             monitor = isolation.IsolationMonitor()
         self.monitor = monitor
@@ -334,18 +386,20 @@ class ParallelExecutor(Executor):
         workers = self._max_workers
         if workers is None:
             workers = max(2, min(width, os.cpu_count() or 1))
-        if self._pool is None or self._pool._max_workers < workers:
+        if self._pool is None or self._pool_width < workers:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
             self._pool = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-host"
             )
+            self._pool_width = workers
         return self._pool
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+            self._pool_width = 0
 
     def run(self, stats: PhaseStats, tasks: Sequence[HostTask]) -> list[Any]:
         tasks = list(tasks)
@@ -361,15 +415,16 @@ class ParallelExecutor(Executor):
         pool = self._ensure_pool(len(tasks))
         phase_name = getattr(stats, "name", "")
         futures = [
-            pool.submit(
-                self._guarded, t.fn, v, self.monitor, phase_name, t.label
-            )
+            pool.submit(self._guarded, t, v, self.monitor, phase_name)
             for t, v in zip(tasks, views)
         ]
         outcomes = [f.result() for f in futures]
         # Barrier: merge in host order; keep the first failure in host
         # order and discard everything a serial sweep would not have run.
+        # Applied outputs run right after each host's merge, so their
+        # shared-state writes land in the same order serial produced.
         order = sorted(range(len(tasks)), key=lambda i: tasks[i].host)
+        results: list[Any] = [None] * len(tasks)
         failed_at = None
         for pos, i in enumerate(order):
             result, exc = outcomes[i]
@@ -377,31 +432,378 @@ class ParallelExecutor(Executor):
             if exc is not None:
                 failed_at = pos
                 break
+            if tasks[i].apply is not None:
+                result = tasks[i].apply(result)
+            results[i] = result
         if failed_at is not None:
             for i in order[failed_at + 1:]:
                 views[i].release()
             raise outcomes[order[failed_at]][1]
-        return [outcomes[i][0] for i in range(len(tasks))]
+        return results
 
     @staticmethod
     def _guarded(
-        fn: Callable[[HostView], Any],
+        task: HostTask,
         view: HostView,
         monitor: isolation.IsolationMonitor | None,
         phase_name: str,
-        label: str,
     ) -> tuple[Any, Exception | None]:
         try:
             if monitor is not None:
-                with monitor.task(view.host, phase_name, label):
-                    result = fn(view)
+                with monitor.task(view.host, phase_name, task.label):
+                    result = _invoke(task, view)
                     view.flush_accumulators()
                     return result, None
-            result = fn(view)
+            result = _invoke(task, view)
             view.flush_accumulators()
             return result, None
         except Exception as exc:  # noqa: BLE001 — re-raised at the barrier
             return None, exc
+
+
+class _ShippedHostView(LedgerHostView):
+    """The ledger view a forked worker runs a task against.
+
+    Identical to :class:`LedgerHostView` except every queue drain is
+    logged: the worker drains its copy-on-write snapshot of the queues,
+    so the parent must re-play the same drains against the real
+    communicator at the barrier (:meth:`Communicator.replay_recv`).
+    """
+
+    __slots__ = ("recv_log",)
+
+    def __init__(self, stats: PhaseStats, host: int):
+        super().__init__(stats, host)
+        #: ``(tag, count)`` per non-empty drain, in drain order.
+        self.recv_log: list[tuple[str, int]] = []
+
+    def recv_all(self, tag: str = "default") -> list[tuple[int, Any]]:
+        out = self._stats.comm.recv_all(self.host, tag)
+        if out:
+            # Only non-empty drains are logged, matching when the
+            # communicator notifies its observer.
+            self.recv_log.append((tag, len(out)))
+        return out
+
+    def recv_all_batch(self, tag: str, schema: ColumnSchema) -> ReceivedBatch:
+        return ReceivedBatch(schema, self.recv_all(tag))
+
+
+def _split_chunks(n: int, k: int) -> list[list[int]]:
+    """``n`` task indices split into ``min(k, n)`` contiguous chunks."""
+    k = max(1, min(k, n))
+    base, extra = divmod(n, k)
+    chunks, start = [], 0
+    for j in range(k):
+        size = base + (1 if j < extra else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return chunks
+
+
+def _encode_queued_payload(payload: Any) -> tuple[str, Any]:
+    """Wire-encode one queued payload for the worker -> parent pipe.
+
+    Large columnar batches go through the shared-memory wire format so
+    their columns never cross the pipe; everything else rides pickle
+    (:class:`MessageBatch` itself pickles via the inline wire format).
+    """
+    if isinstance(payload, MessageBatch) and payload.nbytes >= _SHM_THRESHOLD:
+        return ("wire", payload.to_bytes(shm_threshold=_SHM_THRESHOLD))
+    return ("obj", payload)
+
+
+def _decode_queued_payload(enc: tuple[str, Any]) -> Any:
+    kind, data = enc
+    if kind == "wire":
+        batch = MessageBatch.from_bytes(data)
+        # Take ownership: copy shared columns private and unlink the
+        # segments, so a discarded delta can never leak a segment.
+        batch.detach_shared()
+        return batch
+    return data
+
+
+def _run_shipped_task(
+    stats: PhaseStats,
+    task: HostTask,
+    monitor: isolation.IsolationMonitor | None,
+    phase_name: str,
+) -> dict[str, Any]:
+    """Worker-side: run one task, return its serializable delta.
+
+    The delta is everything the parent needs to make its shared state
+    bit-identical to a serial run of the task: the private ledger's
+    accounting vectors and queued payloads, fault events and the
+    channel's advanced RNG/op state, disk/compute charges, the drain
+    log, and the isolation monitor's evidence.
+    """
+    comm = stats.comm
+    injector = comm.injector
+    base_acc = len(monitor.accesses) if monitor is not None else 0
+    base_num = monitor.num_accesses if monitor is not None else 0
+    base_vio = len(monitor.violations) if monitor is not None else 0
+    view = _ShippedHostView(stats, task.host)
+    result: Any = None
+    exc: Exception | None = None
+    try:
+        if monitor is not None:
+            with monitor.task(view.host, phase_name, task.label):
+                result = _invoke(task, view)
+                view.flush_accumulators()
+        else:
+            result = _invoke(task, view)
+            view.flush_accumulators()
+    except Exception as e:  # noqa: BLE001 — re-raised at the barrier
+        result, exc = None, e
+    ledger = view.ledger
+    channel_state = None
+    if injector is not None and view._channel is not None:
+        ch = view._channel
+        channel_state = {
+            "ops": ch.ops,
+            "rng": ch._rng.bit_generator.state,
+            "fired": list(ch.fired),
+        }
+    if exc is None:
+        try:
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as perr:  # noqa: BLE001 — converted to task failure
+            result, exc = None, RuntimeError(
+                f"host {task.host} task {task.label!r} returned an "
+                f"unshippable result ({perr}); task outputs must pickle"
+            )
+    if exc is not None:
+        try:
+            pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # noqa: BLE001 — substitute a shippable summary
+            exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+    evidence = None
+    if monitor is not None:
+        evidence = {
+            "accesses": monitor.accesses[base_acc:],
+            "num_accesses": monitor.num_accesses - base_num,
+            "violations": monitor.violations[base_vio:],
+        }
+    return {
+        "host": task.host,
+        "result": result,
+        "exc": exc,
+        "vectors": {
+            "sent_bytes": ledger.sent_bytes,
+            "sent_messages": ledger.sent_messages,
+            "retry_bytes": ledger.retry_bytes,
+            "retry_messages": ledger.retry_messages,
+            "stream_bytes": ledger.stream_bytes,
+            "stream_logical": ledger.stream_logical,
+        },
+        "backoff_units": ledger.backoff_units,
+        "queued": [
+            (dst, tag, _encode_queued_payload(p))
+            for dst, tag, p in ledger.queued
+        ],
+        "fault_events": ledger.fault_events,
+        "channel": channel_state,
+        "disk_bytes": view.disk_bytes,
+        "compute_units": view.compute_units,
+        "recv_log": view.recv_log,
+        "monitor": evidence,
+    }
+
+
+class ProcessExecutor(Executor):
+    """Forked worker processes over private per-host ledgers.
+
+    The GIL-free engine: each :meth:`run` barrier forks workers that
+    inherit a copy-on-write snapshot of the barrier-entry state (which
+    is why task closures still work), runs each task against a
+    :class:`_ShippedHostView`, and ships a picklable delta back over a
+    pipe.  The parent reconstructs each host's
+    :class:`~repro.runtime.comm.CommLedger`, merges in **host order**
+    through the exact same ``merge_ledger`` path the thread executor
+    uses, re-plays queue drains, adopts the fault channels' advanced
+    RNG/op state, and folds in isolation evidence — so fault plans,
+    crash recovery, sanitizer audits, and every accounting counter stay
+    bit-identical to serial.
+
+    Task bodies must not write shared structures (worker writes die
+    with the worker); declared outputs go through ``HostTask.apply``,
+    which runs in the parent at the barrier.  The
+    ``unshippable-task-capture`` lint rule enforces this statically.
+
+    On platforms without ``os.fork`` the executor degrades to the
+    serial direct path (still correct, no speedup).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        check_isolation: bool = False,
+        monitor: "isolation.IsolationMonitor | None" = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._max_workers = max_workers
+        if monitor is None and check_isolation:
+            monitor = isolation.IsolationMonitor()
+        self.monitor = monitor
+
+    def close(self) -> None:
+        """Workers are per-barrier; nothing persistent to release."""
+
+    def _width(self, num_tasks: int) -> int:
+        workers = self._max_workers
+        if workers is None:
+            workers = max(2, min(num_tasks, os.cpu_count() or 1))
+        return max(1, min(workers, num_tasks))
+
+    def run(self, stats: PhaseStats, tasks: Sequence[HostTask]) -> list[Any]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        hosts = [t.host for t in tasks]
+        if len(set(hosts)) != len(hosts):
+            raise ValueError("one task per host required in run()")
+        if len(tasks) == 1 or not _CAN_FORK:
+            # Single task: no concurrency to gain.  No fork(): degrade
+            # to the reference semantics rather than fail.
+            return [_run_direct(stats, t) for t in tasks]
+        deltas = self._fork_and_collect(stats, tasks)
+        # Decode queued payloads for *every* delta up front — a delta
+        # discarded on the failure path below must still have its
+        # shared-memory segments unlinked.
+        for delta in deltas:
+            delta["queued"] = [
+                (dst, tag, _decode_queued_payload(p))
+                for dst, tag, p in delta["queued"]
+            ]
+        order = sorted(range(len(tasks)), key=lambda i: tasks[i].host)
+        if self.monitor is not None:
+            # All workers ran (as with threads), so all evidence counts;
+            # host order keeps the merged log deterministic.
+            for i in order:
+                self._merge_evidence(deltas[i]["monitor"])
+        results: list[Any] = [None] * len(tasks)
+        failure: Exception | None = None
+        for i in order:
+            delta = deltas[i]
+            self._merge_delta(stats, tasks[i], delta)
+            if delta["exc"] is not None:
+                # First failure in host order wins; later hosts' deltas
+                # are discarded unmerged (their parent-side channels
+                # were never touched, so there is nothing to release).
+                failure = delta["exc"]
+                break
+            result = delta["result"]
+            if tasks[i].apply is not None:
+                result = tasks[i].apply(result)
+            results[i] = result
+        if failure is not None:
+            raise failure
+        return results
+
+    def _fork_and_collect(
+        self, stats: PhaseStats, tasks: list[HostTask]
+    ) -> list[dict[str, Any]]:
+        """Fork one worker per chunk; gather every task's delta."""
+        chunks = _split_chunks(len(tasks), self._width(len(tasks)))
+        phase_name = getattr(stats, "name", "")
+        children: list[tuple[int, int, list[int]]] = []
+        with warnings.catch_warnings():
+            # CPython warns on fork() in a threaded process; the workers
+            # only touch the snapshot and never take inherited locks.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for chunk in chunks:
+                r, w = os.pipe()
+                pid = os.fork()
+                if pid == 0:
+                    status = 0
+                    try:
+                        os.close(r)
+                        shipped = [
+                            _run_shipped_task(
+                                stats, tasks[i], self.monitor, phase_name
+                            )
+                            for i in chunk
+                        ]
+                        blob = pickle.dumps(
+                            shipped, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                        with os.fdopen(w, "wb") as out:
+                            out.write(blob)
+                    except BaseException:  # noqa: BLE001 — worker must exit
+                        status = 1
+                    os._exit(status)
+                os.close(w)
+                children.append((pid, r, chunk))
+        deltas: list[dict[str, Any] | None] = [None] * len(tasks)
+        broken: list[str] = []
+        for pid, r, chunk in children:
+            # Read the pipe fully *before* waiting: a worker blocked on
+            # a full pipe buffer never exits.
+            with os.fdopen(r, "rb") as reader:
+                blob = reader.read()
+            _, status = os.waitpid(pid, 0)
+            code = os.waitstatus_to_exitcode(status)
+            if code != 0 or not blob:
+                hosts = [tasks[i].host for i in chunk]
+                broken.append(f"hosts {hosts} (exit {code})")
+                continue
+            for i, delta in zip(chunk, pickle.loads(blob)):
+                deltas[i] = delta
+        if broken:
+            raise RuntimeError(
+                "process executor worker(s) died without shipping their "
+                f"deltas: {', '.join(broken)}"
+            )
+        return [d for d in deltas if d is not None]
+
+    def _merge_evidence(self, evidence: dict[str, Any] | None) -> None:
+        if evidence is None or self.monitor is None:
+            return
+        mon = self.monitor
+        for access in evidence["accesses"]:
+            if len(mon.accesses) < mon.max_recorded:
+                mon.accesses.append(access)
+        mon.num_accesses += evidence["num_accesses"]
+        mon.violations.extend(evidence["violations"])
+
+    @staticmethod
+    def _merge_delta(
+        stats: PhaseStats, task: HostTask, delta: dict[str, Any]
+    ) -> None:
+        """Parent-side mirror of :meth:`LedgerHostView.merge`."""
+        comm = stats.comm
+        ledger = comm.ledger(task.host)
+        vectors = delta["vectors"]
+        ledger.sent_bytes[:] = vectors["sent_bytes"]
+        ledger.sent_messages[:] = vectors["sent_messages"]
+        ledger.retry_bytes[:] = vectors["retry_bytes"]
+        ledger.retry_messages[:] = vectors["retry_messages"]
+        ledger.stream_bytes[:] = vectors["stream_bytes"]
+        ledger.stream_logical[:] = vectors["stream_logical"]
+        ledger.backoff_units = delta["backoff_units"]
+        # queued and fault_events must be in place *before* merge_ledger:
+        # CommSan's on_merge mirrors both.
+        ledger.queued = list(delta["queued"])
+        ledger.fault_events = list(delta["fault_events"])
+        comm.merge_ledger(ledger)
+        stats.disk_bytes[task.host] += delta["disk_bytes"]
+        stats.compute_units[task.host] += delta["compute_units"]
+        injector = comm.injector
+        if injector is not None:
+            injector.events.extend(ledger.fault_events)
+            channel_state = delta["channel"]
+            if channel_state is not None:
+                channel = injector.channel(task.host)
+                channel.ops = channel_state["ops"]
+                channel._rng.bit_generator.state = channel_state["rng"]
+                channel.fired = list(channel_state["fired"])
+                injector.commit(channel)
+        for tag, count in delta["recv_log"]:
+            comm.replay_recv(task.host, tag, count)
 
 
 def make_executor(spec: str | Executor | None) -> Executor:
@@ -420,6 +822,10 @@ def make_executor(spec: str | Executor | None) -> Executor:
             # (repro.analysis.isolation): same bit-identical results,
             # plus a proof that no task left its lane.
             return ParallelExecutor(check_isolation=True)
+        if spec == "process":
+            return ProcessExecutor()
+        if spec == "process-checked":
+            return ProcessExecutor(check_isolation=True)
         raise ValueError(
             f"unknown executor {spec!r}; expected one of {EXECUTOR_NAMES}"
         )

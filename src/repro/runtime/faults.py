@@ -129,6 +129,13 @@ class HostCrashError(FaultError):
         self.host = int(host)
         self.phase = phase
 
+    def __reduce__(self) -> tuple:
+        # The default exception pickling replays __init__ with the
+        # formatted message as its single argument, which does not match
+        # this two-argument signature; crashes must survive the worker
+        # process -> parent hop intact (host and phase drive recovery).
+        return (HostCrashError, (self.host, self.phase))
+
 
 class SendRetriesExhausted(FaultError):
     """A point-to-point send kept failing past the retry budget."""

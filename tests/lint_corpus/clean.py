@@ -22,10 +22,15 @@ def membership_only(edges, h):
 
 def make_task(h, out, num_hosts):
     def body(view):
-        out[h] = view.host  # own slot: index is the closure's host id
+        scratch = np.zeros(num_hosts)
+        scratch[h] = view.host  # body-created scratch, not captured state
         view.send((h + 1) % num_hosts, b"payload", tag="t", nbytes=8)
         view.send((h + 2) % num_hosts, None, tag="empty", nbytes=8)
         view.add_compute(1.0)
         return view.recv_all(tag="t")
 
-    return HostTask(h, body, label="clean")
+    def install(result):
+        out[h] = result  # apply runs in the parent: captured writes are fine
+        return result
+
+    return HostTask(h, body, label="clean", apply=install)

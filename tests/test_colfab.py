@@ -16,12 +16,17 @@ across ledger merges, ``pending`` with mixed direct/ledger sends) that
 the batch receiver builds on.
 """
 
+import pickle
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import CuSP
 from repro.graph import erdos_renyi
 from repro.runtime.colfab import (
+    WIRE_MAGIC,
     BatchAccumulator,
     ColumnSchema,
     MessageBatch,
@@ -109,6 +114,127 @@ class TestMessageBatch:
     def test_column_accessor(self):
         b = ids_batch(self.SCHEMA, [1], [9])
         assert b.column("dst")[0] == 9
+
+
+_WIRE_SIGNED = (np.dtype(np.int64), np.dtype(np.int32), np.dtype(np.int16),
+                np.dtype(np.float64), np.dtype(np.float32))
+_WIRE_UNSIGNED = (np.dtype(np.uint8), np.dtype(np.uint16))
+
+
+@st.composite
+def wire_batches(draw):
+    """Arbitrary MessageBatch: mixed dtypes, scalars, any row count."""
+    ncols = draw(st.integers(0, 4))
+    nscalars = draw(st.integers(0, 3))
+    rows = draw(st.integers(0, 40))
+    dts = [
+        draw(st.sampled_from(_WIRE_SIGNED + _WIRE_UNSIGNED))
+        for _ in range(ncols)
+    ]
+    cols = []
+    for dt in dts:
+        lo = -120 if dt in _WIRE_SIGNED else 0
+        vals = draw(st.lists(
+            st.integers(lo, 120), min_size=rows, max_size=rows,
+        ))
+        cols.append(np.asarray(vals, dtype=dt))
+    scalars = tuple(
+        draw(st.one_of(
+            st.integers(-(2 ** 62), 2 ** 62),
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+        ))
+        for _ in range(nscalars)
+    )
+    schema = ColumnSchema(
+        tuple((f"c{i}", dt) for i, dt in enumerate(dts)),
+        scalars=tuple(f"s{i}" for i in range(nscalars)),
+    )
+    return MessageBatch(schema, tuple(cols), scalars)
+
+
+def assert_batches_equal(a, b):
+    assert a.schema == b.schema
+    assert a.rows == b.rows
+    assert a.nbytes == b.nbytes
+    assert a.checksum() == b.checksum()
+    for ca, cb in zip(a.columns, b.columns):
+        assert ca.dtype == cb.dtype
+        assert np.array_equal(ca, cb)
+    assert a.scalars == b.scalars
+    for sa, sb in zip(a.scalars, b.scalars):
+        assert type(sa) is type(sb)  # int stays int, float stays float
+
+
+class TestWireFormat:
+    """The versioned zero-copy wire format (`to_bytes`/`from_bytes`)."""
+
+    SCHEMA = ColumnSchema((("src", I64), ("dst", I32)), scalars=("count",))
+
+    @settings(max_examples=120, deadline=None)
+    @given(batch=wire_batches())
+    def test_round_trip(self, batch):
+        back = MessageBatch.from_bytes(batch.to_bytes())
+        assert_batches_equal(batch, back)
+
+    @settings(max_examples=60, deadline=None)
+    @given(batch=wire_batches())
+    def test_pickle_round_trips_via_wire(self, batch):
+        back = pickle.loads(pickle.dumps(batch, pickle.HIGHEST_PROTOCOL))
+        assert_batches_equal(batch, back)
+
+    @settings(max_examples=60, deadline=None)
+    @given(batch=wire_batches(), data=st.data())
+    def test_sliced_batch_round_trips(self, batch, data):
+        lo = data.draw(st.integers(0, batch.rows))
+        hi = data.draw(st.integers(lo, batch.rows))
+        view = batch.slice(lo, hi)
+        back = MessageBatch.from_bytes(view.to_bytes())
+        assert_batches_equal(view, back)
+
+    def test_empty_batch_round_trips(self):
+        batch = MessageBatch.empty(self.SCHEMA)
+        back = MessageBatch.from_bytes(batch.to_bytes())
+        assert_batches_equal(batch, back)
+
+    def test_wire_magic_leads_the_frame(self):
+        buf = ids_batch(self.SCHEMA, [1], [2], scalars=(3,)).to_bytes()
+        assert buf[: len(WIRE_MAGIC)] == WIRE_MAGIC
+
+    def test_corrupted_payload_is_rejected(self):
+        buf = bytearray(
+            ids_batch(self.SCHEMA, [1, 2], [3, 4], scalars=(5,)).to_bytes()
+        )
+        buf[-1] ^= 0xFF  # flip a bit in the last column's data
+        with pytest.raises(ValueError):
+            MessageBatch.from_bytes(bytes(buf))
+
+    def test_truncated_frame_is_rejected(self):
+        buf = ids_batch(self.SCHEMA, [1, 2], [3, 4], scalars=(5,)).to_bytes()
+        with pytest.raises(ValueError):
+            MessageBatch.from_bytes(buf[: len(buf) // 2])
+
+    def test_bool_scalar_is_rejected(self):
+        s = ColumnSchema((("x", I64),), scalars=("flag",))
+        batch = MessageBatch(s, (np.arange(2),), (True,))
+        with pytest.raises(TypeError):
+            batch.to_bytes()
+
+    def test_shared_memory_columns_round_trip(self):
+        src = np.arange(4096, dtype=np.int64)
+        dst = np.arange(4096, dtype=np.int32)
+        batch = MessageBatch(self.SCHEMA, (src, dst), (7,))
+        buf = batch.to_bytes(shm_threshold=1024)
+        assert len(buf) < batch.nbytes  # columns live in shm, not inline
+        back = MessageBatch.from_bytes(buf)
+        assert_batches_equal(batch, back)
+        back.detach_shared()  # copy private + unlink the segments
+        assert_batches_equal(batch, back)
+
+    def test_decode_is_zero_copy_for_inline_columns(self):
+        batch = ids_batch(self.SCHEMA, [1, 2, 3], [4, 5, 6], scalars=(9,))
+        buf = batch.to_bytes()
+        back = MessageBatch.from_bytes(buf)
+        assert not back.columns[0].flags.owndata  # view over the frame
 
 
 class TestConcatBatches:
@@ -391,7 +517,10 @@ class TestFabricEquivalence:
                                   ps.local_graph.edge_data)
             assert np.array_equal(pc.local_csc.indptr, ps.local_csc.indptr)
 
-    @pytest.mark.parametrize("executor", ["parallel", "parallel-checked"])
+    @pytest.mark.parametrize(
+        "executor",
+        ["parallel", "parallel-checked", "process", "process-checked"],
+    )
     def test_parallel_executors(self, executor):
         col = run("CVC", fabric="columnar", executor=executor)
         sca = run("CVC", fabric="scalar", executor="serial")
@@ -404,7 +533,7 @@ class TestFabricEquivalence:
         assert_same_partition(col, sca)
         assert_same_breakdown(col.breakdown, sca.breakdown)
 
-    @pytest.mark.parametrize("executor", ["serial", "parallel"])
+    @pytest.mark.parametrize("executor", ["serial", "parallel", "process"])
     def test_under_injected_faults(self, executor):
         """Same fault plan, same draws: the columnar op sequence matches
         the scalar one operation for operation."""

@@ -27,6 +27,7 @@ from repro.runtime.executor import (
     EXECUTOR_NAMES,
     HostTask,
     ParallelExecutor,
+    ProcessExecutor,
     SerialExecutor,
     make_executor,
 )
@@ -193,10 +194,15 @@ class TestExecutorMechanics:
         checked = make_executor("parallel-checked")
         assert isinstance(checked, ParallelExecutor)
         assert checked.monitor is not None
+        assert isinstance(make_executor("process"), ProcessExecutor)
+        pchecked = make_executor("process-checked")
+        assert isinstance(pchecked, ProcessExecutor)
+        assert pchecked.monitor is not None
         with pytest.raises(ValueError):
             make_executor("bogus")
         assert set(EXECUTOR_NAMES) == {
             "serial", "parallel", "parallel-checked",
+            "process", "process-checked",
         }
 
     def _stats(self, num_hosts=3):
@@ -272,6 +278,111 @@ class TestExecutorMechanics:
             recv_s = ph_s.comm.recv_all(j, tag="t")
             recv_p = ph_p.comm.recv_all(j, tag="t")
             assert [src for src, _ in recv_s] == [src for src, _ in recv_p]
+
+
+def run_serial_and_process(graph, policy, k=4, plan=None, **kw):
+    """Serial vs forked-process run, both under CommSan and the process
+    side under the isolation detector (worker evidence is shipped back
+    and merged into the parent's monitor)."""
+    serial = CuSP(k, policy, fault_plan=plan, executor="serial",
+                  sanitizer=True, **kw)
+    checked = ProcessExecutor(check_isolation=True)
+    proc = CuSP(k, policy, fault_plan=plan, executor=checked,
+                sanitizer=True, **kw)
+    dg_s, dg_p = serial.partition(graph), proc.partition(graph)
+    assert not checked.monitor.violations
+    assert checked.monitor.num_accesses > 0, (
+        "isolation evidence never crossed the process boundary"
+    )
+    for cusp in (serial, proc):
+        assert cusp.sanitizer.violations == []
+        assert cusp.sanitizer.phases_checked >= 5
+    return dg_s, dg_p
+
+
+class TestSerialProcessEquivalence:
+    """ProcessExecutor must be observationally identical to serial: the
+    same partitions and every simulated counter, with ledger deltas,
+    fault-channel RNG states and sanitizer evidence shipped across the
+    process boundary instead of shared memory."""
+
+    @pytest.mark.parametrize("policy", policy_names())
+    def test_all_policies_bit_identical(self, policy):
+        graph = erdos_renyi(300, 2400, seed=11)
+        dg_s, dg_p = run_serial_and_process(graph, policy)
+        assert_same_partition(dg_s, dg_p)
+        assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
+
+    @pytest.mark.parametrize("fabric", ["columnar", "scalar"])
+    def test_both_fabrics(self, fabric):
+        graph = erdos_renyi(250, 1800, seed=3)
+        dg_s, dg_p = run_serial_and_process(graph, "FEC", fabric=fabric)
+        assert_same_partition(dg_s, dg_p)
+        assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
+
+    def test_crash_bearing_fault_plan(self, tmp_path):
+        plan = FaultPlan(
+            seed=2, send_failure_rate=0.05, drop_rate=0.03,
+            duplicate_rate=0.03,
+            crashes=(
+                HostCrash(host=1, phase=2, op_count=5),
+                HostCrash(host=2, phase=4),
+            ),
+        )
+        graph = erdos_renyi(300, 2400, seed=11)
+        serial = CuSP(4, "CVC", fault_plan=plan, executor="serial",
+                      checkpoint_dir=str(tmp_path / "s"), sanitizer=True)
+        checked = ProcessExecutor(check_isolation=True)
+        proc = CuSP(4, "CVC", fault_plan=plan, executor=checked,
+                    checkpoint_dir=str(tmp_path / "p"), sanitizer=True)
+        dg_s, dg_p = serial.partition(graph), proc.partition(graph)
+        assert not checked.monitor.violations
+        assert serial.sanitizer.violations == []
+        assert proc.sanitizer.violations == []
+        assert_same_partition(dg_s, dg_p)
+        assert_same_breakdown(dg_s.breakdown, dg_p.breakdown)
+        assert serial.last_fault_report.events == (
+            proc.last_fault_report.events
+        )
+        assert dg_s.breakdown.failed_phases()
+
+    def test_chaos_campaign(self):
+        from repro.chaos import run_campaign
+
+        report = run_campaign(plans=4, seed=7, executor="process")
+        assert report.ok(), report.render_text()
+
+    def test_worker_exception_propagates(self):
+        ph = _make_stats()
+
+        def boom(view):
+            raise RuntimeError("task failed in worker")
+
+        tasks = [HostTask(0, lambda v: None), HostTask(1, boom)]
+        with pytest.raises(RuntimeError, match="task failed in worker"):
+            ProcessExecutor(max_workers=2).run(ph, tasks)
+
+    def test_unshippable_result_is_reported(self):
+        ph = _make_stats()
+        tasks = [
+            HostTask(h, (lambda h: lambda v: (lambda: h))(h))  # closures
+            for h in range(2)                                  # don't pickle
+        ]
+        with pytest.raises(RuntimeError, match="unshippable"):
+            ProcessExecutor(max_workers=2).run(ph, tasks)
+
+    def test_results_in_task_order(self):
+        ph = _make_stats()
+        tasks = [HostTask(h, (lambda h: lambda v: h * 10)(h))
+                 for h in (2, 0, 1)]
+        assert ProcessExecutor(max_workers=2).run(ph, tasks) == [20, 0, 10]
+
+
+def _make_stats(num_hosts=3):
+    from repro.runtime.stats import PhaseStats
+
+    comm = Communicator(num_hosts, injector=FaultInjector(FaultPlan()))
+    return PhaseStats(name="test", comm=comm, num_hosts=num_hosts)
 
 
 class TestCommRegressions:

@@ -34,6 +34,7 @@ RULE_FIXTURES = {
     "ledger-bypass": "bad_ledger_bypass.py",
     "unaccounted-send": "bad_unaccounted_send.py",
     "cross-host-write": "bad_cross_host_write.py",
+    "unshippable-task-capture": "bad_unshippable_capture.py",
     "scalar-send-in-hot-loop": "bad_scalar_send_loop.py",
     "contract-undeclared-op": "bad_undeclared_op.py",
     "swallowed-error": "bad_swallowed_error.py",
