@@ -45,6 +45,11 @@ __all__ = [
     "ContractReport",
     "extract_phase_ops",
     "check_contracts",
+    "constant_str",
+    "keyword_arg",
+    "is_nested",
+    "mark_visited",
+    "call_closure",
 ]
 
 ERROR = "error"
@@ -153,17 +158,26 @@ class ContractReport:
         )
 
 
-def _constant_str(node: ast.AST | None) -> str | None:
+def constant_str(node: ast.AST | None) -> str | None:
+    """The literal string value of a Constant node, else None.
+
+    Shared with :mod:`repro.analysis.ipa` (tag/seed classification).
+    """
     if isinstance(node, ast.Constant) and isinstance(node.value, str):
         return node.value
     return None
 
 
-def _keyword(call: ast.Call, name: str) -> ast.AST | None:
+def keyword_arg(call: ast.Call, name: str) -> ast.AST | None:
+    """The value of keyword ``name`` on ``call``, else None (shared)."""
     for kw in call.keywords:
         if kw.arg == name:
             return kw.value
     return None
+
+
+_constant_str = constant_str
+_keyword = keyword_arg
 
 
 def _under_blocking_guard(node: ast.AST, stop: ast.AST) -> bool:
@@ -285,8 +299,8 @@ def _scan_function(
     return scan
 
 
-def _is_nested(fndef: ast.AST) -> bool:
-    """Whether ``fndef`` is defined inside another function."""
+def is_nested(fndef: ast.AST) -> bool:
+    """Whether ``fndef`` is defined inside another function (shared)."""
     current = getattr(fndef, "_repro_parent", None)
     while current is not None:
         if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -295,22 +309,52 @@ def _is_nested(fndef: ast.AST) -> bool:
     return False
 
 
-def _collect_defs(
-    tree: ast.AST,
-) -> dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]]:
-    defs: dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            defs.setdefault(node.name, []).append(node)
-    return defs
-
-
-def _mark_visited(
+def mark_visited(
     fndef: ast.FunctionDef | ast.AsyncFunctionDef, visited: set[int]
 ) -> None:
+    """Mark ``fndef`` and every def nested in it as visited (shared)."""
     for node in ast.walk(fndef):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # repro-lint: disable-next-line=deep-determinism-taint -- identity-keyed visited set; the addresses gate traversal membership only and never reach extractor output
             visited.add(id(node))
+
+
+_is_nested = is_nested
+_mark_visited = mark_visited
+
+
+def call_closure(
+    module: ModuleSource,
+    entries: list[ast.FunctionDef | ast.AsyncFunctionDef],
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """The module-local name-based call closure of ``entries``.
+
+    A name referenced anywhere in a visited function pulls in every
+    same-named top-level definition — the over-matching resolution the
+    contracts extractor uses for HostTask bodies passed by name.  The
+    precise (scope- and type-aware) counterpart lives in
+    :mod:`repro.analysis.ipa.program`.
+    """
+    defs = module.defs_by_name
+    visited: set[int] = set()
+    order: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    queue = list(entries)
+    while queue:
+        fndef = queue.pop(0)
+        if id(fndef) in visited:
+            continue
+        mark_visited(fndef, visited)
+        order.append(fndef)
+        referenced = {
+            n.id
+            for n in ast.walk(fndef)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+        for name in sorted(referenced):
+            for ref in defs.get(name, ()):
+                if id(ref) not in visited and not is_nested(ref):
+                    queue.append(ref)
+    return order
 
 
 def extract_phase_ops(
@@ -348,9 +392,8 @@ def extract_phase_ops(
         return ops, findings
     module = ModuleSource.load(primary_path, base)
 
-    defs = _collect_defs(module.tree)
-    visited: set[int] = set()
-    queue: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    defs = module.defs_by_name
+    entries: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
     for entry in contract.entry_points:
         entry_defs = defs.get(entry, [])
         if not entry_defs:
@@ -359,27 +402,19 @@ def extract_phase_ops(
                 primary_rel,
                 f"entry point {entry}() not found in the phase module",
             )
-        queue.extend(entry_defs)
+        entries.extend(entry_defs)
 
     sync_consts: set[bool] = set()
     dispatched = False
-    while queue:
-        fndef = queue.pop(0)
-        if id(fndef) in visited:
-            continue
-        _mark_visited(fndef, visited)
+    # Nested defs are reachable only from their enclosing scope, which
+    # ast.walk of that scope already covered; call_closure resolves
+    # names against top-level defs only, so sibling entry points'
+    # helpers never leak into this phase.
+    for fndef in call_closure(module, entries):
         scan = _scan_function(module, fndef, None)
         ops.extend(scan.ops)
         sync_consts |= scan.sync_blocking
         dispatched = dispatched or scan.dispatches_sync
-        for name in sorted(scan.referenced):
-            for ref in defs.get(name, ()):
-                # A def nested in another function is reachable only
-                # from its enclosing scope, which ast.walk of that scope
-                # already covered; resolving names against it would leak
-                # sibling entry points' helpers into this phase.
-                if id(ref) not in visited and not _is_nested(ref):
-                    queue.append(ref)
 
     hint = frozenset(sync_consts) if sync_consts else None
     for rel in contract.modules[1:]:

@@ -1,0 +1,43 @@
+"""Whole-program interprocedural analysis (``repro lint --deep``).
+
+The per-module lint (:mod:`repro.analysis.lint`) and the per-phase
+contract extractor (:mod:`repro.analysis.contracts`) both stop at
+module (or call-closure-within-module) boundaries.  This package
+analyzes the *whole program*:
+
+* :mod:`~repro.analysis.ipa.summary` — one cacheable
+  :class:`ModuleSummary` per file: symbols, classes, alias tables,
+  call atoms with receiver typing, local taint dataflow, payload
+  shippability trees, and ``HostTask`` registrations.
+* :mod:`~repro.analysis.ipa.program` — links summaries into a
+  project-wide symbol table and call graph (module-level name
+  resolution plus method dispatch on statically-typed receivers such
+  as ``Communicator``, ``CommLedger``, ``LedgerHostView``).
+* :mod:`~repro.analysis.ipa.analyses` — the interprocedural passes:
+  determinism taint, payload shippability, and the deep re-hosts of
+  the three evasion-prone shallow rules (``comm-in-task``,
+  ``unseeded-rng``, ``unshippable-task-capture``), each reporting a
+  call-chain witness naming every hop.
+* :mod:`~repro.analysis.ipa.cache` — the per-file SHA-256-keyed
+  incremental cache that keeps warm full-repo runs fast.
+* :mod:`~repro.analysis.ipa.engine` — the driver ``run_lint(...,
+  deep=True)`` delegates to.
+
+See the "Whole-program analysis" section of ``docs/ANALYSIS.md``.
+"""
+
+from .analyses import DEEP_RULES, all_deep_rules
+from .cache import DeepCache
+from .engine import run_deep_lint
+from .program import Program
+from .summary import ModuleSummary, summarize_module
+
+__all__ = [
+    "DEEP_RULES",
+    "DeepCache",
+    "ModuleSummary",
+    "Program",
+    "all_deep_rules",
+    "run_deep_lint",
+    "summarize_module",
+]

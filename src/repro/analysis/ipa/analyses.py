@@ -1,0 +1,694 @@
+"""The whole-program analyses behind ``repro lint --deep``.
+
+Each deep rule mirrors the contract of a shallow rule (or adds a new
+one) but reasons over the linked :class:`~repro.analysis.ipa.program.
+Program` instead of one module at a time, so helper indirection no
+longer hides a violation.  Every finding carries a **call-chain
+witness** naming each hop from the entry point to the offending
+operation — a deep finding the reader cannot retrace is a deep finding
+nobody trusts.
+
+Rules:
+
+* ``deep-comm-in-task`` — the shared Communicator (``.comm`` access or
+  a phase-global collective) reached from a HostTask body *through
+  helpers*, any call depth.  The comm layer itself
+  (``runtime/comm.py``, ``runtime/executor.py``, ``runtime/colfab.py``)
+  is the sanctioned boundary: traversal stops there.
+* ``deep-unseeded-rng`` — a seed parameter threaded through wrappers
+  (``def fresh(seed=None): return default_rng(seed)``) that a call
+  site leaves unbound or binds to ``None``.
+* ``deep-unshippable-task-capture`` — a helper reached from a HostTask
+  body that writes closure/global state, or mutates a parameter bound
+  to captured state, which a forked worker cannot ship back.
+* ``deep-determinism-taint`` — a nondeterminism source (wall-clock,
+  unseeded RNG, set iteration order, ``id()``) whose value flows
+  through returns and calls into partition state, a ledger
+  send/charge, or a HostTask result.
+* ``deep-unshippable-payload`` — a ``HostTask(payload=...)`` whose
+  value tree transitively contains something a forked worker cannot
+  unpickle or must not own: locks, open files, sockets, generators,
+  lambdas, closure-carrying nested functions, or Communicator/executor
+  references.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..lint.base import ERROR, WARNING, Finding
+from .program import COMM_TYPE_LEAFS, Program, Target
+from .summary import FunctionSummary, ModuleSummary, taints_from_json
+
+__all__ = ["DEEP_RULES", "DeepRule", "all_deep_rules"]
+
+#: Modules that *are* the comm layer: reaching them from a task body is
+#: how charges are supposed to flow (via the HostView), so traversal
+#: neither descends into nor reports from them.
+TRUSTED_RELS = (
+    "runtime/comm.py",
+    "runtime/executor.py",
+    "runtime/colfab.py",
+)
+
+#: Callables whose return value can never cross a process boundary.
+BAD_FACTORIES = {
+    "threading.Lock": "a threading.Lock",
+    "threading.RLock": "a threading.RLock",
+    "threading.Condition": "a threading.Condition",
+    "threading.Semaphore": "a threading.Semaphore",
+    "threading.BoundedSemaphore": "a threading.Semaphore",
+    "threading.Event": "a threading.Event",
+    "threading.Barrier": "a threading.Barrier",
+    "threading.local": "thread-local storage",
+    "multiprocessing.Lock": "a multiprocessing.Lock",
+    "open": "an open file handle",
+    "io.open": "an open file handle",
+    "os.fdopen": "an open file handle",
+    "socket.socket": "a socket",
+    "socket.create_connection": "a socket",
+    "subprocess.Popen": "a subprocess handle",
+    "queue.Queue": "a queue (holds thread locks)",
+    "queue.LifoQueue": "a queue (holds thread locks)",
+    "queue.PriorityQueue": "a queue (holds thread locks)",
+}
+
+_MAX_DEPTH = 12
+
+_SOURCE_LABELS = {
+    "wall-clock": "wall-clock read",
+    "unseeded-rng": "unseeded RNG draw",
+    "set-order": "unordered set iteration",
+    "id": "id() address",
+}
+
+
+def _trusted(rel: str) -> bool:
+    return any(rel == t or rel.endswith("/" + t) for t in TRUSTED_RELS)
+
+
+def _hop(msum: ModuleSummary, fn: FunctionSummary, line: int) -> str:
+    return f"{msum.module}.{fn.qual} ({msum.rel}:{line})"
+
+
+def _chain(hops: list[str]) -> str:
+    return " -> ".join(hops)
+
+
+class DeepRule:
+    """Base class for whole-program rules (mirrors ``LintRule``)."""
+
+    name: str = ""
+    severity: str = ERROR
+    description: str = ""
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, rel: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            severity=self.severity,
+            path=rel,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
+def _body_reachable(
+    program: Program, msum: ModuleSummary, task: dict
+) -> Iterator[tuple[Target, list[str], int]]:
+    """BFS over the call graph from a HostTask body.
+
+    Yields ``(target, hops, depth)`` — depth 0 is the body itself.
+    Stops at the trusted comm layer and at ``_MAX_DEPTH``.
+    """
+    body = program.resolve_body(msum, task)
+    if body is None:
+        return
+    start_hop = _hop(body.module, body.fn, body.fn.line)
+    queue: list[tuple[Target, list[str]]] = [(body, [start_hop])]
+    visited = {body.key}
+    while queue:
+        target, hops = queue.pop(0)
+        depth = len(hops) - 1
+        yield target, hops, depth
+        if depth >= _MAX_DEPTH:
+            continue
+        for atom, callee in program.callees(target.module, target.fn):
+            if callee.key in visited or _trusted(callee.module.rel):
+                continue
+            visited.add(callee.key)
+            queue.append(
+                (callee, hops + [_hop(callee.module, callee.fn, atom["line"])])
+            )
+
+
+class DeepCommInTaskRule(DeepRule):
+    name = "deep-comm-in-task"
+    severity = ERROR
+    description = (
+        "shared Communicator reached from a HostTask body through a "
+        "helper call chain; route charges through the HostView"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        # Anchored at the comm access itself, so the justification for
+        # a sanctioned access lives (and suppresses) in one place no
+        # matter how many task bodies reach it.
+        seen: set[tuple] = set()
+        for msum, task in program.host_tasks():
+            for target, hops, depth in _body_reachable(program, msum, task):
+                if depth == 0 or not target.fn.comm:
+                    continue  # depth 0 is the shallow rule's territory
+                for access in target.fn.comm:
+                    key = (target.module.rel, access["line"], access["what"])
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    what = (
+                        f"phase-global `{access['what'][5:]}`"
+                        if access["what"].startswith("call:")
+                        else "`.comm`"
+                    )
+                    yield self.finding(
+                        target.module.rel, access["line"], 0,
+                        f"{what} is reachable from the HostTask body "
+                        f"registered at {msum.rel}:{task['line']}; "
+                        f"call chain: {_chain(hops)}",
+                    )
+
+
+class DeepUnseededRngRule(DeepRule):
+    name = "deep-unseeded-rng"
+    severity = ERROR
+    description = (
+        "a seed parameter threaded through RNG wrapper functions is "
+        "left unbound or bound to None at a call site"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        # rng_params[(rel, qual)][param] = witness chain down to the
+        # default_rng/Random construction the parameter seeds.
+        rng_params: dict[tuple[str, str], dict[str, list[str]]] = {}
+        for msum, fn in program.functions():
+            for intro in fn.rng:
+                rng_params.setdefault((msum.rel, fn.qual), {}).setdefault(
+                    intro["seed_param"],
+                    [
+                        f"{msum.module}.{fn.qual} seeds "
+                        f"{intro['callee']} with parameter "
+                        f"`{intro['seed_param']}` "
+                        f"({msum.rel}:{intro['line']})"
+                    ],
+                )
+        findings: dict[tuple, Finding] = {}
+        for _ in range(_MAX_DEPTH):
+            changed = False
+            for msum, fn in program.functions():
+                for atom, target in program.callees(msum, fn):
+                    threaded = rng_params.get(target.key)
+                    if not threaded:
+                        continue
+                    for param, chain in threaded.items():
+                        kind, detail = Program.bind_param(atom, target, param)
+                        decided = (
+                            kind == "none"
+                            or (
+                                kind == "omitted"
+                                and param in target.fn.none_defaults
+                            )
+                        )
+                        here = _hop(msum, fn, atom["line"])
+                        if decided:
+                            key = (msum.rel, atom["line"], target.key, param)
+                            how = (
+                                "passes None for"
+                                if kind == "none" else "omits"
+                            )
+                            findings.setdefault(key, self.finding(
+                                msum.rel, atom["line"], atom["col"],
+                                f"call {how} seed parameter `{param}` of "
+                                f"{target.label()}, reaching an unseeded "
+                                f"generator; call chain: "
+                                f"{_chain([here] + chain)}",
+                            ))
+                        elif kind == "param":
+                            mine = rng_params.setdefault(
+                                (msum.rel, fn.qual), {}
+                            )
+                            if detail not in mine:
+                                mine[detail] = [here] + chain
+                                changed = True
+            if not changed:
+                break
+        yield from findings.values()
+
+
+class DeepUnshippableTaskCaptureRule(DeepRule):
+    name = "deep-unshippable-task-capture"
+    severity = WARNING
+    description = (
+        "a helper reached from a HostTask body writes captured or "
+        "global state (or mutates a captured argument), which a forked "
+        "worker cannot ship back"
+    )
+
+    #: param -> (origin rel, origin line, chain to the write)
+    _Mutates = dict
+
+    def _mutated_params(
+        self, program: Program
+    ) -> dict[tuple[str, str], dict[str, tuple[str, int, list[str]]]]:
+        """Parameters each function (transitively) mutates."""
+        mutates: dict[
+            tuple[str, str], dict[str, tuple[str, int, list[str]]]
+        ] = {}
+        for msum, fn in program.functions():
+            for write in fn.writes:
+                if write["kind"] != "param":
+                    continue
+                mutates.setdefault((msum.rel, fn.qual), {}).setdefault(
+                    write["root"],
+                    (
+                        msum.rel,
+                        write["line"],
+                        [
+                            f"{msum.module}.{fn.qual} writes "
+                            f"`{write['root']}` "
+                            f"({msum.rel}:{write['line']})"
+                        ],
+                    ),
+                )
+        for _ in range(_MAX_DEPTH):
+            changed = False
+            for msum, fn in program.functions():
+                for atom, target in program.callees(msum, fn):
+                    for param, (orel, oline, chain) in list(
+                        mutates.get(target.key, {}).items()
+                    ):
+                        kind, detail = Program.bind_param(atom, target, param)
+                        if kind != "param":
+                            continue
+                        mine = mutates.setdefault((msum.rel, fn.qual), {})
+                        if detail not in mine:
+                            mine[detail] = (
+                                orel, oline,
+                                [_hop(msum, fn, atom["line"])] + chain,
+                            )
+                            changed = True
+            if not changed:
+                break
+        return mutates
+
+    def _bound_capture(
+        self, atom: dict, callee, param: str
+    ) -> list | None:
+        """The captured root a call binds to ``param``, if any.
+
+        ``self`` of a bound-method call binds to the receiver root;
+        other parameters bind through their argument slot.
+        """
+        kind, _ = Program.bind_param(atom, callee, param)
+        if kind == "receiver":
+            root = atom.get("recv_root")
+        else:
+            params = callee.fn.params
+            if param not in params:
+                return None
+            idx = params.index(param)
+            if callee.kind in ("init", "method"):
+                idx -= 1
+            slot = None
+            if 0 <= idx < atom["nargs"]:
+                slot = str(idx)
+            elif param in atom["kwnames"]:
+                slot = f"kw:{param}"
+            root = atom["rargs"].get(slot) if slot is not None else None
+        if root is not None and root[1] in ("closure", "global"):
+            return root
+        return None
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        # Anchored at the offending write, so a write that is benign by
+        # design (e.g. a recompute-on-miss cache) is justified once, at
+        # the line whose surrounding code explains it.
+        mutates = self._mutated_params(program)
+        seen: set[tuple] = set()
+        for msum, task in program.host_tasks():
+            for target, hops, depth in _body_reachable(program, msum, task):
+                if depth >= 1:
+                    for write in target.fn.writes:
+                        if write["kind"] not in ("closure", "global"):
+                            continue
+                        if write["is_import"]:
+                            continue
+                        key = ("write", target.key, write["root"],
+                               write["line"])
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield self.finding(
+                            target.module.rel, write["line"], 0,
+                            f"write to {write['kind']} `{write['root']}` "
+                            f"is reached from the HostTask body "
+                            f"registered at {msum.rel}:{task['line']}; a "
+                            f"forked worker cannot ship it back; call "
+                            f"chain: {_chain(hops)}",
+                        )
+                # Captured state handed into a callee that (transitively)
+                # mutates the bound parameter — including the receiver of
+                # a bound-method call.
+                for atom, callee in program.callees(
+                    target.module, target.fn
+                ):
+                    threaded = mutates.get(callee.key)
+                    if not threaded:
+                        continue
+                    for param, (orel, oline, chain) in threaded.items():
+                        bound = self._bound_capture(atom, callee, param)
+                        if bound is None:
+                            continue
+                        key = ("mutate", callee.key, param, orel, oline)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        here = (
+                            f"{callee.label()} "
+                            f"({target.module.rel}:{atom['line']})"
+                        )
+                        yield self.finding(
+                            orel, oline, 0,
+                            f"captured `{bound[0]}` is mutated here via "
+                            f"the HostTask body registered at "
+                            f"{msum.rel}:{task['line']}; the write dies "
+                            f"with a forked worker; call chain: "
+                            f"{_chain(hops + [here] + chain)}",
+                        )
+
+
+class DeepDeterminismTaintRule(DeepRule):
+    name = "deep-determinism-taint"
+    severity = ERROR
+    description = (
+        "a nondeterminism source (wall-clock, unseeded RNG, set order, "
+        "id()) flows through calls into partition state, a ledger "
+        "send, or a HostTask result"
+    )
+
+    #: src key -> witness chain (module-qualified hops, source first)
+    _Sources = dict
+
+    def _resolve_taints(
+        self,
+        program: Program,
+        msum: ModuleSummary,
+        fn: FunctionSummary,
+        taints: set,
+        ret: dict,
+        depth: int = 0,
+    ) -> dict[tuple, list[str]]:
+        """Expand taint atoms into source keys with witness chains."""
+        out: dict[tuple, list[str]] = {}
+        for atom in taints:
+            if atom[0] == "src":
+                _, family, line, detail = atom
+                label = _SOURCE_LABELS.get(family, family)
+                out.setdefault(
+                    (family, msum.rel, line),
+                    [f"{label} `{detail}` ({msum.rel}:{line})"],
+                )
+                continue
+            _, idx, line = atom
+            if idx >= len(fn.calls) or depth > 3:
+                continue
+            call = fn.calls[idx]
+            targets = program.resolve_call(msum, fn.qual, call)
+            arg_taints = taints_from_json(call["targs"])
+            flow_args = not targets
+            for target in targets:
+                for key, chain in ret.get(target.key, {}).items():
+                    out.setdefault(
+                        key,
+                        chain + [_hop(msum, fn, line)],
+                    )
+                if target.fn.return_params:
+                    flow_args = True
+            if flow_args and arg_taints:
+                for key, chain in self._resolve_taints(
+                    program, msum, fn, arg_taints, ret, depth + 1
+                ).items():
+                    out.setdefault(key, chain)
+        return out
+
+    def _return_taint_fixpoint(self, program: Program) -> dict:
+        ret: dict[tuple[str, str], dict[tuple, list[str]]] = {}
+        for _ in range(_MAX_DEPTH):
+            changed = False
+            for msum, fn in program.functions():
+                resolved = self._resolve_taints(
+                    program, msum, fn,
+                    taints_from_json(fn.return_taints), ret,
+                )
+                have = ret.setdefault((msum.rel, fn.qual), {})
+                for key, chain in resolved.items():
+                    if key not in have:
+                        have[key] = chain
+                        changed = True
+            if not changed:
+                break
+        return ret
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        ret = self._return_taint_fixpoint(program)
+        emitted: set[tuple] = set()
+
+        def emit(
+            msum: ModuleSummary, line: int, what: str,
+            sources: dict[tuple, list[str]],
+        ) -> Iterator[Finding]:
+            for key, chain in sorted(sources.items()):
+                family = key[0]
+                fkey = (msum.rel, line, what, key)
+                if fkey in emitted:
+                    continue
+                emitted.add(fkey)
+                yield self.finding(
+                    msum.rel, line, 0,
+                    f"{_SOURCE_LABELS.get(family, family)} reaches "
+                    f"{what}; value path: {_chain(chain)}",
+                )
+
+        for msum, fn in program.functions():
+            for sink in fn.sinks:
+                sources = self._resolve_taints(
+                    program, msum, fn,
+                    taints_from_json(sink["taints"]), ret,
+                )
+                yield from emit(
+                    msum, sink["line"],
+                    f"`.{sink['op']}` at {msum.rel}:{sink['line']}",
+                    sources,
+                )
+            for write in fn.writes:
+                sources = self._resolve_taints(
+                    program, msum, fn,
+                    taints_from_json(write["taints"]), ret,
+                )
+                yield from emit(
+                    msum, write["line"],
+                    f"the write to {write['kind']} `{write['root']}` "
+                    f"at {msum.rel}:{write['line']}",
+                    sources,
+                )
+        for msum, task in program.host_tasks():
+            body = program.resolve_body(msum, task)
+            if body is None:
+                continue
+            sources = ret.get(body.key, {})
+            yield from emit(
+                msum, task["line"],
+                f"the HostTask result of {body.label()}",
+                sources,
+            )
+
+
+class DeepUnshippablePayloadRule(DeepRule):
+    name = "deep-unshippable-payload"
+    severity = ERROR
+    description = (
+        "a HostTask payload transitively contains a value a forked "
+        "worker cannot receive: a lock, open file, socket, generator, "
+        "lambda, nested function, or Communicator/executor reference"
+    )
+
+    def _eval(
+        self,
+        program: Program,
+        msum: ModuleSummary,
+        node: dict | None,
+        hops: list[str],
+        seen: frozenset,
+        depth: int = 0,
+    ) -> Iterator[tuple[str, list[str]]]:
+        if node is None or depth > _MAX_DEPTH:
+            return
+        kind = node.get("k", "ok")
+        if kind in ("ok", "const"):
+            return
+        if kind in ("items", "any"):
+            for child in node.get("items", node.get("alts", [])):
+                yield from self._eval(
+                    program, msum, child, hops, seen, depth + 1
+                )
+        elif kind == "lambda":
+            yield (
+                f"a lambda ({msum.rel}:{node['line']}) is not picklable",
+                hops,
+            )
+        elif kind == "gen":
+            yield (
+                f"a generator ({msum.rel}:{node['line']}) is not "
+                "picklable",
+                hops,
+            )
+        elif kind == "nestedfn":
+            yield (
+                f"nested function `{node['name']}` "
+                f"({msum.rel}:{node['line']}) carries its closure and "
+                "is not picklable",
+                hops,
+            )
+        elif kind == "attr":
+            leaf_type = node.get("root_type", "").rsplit(".", 1)[-1]
+            parts = node.get("dotted", "").split(".")
+            if "comm" in parts[1:]:
+                yield (
+                    f"`{node['dotted']}` ({msum.rel}:{node['line']}) "
+                    "reaches the shared Communicator",
+                    hops,
+                )
+            elif leaf_type in COMM_TYPE_LEAFS:
+                yield (
+                    f"`{node['dotted']}` ({msum.rel}:{node['line']}) is "
+                    f"an attribute of process-bound {leaf_type}",
+                    hops,
+                )
+        elif kind == "ref":
+            leaf_type = node.get("root_type", "").rsplit(".", 1)[-1]
+            if leaf_type in COMM_TYPE_LEAFS:
+                yield (
+                    f"`{node['name']}` ({msum.rel}:{node['line']}) is a "
+                    f"process-bound {leaf_type}",
+                    hops,
+                )
+        elif kind == "call":
+            yield from self._eval_call(
+                program, msum, node, hops, seen, depth
+            )
+
+    def _eval_call(
+        self,
+        program: Program,
+        msum: ModuleSummary,
+        node: dict,
+        hops: list[str],
+        seen: frozenset,
+        depth: int,
+    ) -> Iterator[tuple[str, list[str]]]:
+        callee = node.get("callee", "")
+        if callee in BAD_FACTORIES:
+            yield (
+                f"`{node['raw']}(...)` ({msum.rel}:{node['line']}) "
+                f"creates {BAD_FACTORIES[callee]}, which cannot cross "
+                "a process boundary",
+                hops,
+            )
+            return
+        leaf = callee.rsplit(".", 1)[-1] if callee else ""
+        if leaf in COMM_TYPE_LEAFS:
+            yield (
+                f"`{node['raw']}(...)` ({msum.rel}:{node['line']}) "
+                f"constructs process-bound {leaf}",
+                hops,
+            )
+            return
+        atom = {
+            "recv": node.get("recv", ""),
+            "raw": node.get("raw", ""),
+            "callee": callee,
+            "method": node.get("method", ""),
+        }
+        targets = program.resolve_call(msum, "<module>", atom)
+        for target in targets:
+            if target.key in seen:
+                continue
+            hop = (
+                f"{target.label()} "
+                f"({target.module.rel}:{target.fn.line})"
+            )
+            if target.kind == "init":
+                cls_qual = target.fn.cls
+                cls = target.module.classes.get(cls_qual)
+                if cls is None:
+                    continue
+                for entry in cls["init_ship"]:
+                    yield from self._eval(
+                        program, target.module, entry["ship"],
+                        hops + [
+                            f"{target.module.module}.{cls_qual}."
+                            f"__init__ stores `self.{entry['attr']}` "
+                            f"({target.module.rel}:{entry['line']})"
+                        ],
+                        seen | {target.key},
+                        depth + 1,
+                    )
+            elif target.fn.has_yield:
+                yield (
+                    f"{target.label()} is a generator function; its "
+                    "return value is not picklable",
+                    hops + [hop],
+                )
+            else:
+                yield from self._eval(
+                    program, target.module, target.fn.return_ship,
+                    hops + [hop], seen | {target.key}, depth + 1,
+                )
+        for arg in node.get("args", []):
+            yield from self._eval(program, msum, arg, hops, seen, depth + 1)
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for msum, task in program.host_tasks():
+            if task["payload"] is None:
+                continue
+            emitted: set[str] = set()
+            for reason, hops in self._eval(
+                program, msum, task["payload"],
+                [f"payload ({msum.rel}:{task['payload_line']})"],
+                frozenset(),
+            ):
+                if reason in emitted:
+                    continue
+                emitted.add(reason)
+                yield self.finding(
+                    msum.rel, task["payload_line"], task["col"],
+                    f"HostTask payload is not process-safe: {reason}; "
+                    f"via {_chain(hops)}",
+                )
+
+
+#: The deep rule set, in reporting order.
+DEEP_RULES: list[DeepRule] = [
+    DeepCommInTaskRule(),
+    DeepUnseededRngRule(),
+    DeepUnshippableTaskCaptureRule(),
+    DeepDeterminismTaintRule(),
+    DeepUnshippablePayloadRule(),
+]
+
+
+def all_deep_rules() -> dict[str, DeepRule]:
+    return {rule.name: rule for rule in DEEP_RULES}

@@ -1,0 +1,103 @@
+"""The deep-lint incremental cache.
+
+Whole-program findings depend on *transitive callees*, so caching the
+findings per file would be unsound: an edit to ``helper.py`` can
+change what ``phase.py`` is guilty of.  What **is** per-file is the
+expensive part — parsing, the shallow rule pass, and summary
+extraction.  The cache therefore stores, keyed by the file's relative
+path and guarded by its SHA-256:
+
+* the :class:`~repro.analysis.ipa.summary.ModuleSummary` (as JSON),
+* the file's shallow findings and suppressed-count,
+* its suppression tables (so cached files can still suppress deep
+  findings without being re-read).
+
+The link-and-analyze phase re-runs on every invocation over the full
+summary set — it is pure Python over small dicts, no AST — which keeps
+warm full-repo runs fast *and* sound.  A ``rules_key`` mismatch
+(engine/summary version or rule set changed) discards the cache
+wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["DeepCache"]
+
+CACHE_VERSION = 1
+
+
+class DeepCache:
+    """On-disk map ``rel path -> {sha, summary, findings, ...}``."""
+
+    def __init__(self, path: Path | None, rules_key: str):
+        self.path = path
+        self.rules_key = rules_key
+        self.entries: dict[str, dict] = {}
+        self.dirty = False
+
+    @classmethod
+    def load(cls, path: str | Path | None, rules_key: str) -> "DeepCache":
+        cache = cls(Path(path) if path is not None else None, rules_key)
+        if cache.path is None or not cache.path.exists():
+            return cache
+        try:
+            doc = json.loads(cache.path.read_text())
+        except (OSError, ValueError):
+            return cache  # unreadable/corrupt cache == cold cache
+        if (
+            doc.get("version") != CACHE_VERSION
+            or doc.get("rules_key") != rules_key
+        ):
+            cache.dirty = True  # rewrite with the current key on save
+            return cache
+        entries = doc.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = entries
+        return cache
+
+    def get(self, rel: str, sha: str) -> dict | None:
+        entry = self.entries.get(rel)
+        if entry is not None and entry.get("sha") == sha:
+            return entry
+        return None
+
+    def put(self, rel: str, entry: dict) -> None:
+        self.entries[rel] = entry
+        self.dirty = True
+
+    def prune(self, live_rels: set[str]) -> None:
+        """Drop entries for files no longer part of the analyzed set."""
+        dead = [rel for rel in self.entries if rel not in live_rels]
+        for rel in dead:
+            del self.entries[rel]
+            self.dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self.dirty:
+            return
+        doc = {
+            "version": CACHE_VERSION,
+            "rules_key": self.rules_key,
+            "entries": self.entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so a killed run never leaves a torn cache
+        # (the loader treats unparsable JSON as cold anyway).
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            # repro-lint: disable-next-line=swallowed-error -- best-effort cleanup of the temp file after a failed cache write; the cache is an optimization, never load-bearing
+            except OSError:
+                pass

@@ -1,0 +1,170 @@
+"""The ``repro lint --deep`` driver.
+
+One pass over the file set produces everything both lint layers need:
+
+* **cache hit** (same SHA-256, same rule set) — the file is *not even
+  parsed*; its recorded shallow findings, suppression tables, and
+  module summary are replayed from the cache.
+* **cache miss** — the file is parsed exactly once into a
+  :class:`~repro.analysis.lint.base.ModuleSource`; the shallow rules
+  and the summary extractor share that single AST.
+
+The link phase then builds the :class:`~repro.analysis.ipa.program.
+Program` over *all* summaries (cached and fresh alike) and runs the
+deep rules — whole-program soundness with per-file incrementality.
+Deep findings honour the same suppression comments as shallow ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..lint.base import (
+    LintReport,
+    LintRule,
+    ModuleSource,
+    check_module,
+    finding_sort_key,
+    Finding,
+    parse_error_finding,
+)
+from .analyses import DEEP_RULES, DeepRule
+from .cache import DeepCache
+from .program import Program
+from .summary import SUMMARY_VERSION, ModuleSummary, summarize_module
+
+__all__ = ["run_deep_lint", "rules_key", "module_name"]
+
+ENGINE_VERSION = 1
+
+
+def rules_key(
+    shallow: Iterable[LintRule], deep: Iterable[DeepRule]
+) -> str:
+    """Cache invalidation key: engine + summary versions + rule set."""
+    doc = json.dumps([
+        ENGINE_VERSION,
+        SUMMARY_VERSION,
+        sorted(r.name for r in shallow),
+        sorted(r.name for r in deep),
+    ])
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+def module_name(root: Path, rel: str) -> str:
+    """Dotted module name of ``rel`` under ``root``.
+
+    When ``root`` is itself a package directory (has ``__init__.py``),
+    the package path down from the topmost package is prepended — so
+    ``runtime/comm.py`` under ``src/repro`` becomes
+    ``repro.runtime.comm``, matching what absolute and relative imports
+    inside the project resolve to.
+    """
+    parts = rel[:-3].split("/") if rel.endswith(".py") else rel.split("/")
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    prefix: list[str] = []
+    probe = root
+    while (probe / "__init__.py").exists():
+        prefix.insert(0, probe.name)
+        probe = probe.parent
+    return ".".join(prefix + parts) if (prefix or parts) else root.name
+
+
+def _suppressed(table: dict, line: int, rule: str) -> bool:
+    for rules in (table.get("file", ()), table.get("lines", {}).get(str(line), ())):
+        if rule in rules or "all" in rules:
+            return True
+    return False
+
+
+def run_deep_lint(
+    files: Sequence[Path],
+    root: Path,
+    shallow_rules: Iterable[LintRule],
+    cache_path: str | Path | None = None,
+    deep_rules: Iterable[DeepRule] | None = None,
+) -> LintReport:
+    """Shallow + whole-program lint over ``files`` with one parse each."""
+    shallow = list(shallow_rules)
+    deep = list(DEEP_RULES) if deep_rules is None else list(deep_rules)
+    cache = DeepCache.load(cache_path, rules_key(shallow, deep))
+    report = LintReport(cache_hits=0, cache_misses=0)
+    summaries: dict[str, ModuleSummary] = {}
+    suppressions: dict[str, dict] = {}
+
+    for path in files:
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        report.files_checked += 1
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            report.findings.append(Finding(
+                rule="parse-error", severity="error", path=rel,
+                line=1, col=0, message=f"cannot read: {exc}",
+            ))
+            continue
+        sha = hashlib.sha256(text.encode()).hexdigest()
+        entry = cache.get(rel, sha)
+        if entry is not None:
+            report.cache_hits += 1
+            report.findings.extend(
+                Finding(**f) for f in entry["findings"]
+            )
+            report.suppressed += entry["suppressed"]
+            suppressions[rel] = entry["suppressions"]
+            if entry["summary"] is not None:
+                summaries[rel] = ModuleSummary.from_dict(entry["summary"])
+            continue
+        report.cache_misses += 1
+        try:
+            module = ModuleSource(path, rel, text)
+        except SyntaxError as exc:
+            finding = parse_error_finding(path, exc)
+            report.findings.append(finding)
+            cache.put(rel, {
+                "sha": sha,
+                "findings": [finding.as_dict()],
+                "suppressed": 0,
+                "suppressions": {"file": [], "lines": {}},
+                "summary": None,
+            })
+            continue
+        local = LintReport()
+        check_module(module, shallow, local)
+        summary = summarize_module(module, module_name(root, rel))
+        report.findings.extend(local.findings)
+        report.suppressed += local.suppressed
+        suppressions[rel] = module.suppression_table()
+        summaries[rel] = summary
+        cache.put(rel, {
+            "sha": sha,
+            "findings": [f.as_dict() for f in local.findings],
+            "suppressed": local.suppressed,
+            "suppressions": suppressions[rel],
+            "summary": summary.to_dict(),
+        })
+
+    cache.prune({
+        (p.relative_to(root).as_posix()
+         if p.is_relative_to(root) else p.as_posix())
+        for p in files
+    })
+    cache.save()
+
+    program = Program(summaries)
+    for rule in deep:
+        for finding in rule.check(program):
+            table = suppressions.get(finding.path, {})
+            if _suppressed(table, finding.line, finding.rule):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    report.findings.sort(key=finding_sort_key)
+    return report

@@ -22,6 +22,7 @@ is ignored by the parser (but please write one).
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import re
 from dataclasses import dataclass, field
@@ -37,6 +38,11 @@ __all__ = [
     "register",
     "all_rules",
     "run_lint",
+    "check_module",
+    "finding_sort_key",
+    "parse_error_finding",
+    "dotted_name",
+    "resolve_name",
 ]
 
 #: Severity levels, most severe first.
@@ -48,6 +54,43 @@ _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*(disable(?:-next-line|-file)?)\s*=\s*"
     r"([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
 )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Fully-qualified dotted name of a Name/Attribute, alias-expanded."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    expanded = aliases.get(head, head)
+    return f"{expanded}.{rest}" if rest else expanded
+
+
+def _module_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted path they refer to (absolute imports)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
 
 
 @dataclass(frozen=True)
@@ -79,7 +122,15 @@ class Finding:
 
 
 class ModuleSource:
-    """One parsed Python file plus its suppression table."""
+    """One parsed Python file plus its suppression table.
+
+    Each file is parsed exactly once per lint run; the derived
+    structures every consumer needs — import aliases, top-level
+    function definitions by name, ``HostTask`` body/call pairs — are
+    computed lazily and cached on the instance, so rules (and the
+    whole-program engine in :mod:`repro.analysis.ipa`) share one AST
+    and one resolution pass instead of redoing the walk per rule.
+    """
 
     def __init__(self, path: Path, rel: str, text: str):
         self.path = path
@@ -91,6 +142,9 @@ class ModuleSource:
         for node in ast.walk(self.tree):
             for child in ast.iter_child_nodes(node):
                 child._repro_parent = node  # type: ignore[attr-defined]
+        self._aliases: dict[str, str] | None = None
+        self._defs: dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]] | None = None
+        self._host_task_bodies: list[tuple[ast.AST, ast.Call]] | None = None
         self._line_rules: dict[int, set[str]] = {}
         self._file_rules: set[str] = set()
         for lineno, line in enumerate(text.splitlines(), start=1):
@@ -119,6 +173,75 @@ class ModuleSource:
             if rule in rules or "all" in rules:
                 return True
         return False
+
+    def suppression_table(self) -> dict:
+        """JSON-serializable suppression tables (for the deep-lint cache)."""
+        return {
+            "file": sorted(self._file_rules),
+            "lines": {
+                str(line): sorted(rules)
+                for line, rules in sorted(self._line_rules.items())
+            },
+        }
+
+    @property
+    def sha(self) -> str:
+        """SHA-256 of the file text (the deep-lint cache key)."""
+        return hashlib.sha256(self.text.encode()).hexdigest()
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> dotted import target (absolute imports only)."""
+        if self._aliases is None:
+            self._aliases = _module_aliases(self.tree)
+        return self._aliases
+
+    @property
+    def defs_by_name(self) -> dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]]:
+        """Every (possibly nested) function definition, grouped by name."""
+        if self._defs is None:
+            defs: dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    defs.setdefault(node.name, []).append(node)
+            self._defs = defs
+        return self._defs
+
+    def host_task_bodies(self) -> list[tuple[ast.AST, ast.Call]]:
+        """(body function/lambda, ``HostTask(...)`` call) pairs.
+
+        A HostTask body is the second positional argument (or ``fn=``
+        keyword) of a ``HostTask(...)`` construction.  Named bodies are
+        resolved to every same-named function in the module —
+        over-matching is acceptable for a lint.  Computed once and
+        shared by every rule that reasons about task bodies.
+        """
+        if self._host_task_bodies is not None:
+            return self._host_task_bodies
+        pairs: list[tuple[ast.AST, ast.Call]] = []
+        seen: set[int] = set()
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None or callee.split(".")[-1] != "HostTask":
+                continue
+            fn_arg: ast.AST | None = None
+            if len(node.args) >= 2:
+                fn_arg = node.args[1]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "fn":
+                        fn_arg = kw.value
+            if isinstance(fn_arg, ast.Lambda):
+                pairs.append((fn_arg, node))
+            elif isinstance(fn_arg, ast.Name):
+                for fndef in self.defs_by_name.get(fn_arg.id, ()):
+                    if id(fndef) not in seen:
+                        seen.add(id(fndef))
+                        pairs.append((fndef, node))
+        self._host_task_bodies = pairs
+        return pairs
 
 
 class LintRule:
@@ -180,6 +303,15 @@ def all_rules() -> dict[str, LintRule]:
     return dict(_REGISTRY)
 
 
+#: Total order on findings: every ``LintReport`` is sorted by this key,
+#: so text and ``--json`` output (and therefore diffs against them, and
+#: the deep-lint cache) are byte-stable across runs and platforms.
+#: ``message`` breaks the rare (path, line, col, rule) tie — e.g. one
+#: rule flagging the same node twice with different diagnoses.
+def finding_sort_key(f: Finding) -> tuple[str, int, int, str, str]:
+    return (f.path, f.line, f.col, f.rule, f.message)
+
+
 @dataclass
 class LintReport:
     """Outcome of one lint run over a set of files."""
@@ -187,6 +319,9 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: Deep-lint incremental cache counters (None outside ``--deep``).
+    cache_hits: int | None = None
+    cache_misses: int | None = None
 
     @property
     def errors(self) -> list[Finding]:
@@ -203,10 +338,17 @@ class LintReport:
         return not (strict and self.warnings)
 
     def summary(self) -> str:
+        cache = ""
+        if self.cache_hits is not None:
+            cache = (
+                f" [deep: {self.cache_hits} cached, "
+                f"{self.cache_misses} analyzed]"
+            )
         return (
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s) "
             f"in {self.files_checked} file(s)"
             + (f", {self.suppressed} suppressed" if self.suppressed else "")
+            + cache
         )
 
     def render_text(self) -> str:
@@ -218,16 +360,18 @@ class LintReport:
         counts: dict[str, int] = {}
         for f in self.findings:
             counts[f.severity] = counts.get(f.severity, 0) + 1
-        return json.dumps(
-            {
-                "version": 1,
-                "files_checked": self.files_checked,
-                "suppressed": self.suppressed,
-                "counts": counts,
-                "findings": [f.as_dict() for f in self.findings],
-            },
-            indent=2,
-        )
+        doc: dict = {
+            "version": 2,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "counts": counts,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+        if self.cache_hits is not None:
+            doc["cache"] = {
+                "hits": self.cache_hits, "misses": self.cache_misses,
+            }
+        return json.dumps(doc, indent=2, sort_keys=True)
 
 
 def _iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -238,16 +382,51 @@ def _iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield path
 
 
+def check_module(
+    module: ModuleSource, active: Iterable[LintRule], report: LintReport
+) -> None:
+    """Apply every rule in ``active`` to one parsed module."""
+    for rule in active:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if module.suppressed(finding.line, finding.rule):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+
+
+def parse_error_finding(path: Path, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="parse-error",
+        severity=ERROR,
+        path=path.as_posix(),
+        line=exc.lineno or 1,
+        col=exc.offset or 0,
+        message=f"cannot parse: {exc.msg}",
+    )
+
+
 def run_lint(
     paths: Sequence[str | Path],
     rules: Iterable[LintRule] | None = None,
     root: str | Path | None = None,
+    deep: bool = False,
+    cache: str | Path | None = None,
+    deep_rules: Iterable[object] | None = None,
 ) -> LintReport:
     """Lint ``paths`` (files or directories) with ``rules``.
 
     ``root`` anchors the relative paths used in findings and
     ``exempt_paths`` matching; it defaults to the first directory in
     ``paths`` (or the file's parent).
+
+    ``deep=True`` additionally runs the whole-program interprocedural
+    analyses of :mod:`repro.analysis.ipa` over the same single-parse
+    module set (call graph, determinism taint, payload shippability,
+    and the interprocedural re-hosts of the evasion-prone rules).
+    ``cache`` names the incremental cache file (per-file SHA-256 keyed);
+    ``None`` analyzes everything from scratch in memory.
     """
     path_objs = [Path(p) for p in paths]
     if root is None:
@@ -257,31 +436,23 @@ def run_lint(
         )
     root = Path(root)
     active = list(all_rules().values()) if rules is None else list(rules)
+    files = list(_iter_py_files(path_objs))
+    if deep:
+        # One engine drives both layers: shallow rules run on exactly
+        # the modules the deep pass has to (re-)parse, cached files
+        # contribute their recorded findings without being re-read.
+        from ..ipa.engine import run_deep_lint
+
+        return run_deep_lint(files, root, active, cache, deep_rules)  # type: ignore[arg-type]
     report = LintReport()
-    for path in _iter_py_files(path_objs):
+    for path in files:
         try:
             module = ModuleSource.load(path, root)
         except SyntaxError as exc:
-            report.findings.append(
-                Finding(
-                    rule="parse-error",
-                    severity=ERROR,
-                    path=path.as_posix(),
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    message=f"cannot parse: {exc.msg}",
-                )
-            )
+            report.findings.append(parse_error_finding(path, exc))
             report.files_checked += 1
             continue
         report.files_checked += 1
-        for rule in active:
-            if not rule.applies_to(module):
-                continue
-            for finding in rule.check(module):
-                if module.suppressed(finding.line, finding.rule):
-                    report.suppressed += 1
-                else:
-                    report.findings.append(finding)
-    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        check_module(module, active, report)
+    report.findings.sort(key=finding_sort_key)
     return report

@@ -11,7 +11,16 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from .base import ERROR, WARNING, Finding, LintRule, ModuleSource, register
+from .base import (
+    ERROR,
+    WARNING,
+    Finding,
+    LintRule,
+    ModuleSource,
+    dotted_name,
+    register,
+    resolve_name,
+)
 
 __all__ = [
     "UnseededRngRule",
@@ -31,41 +40,11 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Shared AST helpers
 # ----------------------------------------------------------------------
-def _import_aliases(tree: ast.Module) -> dict[str, str]:
-    """Map local names to the dotted module path they refer to."""
-    aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for a in node.names:
-                aliases[a.asname or a.name.split(".")[0]] = (
-                    a.name if a.asname else a.name.split(".")[0]
-                )
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-            for a in node.names:
-                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
-    return aliases
-
-
-def _dotted(node: ast.AST) -> str | None:
-    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _resolve(node: ast.AST, aliases: dict[str, str]) -> str | None:
-    """Fully-qualified dotted name of a Name/Attribute, alias-expanded."""
-    dotted = _dotted(node)
-    if dotted is None:
-        return None
-    head, _, rest = dotted.partition(".")
-    expanded = aliases.get(head, head)
-    return f"{expanded}.{rest}" if rest else expanded
+# Name-resolution helpers live in ``base`` (shared with the contracts
+# extractor and the whole-program engine); keep short local aliases so
+# rule code stays terse.
+_dotted = dotted_name
+_resolve = resolve_name
 
 
 def _root_name(node: ast.AST) -> str | None:
@@ -78,38 +57,8 @@ def _root_name(node: ast.AST) -> str | None:
 def _iter_host_task_bodies(
     module: ModuleSource,
 ) -> Iterator[tuple[ast.AST, ast.Call]]:
-    """Yield (body function/lambda, HostTask call) pairs.
-
-    A HostTask body is the second positional argument (or ``fn=``
-    keyword) of a ``HostTask(...)`` construction.  Named bodies are
-    resolved to every same-named function in the module — over-matching
-    is acceptable for a lint.
-    """
-    defs: dict[str, list[ast.AST]] = {}
-    for node in ast.walk(module.tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            defs.setdefault(node.name, []).append(node)
-    seen: set[int] = set()
-    for node in ast.walk(module.tree):
-        if not isinstance(node, ast.Call):
-            continue
-        callee = _dotted(node.func)
-        if callee is None or callee.split(".")[-1] != "HostTask":
-            continue
-        fn_arg: ast.AST | None = None
-        if len(node.args) >= 2:
-            fn_arg = node.args[1]
-        else:
-            for kw in node.keywords:
-                if kw.arg == "fn":
-                    fn_arg = kw.value
-        if isinstance(fn_arg, ast.Lambda):
-            yield fn_arg, node
-        elif isinstance(fn_arg, ast.Name):
-            for fndef in defs.get(fn_arg.id, ()):
-                if id(fndef) not in seen:
-                    seen.add(id(fndef))
-                    yield fndef, node
+    """(body, HostTask call) pairs — one shared computation per module."""
+    yield from module.host_task_bodies()
 
 
 # ----------------------------------------------------------------------
@@ -137,7 +86,7 @@ class UnseededRngRule(LintRule):
     }
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
-        aliases = _import_aliases(module.tree)
+        aliases = module.aliases
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -217,7 +166,7 @@ class WallClockRule(LintRule):
     }
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
-        aliases = _import_aliases(module.tree)
+        aliases = module.aliases
         for node in ast.walk(module.tree):
             if not isinstance(node, (ast.Attribute, ast.Name)):
                 continue

@@ -30,7 +30,8 @@ from typing import Any
 import numpy as np
 
 from .core import CuSP
-from .graph import erdos_renyi
+from .core.partition import DistributedGraph
+from .graph import CSRGraph, erdos_renyi
 from .runtime.faults import FaultPlan, HostCrash, UnrecoverableClusterError
 
 __all__ = ["ChaosScenario", "ChaosResult", "ChaosReport", "derive_scenarios",
@@ -181,7 +182,7 @@ def derive_scenarios(
     return out
 
 
-def _same_partition(a: Any, b: Any) -> bool:
+def _same_partition(a: DistributedGraph, b: DistributedGraph) -> bool:
     if not np.array_equal(a.masters, b.masters):
         return False
     for pa, pb in zip(a.partitions, b.partitions):
@@ -197,7 +198,11 @@ def _same_partition(a: Any, b: Any) -> bool:
 
 
 def _run_scenario(
-    scenario: ChaosScenario, graph: Any, base: Any, policy: str, k: int,
+    scenario: ChaosScenario,
+    graph: CSRGraph,
+    base: DistributedGraph,
+    policy: str,
+    k: int,
     executor: str = "serial",
 ) -> ChaosResult:
     plan = scenario.plan
@@ -208,7 +213,9 @@ def _run_scenario(
         "executor": executor,
     }
 
-    def finish(cusp: CuSP, dg: Any, extra: str = "") -> ChaosResult:
+    def finish(
+        cusp: CuSP, dg: DistributedGraph, extra: str = ""
+    ) -> ChaosResult:
         if cusp.sanitizer.violations:
             return ChaosResult(
                 scenario, False,
@@ -289,7 +296,7 @@ def run_campaign(
     seed: int = 7,
     num_hosts: int = 4,
     policy: str = "CVC",
-    graph: Any = None,
+    graph: CSRGraph | None = None,
     verbose: bool = False,
     executor: str = "serial",
 ) -> ChaosReport:

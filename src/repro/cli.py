@@ -208,6 +208,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--list-rules", action="store_true",
                    help="print the available rules and exit")
+    p.add_argument(
+        "--deep", action="store_true",
+        help=(
+            "additionally run the whole-program interprocedural "
+            "analyses (call graph, determinism taint, payload "
+            "shippability; see the 'Whole-program analysis' section of "
+            "docs/ANALYSIS.md)"
+        ),
+    )
+    p.add_argument(
+        "--cache", metavar="FILE",
+        help=(
+            "incremental cache file for --deep (default: a per-tree "
+            "file under $XDG_CACHE_HOME/repro-lint)"
+        ),
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="run --deep without reading or writing any cache",
+    )
 
     p = sub.add_parser(
         "contracts",
@@ -378,28 +398,60 @@ def _check_exit(ok: bool, success: str, failure: str) -> int:
     return 1
 
 
+def _default_deep_cache(paths: list) -> str:
+    """Per-tree default cache file under the user's cache directory."""
+    import hashlib
+
+    base = os.environ.get(
+        "XDG_CACHE_HOME", os.path.join(os.path.expanduser("~"), ".cache")
+    )
+    key = hashlib.sha256(
+        "\x00".join(os.path.abspath(str(p)) for p in paths).encode()
+    ).hexdigest()[:16]
+    return os.path.join(base, "repro-lint", f"deep-{key}.json")
+
+
 def _run_lint_command(args) -> int:
     """The ``lint`` subcommand: drive :func:`repro.analysis.lint.run_lint`."""
+    from .analysis.ipa import all_deep_rules
     from .analysis.lint import all_rules, run_lint
 
     registry = all_rules()
+    deep_registry = all_deep_rules()
     if args.list_rules:
-        width = max(len(name) for name in registry)
+        names = list(registry) + list(deep_registry)
+        width = max(len(name) for name in names)
         for name in sorted(registry):
             rule = registry[name]
             print(f"{name:<{width}}  [{rule.severity}] {rule.description}")
+        for name in sorted(deep_registry):
+            deep_rule = deep_registry[name]
+            print(
+                f"{name:<{width}}  [{deep_rule.severity}] "
+                f"(--deep) {deep_rule.description}"
+            )
         return 0
     rules = None
+    deep_rules = None
     if args.rule:
-        unknown = sorted(set(args.rule) - set(registry))
+        known = set(registry) | (set(deep_registry) if args.deep else set())
+        unknown = sorted(set(args.rule) - known)
         if unknown:
             raise SystemExit(
                 f"unknown rule(s): {', '.join(unknown)} "
-                "(see 'lint --list-rules')"
+                "(see 'lint --list-rules'; deep-* rules need --deep)"
             )
-        rules = [registry[name] for name in dict.fromkeys(args.rule)]
+        wanted = dict.fromkeys(args.rule)
+        rules = [registry[n] for n in wanted if n in registry]
+        deep_rules = [deep_registry[n] for n in wanted if n in deep_registry]
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
-    report = run_lint(paths, rules=rules)
+    cache = None
+    if args.deep and not args.no_cache:
+        cache = args.cache or _default_deep_cache(paths)
+    report = run_lint(
+        paths, rules=rules, deep=args.deep, cache=cache,
+        deep_rules=deep_rules,
+    )
     ok = report.ok(strict=args.strict)
     if args.json or args.format == "json":
         print(report.to_json())

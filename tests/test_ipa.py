@@ -1,0 +1,253 @@
+"""Tests for the whole-program interprocedural analysis (repro.analysis.ipa).
+
+The evasion corpus under ``tests/lint_corpus/deep/`` is the contract:
+every fixture is a shallow false negative by construction, and the deep
+pass must catch it with a call-chain witness.  The remaining tests pin
+the engine's operational guarantees — one AST parse per module shared
+across shallow and deep layers, deterministic finding order, and an
+incremental cache that re-analyzes only changed files.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.ipa import all_deep_rules, run_deep_lint
+from repro.analysis.lint.base import all_rules, run_lint
+
+DEEP = Path(__file__).parent / "lint_corpus" / "deep"
+
+# (fixture, deep rule, substrings every witness must contain)
+EVASIONS = [
+    (
+        "evade_comm.py",
+        "deep-comm-in-task",
+        ["poke_peers", "allreduce_sum", "HostTask body"],
+    ),
+    (
+        "evade_rng.py",
+        "deep-unseeded-rng",
+        ["jitter", "fresh_rng", "default_rng", "seed"],
+    ),
+    (
+        "evade_clock.py",
+        "deep-determinism-taint",
+        ["wall-clock", "bench_util.py", "elapsed_stamp"],
+    ),
+    (
+        "evade_capture.py",
+        "deep-unshippable-task-capture",
+        ["tallies", "record_result"],
+    ),
+    (
+        "evade_payload.py",
+        "deep-unshippable-payload",
+        ["threading.Lock", "make_channel", "Channel.__init__"],
+    ),
+]
+
+
+def deep_report(root=DEEP, cache=None):
+    return run_lint([root], root=root, deep=True, cache=cache)
+
+
+class TestEvasionFixtures:
+    """Each fixture: invisible to every shallow rule, caught by --deep."""
+
+    def test_corpus_is_shallow_clean(self):
+        report = run_lint([DEEP], root=DEEP)
+        assert report.findings == [], [
+            (f.path, f.rule) for f in report.findings
+        ]
+
+    @pytest.mark.parametrize("fname,rule,needles", EVASIONS)
+    def test_deep_catches_each_evasion(self, fname, rule, needles):
+        report = deep_report()
+        hits = [
+            f for f in report.findings if f.path == fname and f.rule == rule
+        ]
+        assert hits, (
+            f"{rule} produced no finding for {fname}; got "
+            f"{[(f.path, f.rule) for f in report.findings]}"
+        )
+        message = hits[0].message
+        for needle in needles:
+            assert needle in message, (needle, message)
+
+    @pytest.mark.parametrize("fname,rule,needles", EVASIONS)
+    def test_witness_names_every_hop(self, fname, rule, needles):
+        """The chain walks at least one call edge and cites file:line."""
+        report = deep_report()
+        message = next(
+            f.message
+            for f in report.findings
+            if f.path == fname and f.rule == rule
+        )
+        assert " -> " in message
+        # every hop is anchored to a source location
+        assert message.count(".py:") >= 2
+
+    def test_unshippable_payload_is_an_error(self):
+        report = deep_report()
+        finding = next(
+            f for f in report.findings if f.rule == "deep-unshippable-payload"
+        )
+        assert finding.severity == "error"
+        assert not report.ok(strict=True)
+
+
+class TestSingleParse:
+    """run_lint parses each module exactly once, shared across all rules."""
+
+    def _count_parses(self, monkeypatch):
+        counts = {"n": 0}
+        real_parse = ast.parse
+
+        def counting_parse(*args, **kwargs):
+            # ModuleSource is the only caller that passes filename=;
+            # mode="eval" mini-parses of annotation strings don't count.
+            if "filename" in kwargs:
+                counts["n"] += 1
+            return real_parse(*args, **kwargs)
+
+        monkeypatch.setattr(ast, "parse", counting_parse)
+        return counts
+
+    def test_shallow_parses_each_file_once(self, monkeypatch):
+        counts = self._count_parses(monkeypatch)
+        report = run_lint([DEEP], root=DEEP)
+        assert counts["n"] == report.files_checked
+
+    def test_deep_shares_the_shallow_parse(self, monkeypatch):
+        # Deep mode runs 11 shallow rules AND builds summaries for 5
+        # deep rules, still from one parse per module.
+        counts = self._count_parses(monkeypatch)
+        report = deep_report()
+        assert counts["n"] == report.files_checked
+
+    def test_warm_cache_parses_nothing(self, tmp_path, monkeypatch):
+        corpus = tmp_path / "corpus"
+        shutil.copytree(DEEP, corpus)
+        cache = tmp_path / "deep.json"
+        deep_report(root=corpus, cache=cache)
+        counts = self._count_parses(monkeypatch)
+        report = deep_report(root=corpus, cache=cache)
+        assert counts["n"] == 0
+        assert report.cache_hits == report.files_checked
+
+
+class TestIncrementalCache:
+    """Warm re-runs analyze only changed files, with identical results."""
+
+    def test_hit_miss_counters(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        shutil.copytree(DEEP, corpus)
+        cache = tmp_path / "deep.json"
+        nfiles = len(list(corpus.glob("*.py")))
+
+        cold = deep_report(root=corpus, cache=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, nfiles)
+
+        warm = deep_report(root=corpus, cache=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (nfiles, 0)
+        assert json.loads(warm.to_json())["findings"] == json.loads(
+            cold.to_json()
+        )["findings"]
+
+        # touching one file invalidates exactly that file
+        target = corpus / "evade_rng.py"
+        target.write_text(target.read_text() + "\n# touched\n")
+        touched = deep_report(root=corpus, cache=cache)
+        assert (touched.cache_hits, touched.cache_misses) == (nfiles - 1, 1)
+        assert [f.rule for f in touched.findings] == [
+            f.rule for f in cold.findings
+        ]
+
+    def test_deleted_files_are_pruned(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        shutil.copytree(DEEP, corpus)
+        cache = tmp_path / "deep.json"
+        deep_report(root=corpus, cache=cache)
+        (corpus / "evade_payload.py").unlink()
+        deep_report(root=corpus, cache=cache)
+        entries = json.loads(cache.read_text())["entries"]
+        assert "evade_payload.py" not in entries
+
+    def test_rule_change_invalidates_cache(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        shutil.copytree(DEEP, corpus)
+        cache = tmp_path / "deep.json"
+        deep_report(root=corpus, cache=cache)
+        doc = json.loads(cache.read_text())
+        doc["rules_key"] = "stale"
+        cache.write_text(json.dumps(doc))
+        report = deep_report(root=corpus, cache=cache)
+        assert report.cache_misses == report.files_checked
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        shutil.copytree(DEEP, corpus)
+        cache = tmp_path / "deep.json"
+        cache.write_text("{not json")
+        report = deep_report(root=corpus, cache=cache)
+        assert report.cache_misses == report.files_checked
+        # and the run rewrites it into a loadable state
+        assert json.loads(cache.read_text())["entries"]
+
+
+class TestDeterministicOrder:
+    """Findings sort by (path, line, col, rule) regardless of input order."""
+
+    def test_input_order_does_not_matter(self):
+        files = sorted(DEEP.glob("*.py"))
+        fwd = run_lint(files, root=DEEP, deep=True)
+        rev = run_lint(list(reversed(files)), root=DEEP, deep=True)
+        assert fwd.to_json() == rev.to_json()
+        keys = [(f.path, f.line, f.col, f.rule) for f in fwd.findings]
+        assert keys == sorted(keys)
+
+    def test_json_is_byte_stable_across_runs(self):
+        assert deep_report().to_json() == deep_report().to_json()
+
+
+class TestEngineApi:
+    def test_run_deep_lint_direct(self):
+        files = sorted(DEEP.glob("*.py"))
+        report = run_deep_lint(
+            files,
+            DEEP,
+            list(all_rules().values()),
+            None,
+            list(all_deep_rules().values()),
+        )
+        assert {f.rule for f in report.findings} == {
+            rule for _, rule, _ in EVASIONS
+        }
+
+    def test_deep_rules_registry(self):
+        rules = all_deep_rules()
+        assert set(rules) == {
+            "deep-comm-in-task",
+            "deep-unseeded-rng",
+            "deep-determinism-taint",
+            "deep-unshippable-task-capture",
+            "deep-unshippable-payload",
+        }
+        assert all(name == rule.name for name, rule in rules.items())
+
+
+class TestSourceTreeIsClean:
+    """src/repro passes --deep --strict (suppressions are justified)."""
+
+    def test_src_repro_deep_strict(self):
+        src = Path(__file__).parent.parent / "src" / "repro"
+        report = run_lint([src], root=src.parent, deep=True)
+        assert report.ok(strict=True), report.summary() + "\n" + "\n".join(
+            f"{f.path}:{f.line} {f.rule} {f.message}"
+            for f in report.findings
+        )

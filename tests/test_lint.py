@@ -132,7 +132,7 @@ class TestReport:
     def test_json_output_round_trips(self):
         report = run_lint([CORPUS / "bad_rng.py"], root=CORPUS)
         doc = json.loads(report.to_json())
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["files_checked"] == 1
         assert doc["counts"]["error"] == len(report.errors)
         assert len(doc["findings"]) == len(report.findings)
@@ -190,7 +190,7 @@ class TestCLI:
     def test_json_flag(self, capsys):
         assert main(["lint", str(CORPUS / "bad_rng.py"), "--json"]) == 1
         doc = json.loads(capsys.readouterr().out)
-        assert doc["version"] == 1 and doc["findings"]
+        assert doc["version"] == 2 and doc["findings"]
 
     def test_rule_filter(self, capsys):
         target = str(CORPUS / "bad_rng.py")
