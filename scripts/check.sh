@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full correctness gate: strict SPMD-safety lint, strict phase-contract
 # diff, type check (when mypy is installed), tier-1 suite, the dedicated
-# fault/recovery suite, the bench smoke test (throughput floor +
+# fault/recovery suite, the analyzer mutation campaign (detection rate +
+# committed-matrix digest), the bench smoke test (throughput floor +
 # partition digest), and end-to-end CLI exit-code checks (a corrupted
 # partition directory must make `cusp validate` exit non-zero).
 set -euo pipefail
@@ -38,6 +39,10 @@ python -m pytest -x -q -m faults
 
 echo "== chaos campaign: full fault family, bit-identity gate =="
 python -m repro chaos --plans 10 --seed 7 --quiet
+
+echo "== analyzer mutation campaign: detection + matrix digest gate =="
+python -m repro mutate --budget 24 --seed 7 --strict --quiet \
+    --reference MUTATION_MATRIX.json
 
 echo "== bench-smoke: throughput floor + partition digest =="
 python scripts/bench_smoke.py

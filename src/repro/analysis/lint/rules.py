@@ -26,6 +26,7 @@ __all__ = [
     "UnseededRngRule",
     "WallClockRule",
     "UnorderedIterationRule",
+    "UnorderedDictSendRule",
     "CommInTaskRule",
     "LedgerBypassRule",
     "UnaccountedSendRule",
@@ -191,6 +192,16 @@ class UnorderedIterationRule(LintRule):
     with ``list``/``tuple``/``enumerate`` — feeds that order into
     whatever consumes it; if that is partition state or a ledger merge,
     reproducibility is gone.  ``sorted(...)`` is the deterministic fix.
+
+    Tracked set expressions cover literals, ``set()``/``frozenset()``
+    constructions, set algebra, consistently-set-typed locals, *and*
+    consistently-set-typed ``self`` attributes (``self.pending =
+    set()`` in any method of the class).  The attribute half exists
+    because a mutation campaign proved the gap: stripping ``sorted``
+    from ``sorted(self._fired)`` in the fault injector's state export
+    survived every detector while the local-variable form was caught
+    (see ``MUTATION_MATRIX.json``, ``unsort-iteration:runtime/
+    faults.py#1``/``#2``).
     """
 
     name = "unordered-iteration"
@@ -203,20 +214,37 @@ class UnorderedIterationRule(LintRule):
     _ORDER_CONSUMERS = {"list", "tuple", "enumerate", "iter", "reversed"}
     _SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
 
+    @staticmethod
+    def _self_attr(node: ast.AST) -> str | None:
+        """``X`` when ``node`` is exactly ``self.X``."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
     def _is_set_expr(
-        self, node: ast.AST, set_vars: frozenset[str] = frozenset()
+        self,
+        node: ast.AST,
+        set_vars: frozenset[str] = frozenset(),
+        set_attrs: frozenset[str] = frozenset(),
     ) -> bool:
         if isinstance(node, (ast.Set, ast.SetComp)):
             return True
         if isinstance(node, ast.Name) and node.id in set_vars:
             return True
+        attr = self._self_attr(node)
+        if attr is not None and attr in set_attrs:
+            return True
         if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
             if node.func.id in ("set", "frozenset"):
                 return True
         if isinstance(node, ast.BinOp) and isinstance(node.op, self._SET_OPS):
-            return self._is_set_expr(node.left, set_vars) or self._is_set_expr(
-                node.right, set_vars
-            )
+            return self._is_set_expr(
+                node.left, set_vars, set_attrs
+            ) or self._is_set_expr(node.right, set_vars, set_attrs)
         return False
 
     @staticmethod
@@ -247,7 +275,47 @@ class UnorderedIterationRule(LintRule):
                     is_set[target.id] = False
         return frozenset(name for name, ok in is_set.items() if ok)
 
+    def _class_set_attrs(self, cls: ast.ClassDef) -> frozenset[str]:
+        """Attrs whose every ``self.X = ...`` in the class is a set.
+
+        Walks the whole class body (all methods, nested scopes): one
+        non-set assignment anywhere poisons the attribute, as does any
+        augmented assignment or loop-target use — mirroring the local
+        tracking's conservatism.
+        """
+        is_set: dict[str, bool] = {}
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                attr = self._self_attr(node.targets[0])
+                if attr is not None:
+                    sety = self._is_set_expr(node.value)
+                    is_set[attr] = is_set.get(attr, True) and sety
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                attr = self._self_attr(node.target)
+                if attr is not None:
+                    sety = self._is_set_expr(node.value)
+                    is_set[attr] = is_set.get(attr, True) and sety
+            elif isinstance(node, (ast.AugAssign, ast.For)):
+                attr = self._self_attr(node.target)
+                if attr is not None:
+                    is_set[attr] = False
+        return frozenset(attr for attr, ok in is_set.items() if ok)
+
+    def _enclosing_set_attrs(self, scope: ast.AST) -> frozenset[str]:
+        """Set-typed ``self`` attrs of the class ``scope`` sits inside."""
+        node = scope
+        while node is not None:
+            if isinstance(node, ast.ClassDef):
+                cached = self._attr_cache.get(node)
+                if cached is None:
+                    cached = self._class_set_attrs(node)
+                    self._attr_cache[node] = cached
+                return cached
+            node = getattr(node, "_repro_parent", None)
+        return frozenset()
+
     def check(self, module: ModuleSource) -> Iterator[Finding]:
+        self._attr_cache: dict[ast.AST, frozenset[str]] = {}
         scopes: list[ast.AST] = [module.tree] + [
             n
             for n in ast.walk(module.tree)
@@ -255,14 +323,19 @@ class UnorderedIterationRule(LintRule):
         ]
         for scope in scopes:
             set_vars = self._scope_set_vars(scope)
-            yield from self._check_scope(module, scope, set_vars)
+            set_attrs = self._enclosing_set_attrs(scope)
+            yield from self._check_scope(module, scope, set_vars, set_attrs)
 
     def _check_scope(
-        self, module: ModuleSource, scope: ast.AST, set_vars: frozenset[str]
+        self,
+        module: ModuleSource,
+        scope: ast.AST,
+        set_vars: frozenset[str],
+        set_attrs: frozenset[str],
     ) -> Iterator[Finding]:
         for node in self._walk_scope(scope):
             if isinstance(node, ast.For) and self._is_set_expr(
-                node.iter, set_vars
+                node.iter, set_vars, set_attrs
             ):
                 yield self.finding(
                     module, node.iter,
@@ -271,7 +344,7 @@ class UnorderedIterationRule(LintRule):
             elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
                                    ast.GeneratorExp)):
                 for gen in node.generators:
-                    if self._is_set_expr(gen.iter, set_vars):
+                    if self._is_set_expr(gen.iter, set_vars, set_attrs):
                         yield self.finding(
                             module, gen.iter,
                             "comprehension over a set has no "
@@ -281,13 +354,136 @@ class UnorderedIterationRule(LintRule):
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Name)
                 and node.func.id in self._ORDER_CONSUMERS
-                and any(self._is_set_expr(a, set_vars) for a in node.args)
+                and any(
+                    self._is_set_expr(a, set_vars, set_attrs)
+                    for a in node.args
+                )
             ):
                 yield self.finding(
                     module, node,
                     f"{node.func.id}() materializes a set's arbitrary "
                     "order; use sorted(...)",
                 )
+
+
+@register
+class UnorderedDictSendRule(LintRule):
+    """Dict iteration order must not drive the send sequence.
+
+    Python dicts iterate in insertion order — deterministic for one
+    process, but *insertion order itself* is host-dependent whenever
+    the dict was filled from received messages, merged ledgers, or any
+    per-host work split.  A loop that iterates such a dict and sends
+    per entry ships that order into the communication schedule, where
+    replay, CommSan byte mirroring, and scalar-fabric bit-identity all
+    depend on it.  Iterate ``sorted(d)``/``sorted(d.items())`` instead.
+
+    This is the set-order rule's sibling gap, promoted after the
+    mutation campaign measured the family: local *set* order feeding
+    state was caught, while dict-order hazards had no rule at all (see
+    the "Mutation soundness" section of ``docs/ANALYSIS.md``).
+    """
+
+    name = "unordered-dict-send"
+    severity = ERROR
+    description = (
+        "dict iteration order drives sends; iterate sorted(...) instead"
+    )
+
+    _VIEWS = ("items", "keys", "values")
+    _SENDS = ("send", "send_batch")
+    _DICT_FACTORIES = ("dict", "defaultdict", "Counter", "OrderedDict")
+
+    def _is_dict_expr(self, node: ast.AST, dict_vars: frozenset[str]) -> bool:
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Name) and node.id in dict_vars:
+            return True
+        if isinstance(node, ast.Call):
+            callee = _dotted(node.func)
+            if callee is not None and (
+                callee.split(".")[-1] in self._DICT_FACTORIES
+            ):
+                return True
+        return False
+
+    def _scope_dict_vars(self, scope: ast.AST) -> frozenset[str]:
+        """Names whose every assignment in ``scope`` is a dict expression."""
+        is_dict: dict[str, bool] = {}
+        for node in UnorderedIterationRule._walk_scope(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    dicty = self._is_dict_expr(node.value, frozenset())
+                    is_dict[target.id] = is_dict.get(target.id, True) and dicty
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                dicty = node.value is not None and self._is_dict_expr(
+                    node.value, frozenset()
+                )
+                is_dict[node.target.id] = (
+                    is_dict.get(node.target.id, True) and dicty
+                )
+            elif isinstance(node, (ast.AugAssign, ast.For)):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    is_dict[target.id] = False
+        return frozenset(name for name, ok in is_dict.items() if ok)
+
+    def _dict_ordered_iter(
+        self, node: ast.AST, dict_vars: frozenset[str]
+    ) -> bool:
+        """Does ``for ... in node`` follow a dict's insertion order?"""
+        if self._is_dict_expr(node, dict_vars):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and not node.args
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._VIEWS
+            and self._is_dict_expr(node.func.value, dict_vars)
+        )
+
+    def _sends_inside(self, body: list[ast.stmt]) -> ast.Call | None:
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._SENDS
+            ):
+                return node
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+        return None
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [module.tree] + [
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            dict_vars = self._scope_dict_vars(scope)
+            for node in UnorderedIterationRule._walk_scope(scope):
+                if not isinstance(node, ast.For):
+                    continue
+                if not self._dict_ordered_iter(node.iter, dict_vars):
+                    continue
+                send = self._sends_inside(node.body)
+                if send is not None:
+                    assert isinstance(send.func, ast.Attribute)
+                    yield self.finding(
+                        module, node.iter,
+                        f"loop over a dict's insertion order issues "
+                        f"`{send.func.attr}(...)`; iterate "
+                        "sorted(...) so the send sequence is "
+                        "host-independent",
+                    )
 
 
 # ----------------------------------------------------------------------

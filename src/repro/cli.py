@@ -21,11 +21,16 @@ Subcommands:
 ``contracts``   statically diff the five phase modules against their
                 declared communication contracts (exit 1 on undeclared
                 ops; ``--strict`` escalates dead contract clauses)
+``mutate``      run a seeded mutation campaign against the analyzers
+                themselves: splice semantic faults into the package and
+                assert the detector stack catches them (exit 1 on any
+                untriaged survivor; ``--strict`` additionally wants
+                >= 90% detection)
 
-``lint``, ``contracts``, ``chaos`` and ``validate`` are all *checking* subcommands
-and share one verdict convention (:func:`_check_exit`): a single summary
-line — ``OK:`` on stdout with exit 0, or a failure line on stderr with
-exit 1.
+``lint``, ``contracts``, ``chaos``, ``mutate`` and ``validate`` are all
+*checking* subcommands and share one verdict convention
+(:func:`_check_exit`): a single summary line — ``OK:`` on stdout with
+exit 0, or a failure line on stderr with exit 1.
 """
 
 from __future__ import annotations
@@ -288,6 +293,62 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--quiet", action="store_true",
                    help="suppress the per-plan result lines")
+
+    p = sub.add_parser(
+        "mutate",
+        help="run a seeded mutation campaign against the analyzer stack",
+        description=(
+            "Generate semantic faults (unseeded RNG, dropped merges, "
+            "skipped flushes, laundered communication, mutated contract "
+            "clauses, ...) against the repro package, splice each into "
+            "an isolated shadow copy, and run the full detector stack — "
+            "shallow lint, --deep analyses, the contract diff, and a "
+            "dynamic fixture tier — against every mutant.  Fails on any "
+            "surviving mutant without a triage verdict, and on matrix "
+            "drift when --reference is given.  See the 'Mutation "
+            "soundness' section of docs/ANALYSIS.md."
+        ),
+    )
+    p.add_argument(
+        "target", nargs="?",
+        help="repro package directory to mutate (default: the installed one)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help=(
+            "number of mutants to campaign over, stratified per operator "
+            "(default 24; 0 means every generated site)"
+        ),
+    )
+    p.add_argument("--seed", type=int, default=None,
+                   help="selection seed (default 7)")
+    p.add_argument(
+        "--static-only", action="store_true",
+        help="skip the dynamic fixture tier (static detectors only)",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="additionally require >= 90%% detection over non-equivalents",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (default text)")
+    p.add_argument("--json", action="store_true",
+                   help="shorthand for --format json")
+    p.add_argument(
+        "--reference", metavar="FILE",
+        help=(
+            "committed detection matrix to diff against; any byte "
+            "difference from this run's matrix is a failure"
+        ),
+    )
+    p.add_argument(
+        "--write-reference", metavar="FILE",
+        help="write this run's matrix as the new committed reference",
+    )
+    p.add_argument("--list-operators", action="store_true",
+                   help="print the registered mutation operators and exit")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the per-mutant progress lines")
     return parser
 
 
@@ -494,6 +555,71 @@ def _run_contracts_command(args) -> int:
     )
 
 
+def _run_mutate_command(args) -> int:
+    """The ``mutate`` subcommand: drive the analyzer mutation campaign."""
+    from .analysis.mutate import all_operators, run_campaign
+    from .analysis.mutate.campaign import (
+        DEFAULT_BUDGET,
+        DEFAULT_SEED,
+        CampaignError,
+    )
+
+    if args.list_operators:
+        ops = all_operators()
+        width = max(len(name) for name in ops)
+        for name in sorted(ops):
+            op = ops[name]
+            print(f"{name:<{width}}  [{op.fault_class}] {op.description}")
+        return 0
+    budget = DEFAULT_BUDGET if args.budget is None else args.budget
+    progress = None
+    if not args.quiet and args.format != "json" and not args.json:
+        progress = print
+    try:
+        report = run_campaign(
+            target=args.target,
+            budget=None if budget == 0 else budget,
+            seed=DEFAULT_SEED if args.seed is None else args.seed,
+            static_only=args.static_only,
+            progress=progress,
+        )
+    except CampaignError as exc:
+        raise SystemExit(f"mutation campaign aborted: {exc}")
+    matrix = report.to_json()
+    if args.write_reference:
+        with open(args.write_reference, "w") as f:
+            f.write(matrix)
+        print(f"reference matrix written to {args.write_reference}")
+    drift = ""
+    if args.reference:
+        try:
+            with open(args.reference) as f:
+                committed = f.read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read --reference: {exc}")
+        if committed != matrix:
+            drift = (
+                f" (matrix drifted from {args.reference}; inspect the diff"
+                " and re-run with --write-reference if intended)"
+            )
+    ok = report.ok(strict=args.strict) and not drift
+    if args.json or args.format == "json":
+        print(matrix, end="")
+        return 0 if ok else 1
+    if not args.quiet:
+        print(report.render_text())
+    strict_note = (
+        " (strict: detection rate below 90%)"
+        if args.strict and not report.ok(strict=True) and report.ok()
+        else ""
+    )
+    return _check_exit(
+        ok,
+        f"OK: {report.summary()}",
+        f"FAIL: {report.summary()}{strict_note}{drift}",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(argv)
@@ -656,6 +782,9 @@ def _dispatch(argv: list[str] | None = None) -> int:
 
     elif args.command == "contracts":
         return _run_contracts_command(args)
+
+    elif args.command == "mutate":
+        return _run_mutate_command(args)
 
     elif args.command == "info":
         graph = read_gr(args.graph)

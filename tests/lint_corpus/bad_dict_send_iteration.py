@@ -1,0 +1,28 @@
+"""Corpus: dict insertion order driving sends (rule: unordered-dict-send)."""
+
+
+def ship_batches(view, batches):
+    # Filled from received messages: insertion order is host-dependent.
+    pending = {}
+    for dst, payload in batches:
+        pending.setdefault(dst, []).append(payload)
+    for dst, items in pending.items():  # dict order reaches the wire
+        view.send(dst, "edge-counts", items, nbytes=8 * len(items))
+
+
+def ship_views(view, sizes):
+    queue = dict(sizes)
+    for dst in queue:  # bare dict iteration, same hazard
+        view.send_batch(dst, "edges", queue[dst])
+    for dst in queue.keys():
+        view.send(dst, "meta", queue[dst], nbytes=8)
+
+
+def ship_sorted(view, pending):
+    # The deterministic idiom: sorted(...) breaks the insertion-order
+    # dependence, so none of these may be flagged.
+    for dst, items in sorted(pending.items()):
+        view.send(dst, "edge-counts", items, nbytes=8 * len(items))
+    summary = {}
+    for dst in summary:  # no send inside: summaries may keep dict order
+        print(dst)

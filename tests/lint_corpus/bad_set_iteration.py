@@ -18,3 +18,21 @@ def literal_and_consumer():
 def via_variable(a, b):
     pending = set(a) | set(b)
     return [x for x in pending]
+
+
+class FaultTracker:
+    """Set-typed ``self`` attributes carry the same hazard."""
+
+    def __init__(self):
+        self._fired = set()
+        self._skipped = {"warm"}
+
+    def record(self, host):
+        self._fired.add(host)
+
+    def snapshot(self):
+        return list(self._fired)  # set order leaks through the attr
+
+    def walk(self):
+        for host in self._skipped:  # iterating a set-typed attr
+            yield host

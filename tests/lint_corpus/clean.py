@@ -20,6 +20,31 @@ def membership_only(edges, h):
     return h in seen  # set used for membership, never iterated
 
 
+def sorted_dict_send(view, pending):
+    for dst, items in sorted(pending.items()):  # sorted() fixes the order
+        view.send(dst, items, tag="batch", nbytes=8 * len(items))
+
+
+def dict_no_send(counts):
+    total = {}
+    for dst, n in counts.items():  # no send inside: insertion order is fine
+        total[dst] = n * 2
+    return total
+
+
+class OrderedTracker:
+    """Set-typed attrs are fine when consumed through sorted()."""
+
+    def __init__(self):
+        self._fired = set()
+
+    def snapshot(self):
+        return sorted(self._fired)
+
+    def contains(self, host):
+        return host in self._fired  # membership, never iterated
+
+
 def make_task(h, out, num_hosts):
     def body(view):
         scratch = np.zeros(num_hosts)

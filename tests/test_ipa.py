@@ -200,6 +200,167 @@ class TestIncrementalCache:
         assert json.loads(cache.read_text())["entries"]
 
 
+class TestCacheConcurrency:
+    """Concurrent runs sharing one cache file stay safe and uncorrupted."""
+
+    def make_cache(self, tmp_path):
+        from repro.analysis.ipa.cache import DeepCache
+
+        cache = DeepCache.load(tmp_path / "deep.json", "k")
+        cache.put("mod.py", {"sha": "abc"})
+        return cache
+
+    def test_save_publishes_atomically(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        cache.save()
+        assert not cache.dirty
+        doc = json.loads((tmp_path / "deep.json").read_text())
+        assert doc["entries"]["mod.py"]["sha"] == "abc"
+        # no leaked temp files, no leaked lock
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert not cache.lock_path.exists()
+
+    def test_live_lock_skips_save(self, tmp_path):
+        import os
+
+        cache = self.make_cache(tmp_path)
+        cache.lock_path.write_text(str(os.getpid()))  # a live holder: us
+        cache.save()
+        assert cache.dirty  # skipped: nothing persisted
+        assert not (tmp_path / "deep.json").exists()
+        assert cache.lock_path.read_text() == str(os.getpid())  # untouched
+
+    def test_dead_lock_is_stolen(self, tmp_path):
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()  # reaped: its pid no longer names a live process
+        cache = self.make_cache(tmp_path)
+        cache.lock_path.write_text(str(proc.pid))
+        cache.save()
+        assert not cache.dirty
+        assert json.loads((tmp_path / "deep.json").read_text())["entries"]
+        assert not cache.lock_path.exists()
+
+    def test_garbage_lock_is_stolen(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        cache.lock_path.write_text("not-a-pid")
+        cache.save()
+        assert not cache.dirty
+        assert not cache.lock_path.exists()
+
+    def test_parallel_writers_never_corrupt(self, tmp_path):
+        import concurrent.futures
+
+        path = tmp_path / "deep.json"
+        with concurrent.futures.ProcessPoolExecutor(max_workers=4) as pool:
+            list(pool.map(_hammer_cache, [(str(path), w) for w in range(4)]))
+        # whatever interleaving happened, the survivor parses and no
+        # temp or lock debris remains
+        from repro.analysis.ipa.cache import CACHE_VERSION
+
+        doc = json.loads(path.read_text())
+        assert doc["version"] == CACHE_VERSION
+        assert doc["entries"]
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert not path.with_name(path.name + ".lock").exists()
+
+    def test_reader_sees_old_or_new_never_torn(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        cache.save()
+        # a second generation over the same path
+        again = self.make_cache(tmp_path)
+        again.put("other.py", {"sha": "def"})
+        again.save()
+        doc = json.loads((tmp_path / "deep.json").read_text())
+        assert set(doc["entries"]) == {"mod.py", "other.py"}
+
+
+def _hammer_cache(arg):
+    """Worker for the parallel-writers test (module-level: picklable)."""
+    from repro.analysis.ipa.cache import DeepCache
+
+    path, worker = arg
+    for round_no in range(5):
+        cache = DeepCache.load(path, "k")
+        cache.put(f"w{worker}-r{round_no}.py", {"sha": f"{worker}:{round_no}"})
+        cache.save()
+    return worker
+
+
+class TestDeepSuppressionGovernance:
+    """Suppressions on deep-rule anchors survive the incremental cache."""
+
+    def suppressed_corpus(self, tmp_path):
+        """Copy the evasion corpus and suppress evade_rng's deep finding."""
+        corpus = tmp_path / "corpus"
+        shutil.copytree(DEEP, corpus)
+        baseline = deep_report(root=corpus)
+        anchor = next(
+            f for f in baseline.findings if f.rule == "deep-unseeded-rng"
+        )
+        target = corpus / anchor.path
+        lines = target.read_text().splitlines()
+        lines[anchor.line - 1] += (
+            "  # repro-lint: disable=deep-unseeded-rng -- governance test"
+        )
+        target.write_text("\n".join(lines) + "\n")
+        return corpus, baseline
+
+    def test_cold_and_warm_runs_agree(self, tmp_path):
+        corpus, baseline = self.suppressed_corpus(tmp_path)
+        cache = tmp_path / "deep.json"
+        nfiles = len(list(corpus.glob("*.py")))
+
+        cold = deep_report(root=corpus, cache=cache)
+        assert "deep-unseeded-rng" not in {f.rule for f in cold.findings}
+        assert cold.suppressed == baseline.suppressed + 1
+        assert cold.cache_misses == nfiles
+
+        warm = deep_report(root=corpus, cache=cache)
+        assert warm.cache_hits == nfiles
+        assert {f.rule for f in warm.findings} == {
+            f.rule for f in cold.findings
+        }
+        assert warm.suppressed == cold.suppressed
+        assert json.loads(warm.to_json())["findings"] == json.loads(
+            cold.to_json()
+        )["findings"]
+
+    def test_suppression_applies_when_served_from_cache(self, tmp_path):
+        # The suppressing file itself is a cache *hit* while another
+        # file misses: the suppression table must come from the cache.
+        corpus, _ = self.suppressed_corpus(tmp_path)
+        cache = tmp_path / "deep.json"
+        cold = deep_report(root=corpus, cache=cache)
+        other = corpus / "evade_clock.py"
+        other.write_text(other.read_text() + "\n# touched\n")
+        mixed = deep_report(root=corpus, cache=cache)
+        assert mixed.cache_misses == 1
+        assert "deep-unseeded-rng" not in {f.rule for f in mixed.findings}
+        assert mixed.suppressed == cold.suppressed
+
+    def test_removing_the_suppression_resurfaces_the_finding(self, tmp_path):
+        corpus, baseline = self.suppressed_corpus(tmp_path)
+        cache = tmp_path / "deep.json"
+        deep_report(root=corpus, cache=cache)
+        anchor = next(
+            f for f in baseline.findings if f.rule == "deep-unseeded-rng"
+        )
+        target = corpus / anchor.path
+        target.write_text(
+            target.read_text().replace(
+                "  # repro-lint: disable=deep-unseeded-rng"
+                " -- governance test",
+                "",
+            )
+        )
+        report = deep_report(root=corpus, cache=cache)
+        assert "deep-unseeded-rng" in {f.rule for f in report.findings}
+        assert report.suppressed == baseline.suppressed
+
+
 class TestDeterministicOrder:
     """Findings sort by (path, line, col, rule) regardless of input order."""
 

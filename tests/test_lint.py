@@ -30,6 +30,7 @@ RULE_FIXTURES = {
     "unseeded-rng": "bad_rng.py",
     "wall-clock": "bad_clock.py",
     "unordered-iteration": "bad_set_iteration.py",
+    "unordered-dict-send": "bad_dict_send_iteration.py",
     "comm-in-task": "bad_comm_in_task.py",
     "ledger-bypass": "bad_ledger_bypass.py",
     "unaccounted-send": "bad_unaccounted_send.py",
