@@ -97,11 +97,11 @@ TRIAGE: dict[str, TriageEntry] = {
         " describe string; dict insertion order is already"
         " deterministic, and the string feeds no digest or wire path.",
     ),
-    "unsort-iteration:runtime/faults.py#3": TriageEntry(
+    "unsort-iteration:runtime/faults.py#5": TriageEntry(
         "equivalent",
         "Cosmetic ordering of a fault-summary string built from a"
-        " deterministic-insertion dict; no digest or wire path"
-        " consumes it.",
+        " deterministic-insertion dict (FaultReport.summary); no"
+        " digest or wire path consumes it.",
     ),
     # -- promoted: these survivors are the reason the unordered-iteration
     #    rule now tracks set-typed `self` attributes (and gained the

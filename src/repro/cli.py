@@ -141,9 +141,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "per-host execution engine: 'serial' (reference), "
             "'parallel' (thread pool; identical partitions and "
-            "simulated breakdown by construction), 'process' (forked "
-            "worker processes shipping columnar batches and ledger "
-            "deltas over pipes; same guarantees, true multi-core), or "
+            "simulated breakdown by construction), 'process' (a "
+            "persistent pool of forked workers mapping the graph "
+            "zero-copy from shared memory and shipping ledger deltas "
+            "over pipes; same guarantees, true multi-core), or "
             "their '-checked' variants (run under the host-isolation "
             "race detector)"
         ),

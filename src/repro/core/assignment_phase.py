@@ -97,9 +97,20 @@ class HostGroups:
         src: np.ndarray,
         dst: np.ndarray,
         num_hosts: int,
+        order: np.ndarray | None = None,
     ):
-        order = np.argsort(owner, kind="stable")
-        cuts = np.searchsorted(owner[order], np.arange(num_hosts + 1))
+        if order is None:
+            order = np.argsort(owner, kind="stable")
+        self.order = order
+        self.cuts = np.searchsorted(
+            owner[order], np.arange(num_hosts + 1)
+        )
+        self._fill(src, dst)
+
+    def _fill(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Gather the sorted columns from the host's edge arrays."""
+        order = self.order
+        cuts = self.cuts
         s = src[order]
         n = s.size
         if n:
@@ -112,13 +123,31 @@ class HostGroups:
             usrc_cuts = np.concatenate(([0], np.cumsum(keep)))[cuts]
         else:
             usrc = s
-            usrc_cuts = np.zeros(num_hosts + 1, dtype=np.int64)
-        self.order = order
-        self.cuts = cuts
+            usrc_cuts = np.zeros(cuts.size, dtype=np.int64)
         self.src_sorted = s
         self.dst_sorted = dst[order]
         self.usrc = usrc
         self.usrc_cuts = usrc_cuts
+
+    def __getstate__(self):
+        # Only the sort permutation and group boundaries cross process
+        # boundaries: the sorted columns are O(n) gathers of the host's
+        # edge arrays (themselves derived from the shared-memory
+        # resident graph) and are rehydrated on first use at the other
+        # side, so a pickled grouping is ~3x smaller than a live one.
+        return self.order, self.cuts
+
+    def __setstate__(self, state) -> None:
+        self.order, self.cuts = state
+        self.src_sorted = None
+        self.dst_sorted = None
+        self.usrc = None
+        self.usrc_cuts = None
+
+    def hydrate(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Rebuild the sorted columns after a skeleton unpickle."""
+        if self.src_sorted is None:
+            self._fill(src, dst)
 
     def group_rows(self, j: int) -> np.ndarray:
         """Row indices (into the host's edge arrays) owned by host ``j``."""
@@ -137,15 +166,46 @@ class HostGroups:
         return self.usrc[self.usrc_cuts[j] : self.usrc_cuts[j + 1]]
 
 
-class EdgeAssignment:
-    """Result of the edge-assignment phase."""
+#: Worker-local carry-over of the full group caches built by
+#: ``_assign_edges_body``: a resident pool worker keeps the groupings it
+#: computed during edge assignment so later phases adopt them instead of
+#: regathering from the resident skeleton.  Guarded by a bitwise owner
+#: comparison (the grouping is a pure function of the owner array and
+#: the resident graph), populated only inside pool workers (the flag is
+#: set in ``_pool_worker_main``), and dies with the worker.
+_group_stash: dict[int, tuple[np.ndarray, HostGroups]] = {}
 
-    def __init__(self, num_hosts: int) -> None:
+
+def _stash_groups(h: int, owner: np.ndarray, groups: HostGroups) -> None:
+    from ..runtime import executor as _executor
+
+    if _executor._IN_POOL_WORKER:
+        # repro-lint: disable-next-line=deep-unshippable-task-capture -- worker-local recompute cache: lost with the worker, revalidated bitwise against the owner array before reuse
+        _group_stash[h] = (owner, groups)
+
+
+class EdgeAssignment:
+    """Result of the edge-assignment phase.
+
+    The per-host ``(src, dst, weight)`` edge arrays and the owner
+    grouping's sorted columns are pure functions of the graph, the read
+    ranges and the owner decisions, so neither ever crosses a process
+    boundary: consumers rebuild them lazily from the (shared-memory
+    resident) graph on first use.  Only the owner arrays, the sort
+    permutations and the count matrices are real state.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        prop: GraphProp | None = None,
+        ranges: list[tuple[int, int]] | None = None,
+    ) -> None:
         #: Per reading host: owner partition of each of its edges
         #: (``None`` until that host's task has run).
         self.owners: list[np.ndarray | None] = [None] * num_hosts
-        #: Per reading host: its (src, dst, weight) edge arrays
-        #: (``None`` until that host's task has run).
+        #: Per reading host: its (src, dst, weight) edge arrays, a lazy
+        #: cache over :func:`host_edge_slice` (see :meth:`host_edges`).
         self.edges: list[
             tuple[np.ndarray, np.ndarray, np.ndarray | None] | None
         ] = [None] * num_hosts
@@ -153,6 +213,9 @@ class EdgeAssignment:
         self.edges_to = np.zeros((num_hosts, num_hosts), dtype=np.int64)
         #: toReceive[j] = total edges host j expects (Algorithm 3 line 13).
         self.to_receive = np.zeros(num_hosts, dtype=np.int64)
+        #: Graph + read ranges backing the lazy edge rebuild.
+        self._prop = prop
+        self.ranges = list(ranges) if ranges is not None else None
         # Lazy per-host owner-group cache shared by phases 3-5.  The
         # assignment phase's barrier callback installs each host's
         # grouping; a cache miss inside a task recomputes the (pure,
@@ -160,20 +223,64 @@ class EdgeAssignment:
         # surviving the task — it may run in a forked worker.
         self._groups: list[HostGroups | None] = [None] * num_hosts
 
+    def host_edges(
+        self, h: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Host ``h``'s (src, dst, weights) arrays (rebuilt on miss)."""
+        edges = self.edges[h]
+        if edges is None:
+            if self._prop is None or self.ranges is None:
+                raise ValueError(f"host {h}: edge assignment not yet run")
+            start, stop = self.ranges[h]
+            edges = host_edge_slice(self._prop.graph, start, stop)
+            # repro-lint: disable-next-line=deep-unshippable-task-capture -- recompute-on-miss cache (see class docstring): a worker-local write that is lost with the fork is recomputed identically on the next miss
+            self.edges[h] = edges
+        return edges
+
     def host_groups(self, h: int) -> HostGroups:
         """The owner grouping of host ``h``'s edges (computed once)."""
         groups = self._groups[h]
         if groups is None:
             owner = self.owners[h]
-            edges = self.edges[h]
-            if owner is None or edges is None:
+            if owner is None:
                 raise ValueError(f"host {h}: edge assignment not yet run")
+            src, dst, _weights = self.host_edges(h)
             groups = HostGroups(
-                owner, edges[0], edges[1], self.edges_to.shape[0]
+                owner, src, dst, self.edges_to.shape[0]
             )
             # repro-lint: disable-next-line=deep-unshippable-task-capture -- recompute-on-miss cache (see class docstring): a worker-local write that is lost with the fork is recomputed identically on the next miss
             self._groups[h] = groups
+        elif groups.src_sorted is None:
+            # Skeleton from a cross-process unpickle.  A resident pool
+            # worker that ran this host's assignment task still holds
+            # the full grouping it built there; adopt it when the owner
+            # array matches bitwise (the grouping is a pure function of
+            # the owner array and the resident graph).  Otherwise gather
+            # the sorted columns from the locally rebuilt edge arrays
+            # (pure and deterministic, so hydrating in-place is
+            # recompute-on-miss with the argsort skipped).
+            owner = self.owners[h]
+            stashed = _group_stash.get(h)
+            if (
+                stashed is not None
+                and owner is not None
+                and np.array_equal(stashed[0], owner)
+            ):
+                groups = stashed[1]
+                # repro-lint: disable-next-line=deep-unshippable-task-capture -- recompute-on-miss cache (see class docstring): a lost worker-local write is redone identically
+                self._groups[h] = groups
+            else:
+                src, dst, _weights = self.host_edges(h)
+                # repro-lint: disable-next-line=deep-unshippable-task-capture -- recompute-on-miss cache (see class docstring): hydration is a pure gather; a lost worker-local write is redone identically
+                groups.hydrate(src, dst)
         return groups
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        # The edge arrays are derivable from (graph, ranges); shipping
+        # them would roughly double the graph bytes on the wire.
+        state["edges"] = [None] * len(self.edges)
+        return state
 
     def adopt_groups(self, other: "EdgeAssignment") -> None:
         """Carry ``other``'s group cache onto this (rebuilt) assignment.
@@ -210,20 +317,22 @@ def assignment_from_owners(
     The per-host edge arrays are a pure function of the graph and the
     read ranges, so only the owner decisions need to be persisted; this
     reconstructs the same :class:`EdgeAssignment` the live phase
-    produced (used when replaying phases 4/5 from a checkpoint).
+    produced (used when replaying phases 4/5 from a checkpoint).  The
+    edge arrays themselves stay lazy — consumers rebuild them from the
+    graph on first use.
     """
     num_hosts = len(ranges)
-    result = EdgeAssignment(num_hosts)
+    result = EdgeAssignment(num_hosts, prop=prop, ranges=ranges)
+    graph = prop.graph
     for h, (start, stop) in enumerate(ranges):
-        src, dst, weights = host_edge_slice(prop.graph, start, stop)
+        expected = int(graph.indptr[stop]) - int(graph.indptr[start])
         owner = np.asarray(owners[h])
-        if owner.size != src.size:
+        if owner.size != expected:
             raise ValueError(
                 f"host {h}: checkpointed {owner.size} owners for "
-                f"{src.size} edges"
+                f"{expected} edges"
             )
         result.owners[h] = owner
-        result.edges[h] = (src, dst, weights)
         result.edges_to[h, :] = np.bincount(
             owner, minlength=num_hosts
         ).astype(np.int64)
@@ -239,6 +348,152 @@ def mirror_info_schema(masters_dtype: np.dtype) -> ColumnSchema:
     )
 
 
+# -- Task bodies ---------------------------------------------------------
+#
+# Module-level so the pooled process executor can ship them by reference;
+# payload tuples carry everything a body reads, with the big immutable
+# inputs (``prop``, ``masters``) resolving against shared-memory
+# residents.  Parent-side installs stay closures in
+# ``run_edge_assignment`` — apply callbacks never ship.
+
+
+def _assign_edges_common(
+    view: HostView,
+    rule,
+    prop: GraphProp,
+    masters: np.ndarray,
+    estate,
+    comm,
+    num_hosts: int,
+    h: int,
+    start: int,
+    stop: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Owner evaluation + bookkeeping shared by both fabrics.
+
+    Pure with respect to shared state: the owner/count arrays are
+    returned and the task's ``apply`` callback installs them into the
+    :class:`EdgeAssignment` at the barrier (task-payload seam).
+    """
+    src, dst, _weights = host_edge_slice(prop.graph, start, stop)
+    estate_view = estate.host_view(h) if estate is not None else None
+    owner = rule.owner_batch(
+        prop, src, dst, masters[src], masters[dst], estate_view
+    )
+    counts = np.bincount(owner, minlength=num_hosts).astype(np.int64)
+    # Two abstract units per edge: owner evaluation + count update.
+    view.add_compute(2.0 * src.size)
+    if estate is not None:
+        # Periodic estate reconciliation (§IV-D4), one round per
+        # host's streamed chunk, non-blocking like master rounds.
+        # Safe despite living in a task body: stateful rules are
+        # dispatched through chain(), which runs hosts sequentially
+        # on the main thread (no task context), so this collective
+        # never executes inside a mapped task.
+        # repro-lint: disable-next-line=comm-in-task,deep-comm-in-task -- chain()-only path, sequential by construction
+        estate.sync_round(comm, blocking=False)
+    return src, dst, owner, counts
+
+
+def _assign_edges_body(view: HostView, payload: tuple):
+    """Columnar edge-assignment pass for one host."""
+    (rule, prop, masters, schema, estate, comm, num_hosts,
+     h, start, stop) = payload
+    src, dst, owner, counts = _assign_edges_common(
+        view, rule, prop, masters, estate, comm, num_hosts, h, start, stop
+    )
+    groups = HostGroups(owner, src, dst, num_hosts)
+    nodes_read = stop - start
+    mark = np.empty(prop.getNumNodes(), dtype=bool)
+    for j in range(num_hosts):
+        if j == h:
+            continue
+        if counts[j] == 0:
+            # Paper §IV-D2: "nothing to send" notification.
+            view.send_batch(j, MessageBatch.empty(schema),
+                            tag="edge-counts",
+                            nbytes=_EMPTY_MESSAGE_BYTES)
+            continue
+        # Mirror info: destination proxies on j whose master is
+        # elsewhere, plus source proxies on j whose master is
+        # elsewhere.  A presence mask + flatnonzero yields the scalar
+        # path's sorted-unique endpoints (minus the j-mastered ones)
+        # without any per-peer sort.
+        mark[:] = False
+        mark[groups.unique_src(j)] = True
+        mark[groups.group_dst(j)] = True
+        mirror_ids = np.flatnonzero(mark & (masters != j))
+        payload_bytes = (
+            nodes_read * 8 + mirror_ids.size * _MIRROR_ENTRY_BYTES
+        )
+        view.send_batch(
+            j,
+            MessageBatch(
+                schema,
+                (mirror_ids, masters[mirror_ids]),
+                scalars=(int(counts[j]),),
+            ),
+            tag="edge-counts",
+            nbytes=payload_bytes,
+        )
+    _stash_groups(h, owner, groups)
+    return owner, counts, groups
+
+
+def _assign_edges_body_scalar(view: HostView, payload: tuple):
+    """Scalar-fabric edge-assignment pass (compatibility path)."""
+    (rule, prop, masters, schema, estate, comm, num_hosts,
+     h, start, stop) = payload
+    src, dst, owner, counts = _assign_edges_common(
+        view, rule, prop, masters, estate, comm, num_hosts, h, start, stop
+    )
+    nodes_read = stop - start
+    for j in range(num_hosts):
+        if j == h:
+            continue
+        if counts[j] == 0:
+            # Paper §IV-D2: "nothing to send" notification.
+            # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
+            view.send(j, None, tag="edge-counts",
+                      nbytes=_EMPTY_MESSAGE_BYTES)
+            continue
+        mask = owner == j
+        # Mirror info: destination proxies on j whose master is
+        # elsewhere, plus source proxies on j whose master is
+        # elsewhere.
+        endpoints = np.unique(np.concatenate([src[mask], dst[mask]]))
+        mirror_ids = endpoints[masters[endpoints] != j]
+        payload_bytes = (
+            nodes_read * 8 + mirror_ids.size * _MIRROR_ENTRY_BYTES
+        )
+        # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
+        view.send(
+            j,
+            (counts[j], mirror_ids, masters[mirror_ids]),
+            tag="edge-counts",
+            nbytes=payload_bytes,
+        )
+    # The scalar path never groups by owner here; construction's scalar
+    # tasks argsort locally, so the cache stays lazy.
+    return owner, counts, None
+
+
+def _tally_counts_body(view: HostView, schema: ColumnSchema) -> int:
+    """Columnar tally of one host's incoming edge totals."""
+    incoming = view.recv_all_batch(tag="edge-counts", schema=schema)
+    view.add_compute(float(incoming.num_blocks))
+    return int(incoming.scalars["count"].sum())
+
+
+def _tally_counts_body_scalar(view: HostView) -> int:
+    """Scalar-fabric tally (compatibility path)."""
+    incoming = view.recv_all(tag="edge-counts")
+    view.add_compute(float(len(incoming)))
+    return int(sum(
+        payload[0] for _, payload in incoming if payload is not None
+    ))
+
+
 def run_edge_assignment(
     phase: PhaseStats,
     prop: GraphProp,
@@ -252,8 +507,7 @@ def run_edge_assignment(
     rule = policy.edge_rule
     num_hosts = len(ranges)
     k = prop.getNumPartitions()
-    graph = prop.graph
-    result = EdgeAssignment(num_hosts)
+    result = EdgeAssignment(num_hosts, prop=prop, ranges=ranges)
     schema = mirror_info_schema(masters.dtype)
     estate = None
     if rule.stateful:
@@ -263,48 +517,18 @@ def run_edge_assignment(
             # User rules written to the paper's two-argument signature.
             estate = rule.make_state(k, num_hosts)
 
-    def assign_common(view: HostView, h: int, start: int, stop: int) -> tuple[
-        np.ndarray, np.ndarray, np.ndarray, np.ndarray
-    ]:
-        """Owner evaluation + bookkeeping shared by both fabrics.
-
-        Pure with respect to shared state: the owner/count arrays are
-        returned and the task's ``apply`` callback installs them into
-        ``result`` at the barrier (task-payload seam).
-        """
-        src, dst, _weights = host_edge_slice(graph, start, stop)
-        estate_view = estate.host_view(h) if estate is not None else None
-        owner = rule.owner_batch(
-            prop, src, dst, masters[src], masters[dst], estate_view
-        )
-        counts = np.bincount(owner, minlength=num_hosts).astype(np.int64)
-        # Two abstract units per edge: owner evaluation + count update.
-        view.add_compute(2.0 * src.size)
-        if estate is not None:
-            # Periodic estate reconciliation (§IV-D4), one round per
-            # host's streamed chunk, non-blocking like master rounds.
-            # Safe despite living in a task body: stateful rules are
-            # dispatched through chain() below, which runs hosts
-            # sequentially on the main thread (no task context), so
-            # this collective never executes inside a mapped task.
-            # repro-lint: disable-next-line=comm-in-task,deep-comm-in-task -- chain()-only path, sequential by construction
-            estate.sync_round(phase.comm, blocking=False)
-        return src, dst, owner, counts
-
     def install_assignment(h: int, start: int, stop: int):
         """Parent-side barrier callback installing one host's results.
 
-        The edge arrays are a pure function of (graph, range), so they
-        are recomputed here instead of shipped across the process
-        boundary; the grouping (when the columnar body built one) rides
-        along by reference on the serial/thread paths and by pickle on
-        the process path.
+        The edge arrays are a pure function of (graph, range) and stay
+        lazy on the assignment; the grouping (when the columnar body
+        built one) rides along by reference on the serial/thread paths
+        and as an order-only skeleton on the process path, rehydrated
+        by whoever touches it next.
         """
         def install(outcome):
             owner, counts, groups = outcome
-            src, dst, weights = host_edge_slice(graph, start, stop)
             result.owners[h] = owner
-            result.edges[h] = (src, dst, weights)
             result.edges_to[h, :] = counts
             if groups is not None:
                 result._groups[h] = groups
@@ -312,92 +536,26 @@ def run_edge_assignment(
 
         return install
 
-    num_nodes = prop.getNumNodes()
+    assign_body = (
+        _assign_edges_body if fabric == "columnar" else _assign_edges_body_scalar
+    )
+    # The communicator only rides in the payload for stateful rules,
+    # whose tasks go through chain() and are never pickled; stateless
+    # payloads stay shippable.
+    comm_arg = phase.comm if estate is not None else None
 
     def assign_task(h: int, start: int, stop: int) -> HostTask:
-        def body(view: HostView):
-            src, dst, owner, counts = assign_common(view, h, start, stop)
-            groups = HostGroups(owner, src, dst, num_hosts)
-            nodes_read = stop - start
-            mark = np.empty(num_nodes, dtype=bool)
-            for j in range(num_hosts):
-                if j == h:
-                    continue
-                if counts[j] == 0:
-                    # Paper §IV-D2: "nothing to send" notification.
-                    view.send_batch(j, MessageBatch.empty(schema),
-                                    tag="edge-counts",
-                                    nbytes=_EMPTY_MESSAGE_BYTES)
-                    continue
-                # Mirror info: destination proxies on j whose master is
-                # elsewhere, plus source proxies on j whose master is
-                # elsewhere.  A presence mask + flatnonzero yields the
-                # scalar path's sorted-unique endpoints (minus the
-                # j-mastered ones) without any per-peer sort.
-                mark[:] = False
-                mark[groups.unique_src(j)] = True
-                mark[groups.group_dst(j)] = True
-                mirror_ids = np.flatnonzero(mark & (masters != j))
-                payload_bytes = (
-                    nodes_read * 8 + mirror_ids.size * _MIRROR_ENTRY_BYTES
-                )
-                view.send_batch(
-                    j,
-                    MessageBatch(
-                        schema,
-                        (mirror_ids, masters[mirror_ids]),
-                        scalars=(int(counts[j]),),
-                    ),
-                    tag="edge-counts",
-                    nbytes=payload_bytes,
-                )
-            return owner, counts, groups
-
         return HostTask(
-            h, body, label="assign-edges",
+            h, assign_body, label="assign-edges",
+            # repro-lint: disable-next-line=deep-unshippable-payload -- comm_arg is None unless the rule is stateful, and stateful tasks go through chain(), which never pickles
+            payload=(
+                rule, prop, masters, schema, estate, comm_arg,
+                num_hosts, h, start, stop,
+            ),
             apply=install_assignment(h, start, stop),
         )
 
-    def assign_task_scalar(h: int, start: int, stop: int) -> HostTask:
-        def body(view: HostView):
-            src, dst, owner, counts = assign_common(view, h, start, stop)
-            nodes_read = stop - start
-            for j in range(num_hosts):
-                if j == h:
-                    continue
-                if counts[j] == 0:
-                    # Paper §IV-D2: "nothing to send" notification.
-                    # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
-                    view.send(j, None, tag="edge-counts",
-                              nbytes=_EMPTY_MESSAGE_BYTES)
-                    continue
-                mask = owner == j
-                # Mirror info: destination proxies on j whose master is
-                # elsewhere, plus source proxies on j whose master is
-                # elsewhere.
-                endpoints = np.unique(np.concatenate([src[mask], dst[mask]]))
-                mirror_ids = endpoints[masters[endpoints] != j]
-                payload_bytes = (
-                    nodes_read * 8 + mirror_ids.size * _MIRROR_ENTRY_BYTES
-                )
-                # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
-                view.send(
-                    j,
-                    (counts[j], mirror_ids, masters[mirror_ids]),
-                    tag="edge-counts",
-                    nbytes=payload_bytes,
-                )
-            # The scalar path never groups by owner here; construction's
-            # scalar tasks argsort locally, so the cache stays lazy.
-            return owner, counts, None
-
-        return HostTask(
-            h, body, label="assign-edges",
-            apply=install_assignment(h, start, stop),
-        )
-
-    make_assign = assign_task if fabric == "columnar" else assign_task_scalar
-    tasks = [make_assign(h, start, stop) for h, (start, stop) in enumerate(ranges)]
+    tasks = [assign_task(h, start, stop) for h, (start, stop) in enumerate(ranges)]
     if estate is not None:
         # Stateful rules are a *cross-host-sequential* stream: host h+1
         # scores against the estate host h just synced, so no executor
@@ -415,24 +573,16 @@ def run_edge_assignment(
         return install
 
     def tally_task(j: int) -> HostTask:
-        def body(view: HostView) -> int:
-            incoming = view.recv_all_batch(tag="edge-counts", schema=schema)
-            view.add_compute(float(incoming.num_blocks))
-            return int(incoming.scalars["count"].sum())
+        if fabric == "columnar":
+            return HostTask(
+                j, _tally_counts_body, label="tally-counts",
+                payload=schema, apply=install_tally(j),
+            )
+        return HostTask(
+            j, _tally_counts_body_scalar, label="tally-counts",
+            apply=install_tally(j),
+        )
 
-        return HostTask(j, body, label="tally-counts", apply=install_tally(j))
-
-    def tally_task_scalar(j: int) -> HostTask:
-        def body(view: HostView) -> int:
-            incoming = view.recv_all(tag="edge-counts")
-            view.add_compute(float(len(incoming)))
-            return int(sum(
-                payload[0] for _, payload in incoming if payload is not None
-            ))
-
-        return HostTask(j, body, label="tally-counts", apply=install_tally(j))
-
-    make_tally = tally_task if fabric == "columnar" else tally_task_scalar
-    phase.executor.run(phase, [make_tally(j) for j in range(num_hosts)])
+    phase.executor.run(phase, [tally_task(j) for j in range(num_hosts)])
 
     return result

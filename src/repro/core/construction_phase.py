@@ -18,6 +18,15 @@ per host serves endpoint grouping, edge shipping and the per-peer unique
 source counts), and edges travel as typed
 :class:`~repro.runtime.colfab.MessageBatch` columns.  The ``"scalar"``
 fabric keeps the original per-payload formulation with identical charges.
+
+Task bodies live at module level so the pooled process executor can ship
+them by reference; the phase inputs they share (``assignment``,
+``masters``, ``proxies``) are published as shared-memory residents so
+workers map them zero-copy.  The allocation pass's endpoint sets are
+pure index *descriptors* into the assignment's group cache (see
+``_group_endpoints_body``), so on the columnar path no endpoint arrays
+are published or shipped at all; only the scalar compatibility path
+still publishes materialized endpoint arrays.
 """
 
 from __future__ import annotations
@@ -36,6 +45,229 @@ from .prop import GraphProp
 __all__ = ["run_allocation", "run_construction"]
 
 
+# -- Task bodies ---------------------------------------------------------
+
+
+def _group_endpoints_body(
+    view: HostView, payload: tuple
+) -> list[tuple[int, int, int, int, int, int]]:
+    """Columnar endpoint grouping for one reading host.
+
+    Returns *descriptors* — ``(j, h, usrc_lo, usrc_hi, cut_lo, cut_hi)``
+    index ranges into host ``h``'s group cache — rather than the
+    endpoint arrays themselves.  The consumer (``_build_proxies_body``)
+    resolves them against its own view of the shared assignment, so no
+    endpoint bytes ever cross the process boundary.
+    """
+    assignment, num_hosts, h = payload
+    groups = assignment.host_groups(h)
+    pieces: list[tuple[int, int, int, int, int, int]] = []
+    for j in range(num_hosts):
+        if groups.cuts[j + 1] > groups.cuts[j]:
+            # Sources arrive already deduplicated from the group cache;
+            # destinations stay raw views — the owner dedups once over
+            # its whole union instead of per piece.
+            pieces.append((
+                j, h,
+                int(groups.usrc_cuts[j]), int(groups.usrc_cuts[j + 1]),
+                int(groups.cuts[j]), int(groups.cuts[j + 1]),
+            ))
+    return pieces
+
+
+def _group_endpoints_body_scalar(
+    view: HostView, payload: tuple
+) -> list[tuple[int, np.ndarray, np.ndarray]]:
+    """Scalar-fabric endpoint grouping (compatibility path)."""
+    assignment, num_hosts, h = payload
+    src, dst, _w = assignment.host_edges(h)
+    owner = assignment.owners[h]
+    order = np.argsort(owner, kind="stable")
+    sorted_owner = owner[order]
+    cuts = np.searchsorted(sorted_owner, np.arange(num_hosts + 1))
+    pieces: list[tuple[int, np.ndarray, np.ndarray]] = []
+    for j in range(num_hosts):
+        sl = order[cuts[j] : cuts[j + 1]]
+        if sl.size:
+            pieces.append((j, np.unique(src[sl]), np.unique(dst[sl])))
+    return pieces
+
+
+def _build_proxies_body(view: HostView, payload: tuple) -> np.ndarray:
+    """Columnar proxy-table union for one owning host.
+
+    ``endpoint_refs`` holds the pass-1 descriptors for this owner; each
+    resolves to a zero-copy slice of the reading host's group cache on
+    the (shared) assignment.
+    """
+    assignment, masters, endpoint_refs, n, j = payload
+    pieces = []
+    for h, u_lo, u_hi, c_lo, c_hi in endpoint_refs:
+        groups = assignment.host_groups(h)
+        pieces.append(groups.usrc[u_lo:u_hi])
+        pieces.append(groups.dst_sorted[c_lo:c_hi])
+    gids = _mask_unique(n, np.flatnonzero(masters == j), *pieces)
+    # Allocation work: local arrays sized by proxies + expected edges,
+    # plus the global-to-local map construction.
+    view.add_compute(float(gids.size) + float(assignment.to_receive[j]))
+    return gids
+
+
+def _build_proxies_body_scalar(view: HostView, payload: tuple) -> np.ndarray:
+    """Scalar-fabric proxy-table union (compatibility path)."""
+    assignment, masters, endpoint_refs, n, j = payload
+    mastered = np.flatnonzero(masters == j).astype(np.int64)
+    pieces = list(endpoint_refs) + [mastered]
+    gids = np.unique(np.concatenate(pieces))
+    view.add_compute(float(gids.size) + float(assignment.to_receive[j]))
+    return gids
+
+
+def _ship_edges_body(view: HostView, payload: tuple) -> None:
+    """Columnar edge shipping for one reading host."""
+    assignment, schema, per_edge, num_hosts, h = payload
+    src, dst, w = assignment.host_edges(h)
+    groups = assignment.host_groups(h)
+    for j in range(num_hosts):
+        lo, hi = int(groups.cuts[j]), int(groups.cuts[j + 1])
+        if hi == lo:
+            continue
+        s = groups.src_sorted[lo:hi]
+        d = groups.dst_sorted[lo:hi]
+        if w is not None:
+            cols = (s, d, w[groups.order[lo:hi]])
+        else:
+            cols = (s, d)
+        # Serialized per source node: node id + its edge list (paper
+        # §IV-C3); the per-peer unique source count falls out of the
+        # group cache instead of an np.unique here.
+        unique_srcs = int(groups.usrc_cuts[j + 1] - groups.usrc_cuts[j])
+        nbytes = unique_srcs * 8 + s.size * per_edge
+        view.send_batch(
+            j, MessageBatch(schema, cols), tag="edges",
+            logical_messages=unique_srcs, nbytes=nbytes,
+        )
+    # Re-evaluating getEdgeOwner costs one unit per edge; remote edges
+    # additionally pay serialization.  Local edges are constructed in
+    # place (Algorithm 4 line 5) and are charged at the receiver only.
+    local = int(groups.cuts[h + 1] - groups.cuts[h])
+    remote = int(src.size) - local
+    view.add_compute(float(src.size) + float(remote))
+
+
+def _ship_edges_body_scalar(view: HostView, payload: tuple) -> None:
+    """Scalar-fabric edge shipping (compatibility path)."""
+    assignment, per_edge, weighted, num_hosts, h = payload
+    src, dst, w = assignment.host_edges(h)
+    owner = assignment.owners[h]
+    order = np.argsort(owner, kind="stable")
+    sorted_owner = owner[order]
+    cuts = np.searchsorted(sorted_owner, np.arange(num_hosts + 1))
+    for j in range(num_hosts):
+        sl = order[cuts[j] : cuts[j + 1]]
+        if sl.size == 0:
+            continue
+        s, d = src[sl], dst[sl]
+        payload_j = (s, d, w[sl] if weighted else None)
+        # Serialized per source node: node id + its edge list (paper
+        # §IV-C3); the comm layer turns the byte volume into network
+        # messages according to the buffer threshold.
+        unique_srcs = int(np.unique(s).size)
+        nbytes = unique_srcs * 8 + s.size * per_edge
+        # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
+        view.send(
+            j, payload_j, tag="edges",
+            logical_messages=unique_srcs, nbytes=nbytes,
+        )
+    # Re-evaluating getEdgeOwner costs one unit per edge; remote edges
+    # additionally pay serialization.  Local edges are constructed in
+    # place (Algorithm 4 line 5) and are charged at the receiver only.
+    remote = int(src.size - (owner == h).sum())
+    view.add_compute(float(src.size) + float(remote))
+
+
+def _assemble_partition(
+    view: HostView,
+    j: int,
+    all_src: np.ndarray,
+    all_dst: np.ndarray,
+    all_w: np.ndarray | None,
+    proxies: list[np.ndarray],
+    masters: np.ndarray,
+    assignment: EdgeAssignment,
+    n: int,
+    output: str,
+) -> LocalPartition:
+    """Receiver-side assembly shared by both fabrics."""
+    gids = proxies[j]
+    lookup = np.full(n, -1, dtype=np.int64)
+    mastered_mask = masters[gids] == j
+    ordered = np.concatenate([gids[mastered_mask], gids[~mastered_mask]])
+    num_masters = int(mastered_mask.sum())
+    lookup[ordered] = np.arange(ordered.size, dtype=np.int64)
+    assert all_src.size == assignment.to_receive[j], (
+        "received edge count differs from edge-assignment metadata"
+    )
+    local_graph = CSRGraph.from_edges(
+        lookup[all_src],
+        lookup[all_dst],
+        num_nodes=ordered.size,
+        edge_data=all_w,
+    )
+    # Deserialization + parallel insertion: ~2 units/edge.
+    view.add_compute(2.0 * all_src.size)
+    local_csc = None
+    if output == "csc":
+        local_csc = local_graph.transpose()
+        view.add_compute(float(local_graph.num_edges))
+    return LocalPartition(
+        host=j,
+        global_ids=ordered,
+        num_masters=num_masters,
+        master_host=masters[ordered].astype(np.int32),
+        local_graph=local_graph,
+        local_csc=local_csc,
+        _lookup=lookup,
+    )
+
+
+def _build_partition_body(view: HostView, payload: tuple) -> LocalPartition:
+    """Columnar partition assembly for one owning host."""
+    proxies, masters, assignment, schema, weighted, n, output, j = payload
+    rb = view.recv_all_batch(tag="edges", schema=schema)
+    all_w = rb.columns["w"] if weighted else None
+    return _assemble_partition(
+        view, j, rb.columns["src"], rb.columns["dst"], all_w,
+        proxies, masters, assignment, n, output,
+    )
+
+
+def _build_partition_body_scalar(
+    view: HostView, payload: tuple
+) -> LocalPartition:
+    """Scalar-fabric partition assembly (compatibility path)."""
+    proxies, masters, assignment, schema, weighted, n, output, j = payload
+    received = view.recv_all(tag="edges")
+    srcs = [p[0] for _, p in received]
+    dsts = [p[1] for _, p in received]
+    ws = [p[2] for _, p in received] if weighted else None
+    if srcs:
+        all_src = np.concatenate(srcs)
+        all_dst = np.concatenate(dsts)
+        all_w = np.concatenate(ws) if weighted else None
+    else:
+        all_src = np.empty(0, dtype=np.int64)
+        all_dst = np.empty(0, dtype=np.int64)
+        all_w = np.empty(0, dtype=np.int64) if weighted else None
+    return _assemble_partition(
+        view, j, all_src, all_dst, all_w,
+        proxies, masters, assignment, n, output,
+    )
+
+
+# -- Phase drivers -------------------------------------------------------
+
+
 def run_allocation(
     phase: PhaseStats,
     prop: GraphProp,
@@ -52,74 +284,59 @@ def run_allocation(
     fabric = resolve_fabric(fabric)
     num_hosts = len(assignment.owners)
     n = prop.getNumNodes()
+    group_body = (
+        _group_endpoints_body
+        if fabric == "columnar"
+        else _group_endpoints_body_scalar
+    )
 
     # Pass 1: each reading host groups its edge endpoints by owner.
-    def group_task(h: int) -> HostTask:
-        def body(view: HostView) -> list[tuple[int, np.ndarray, np.ndarray]]:
-            groups = assignment.host_groups(h)
-            pieces: list[tuple[int, np.ndarray, np.ndarray]] = []
-            for j in range(num_hosts):
-                if groups.cuts[j + 1] > groups.cuts[j]:
-                    # Sources arrive already deduplicated from the group
-                    # cache; destinations stay raw views — the owner
-                    # dedups once over its whole union instead of per
-                    # piece.
-                    pieces.append(
-                        (j, groups.unique_src(j), groups.group_dst(j))
-                    )
-            return pieces
-
-        return HostTask(h, body, label="group-endpoints")
-
-    def group_task_scalar(h: int) -> HostTask:
-        def body(view: HostView) -> list[tuple[int, np.ndarray, np.ndarray]]:
-            edges = assignment.edges[h]
-            assert edges is not None
-            src, dst = edges[0], edges[1]
-            owner = assignment.owners[h]
-            order = np.argsort(owner, kind="stable")
-            sorted_owner = owner[order]
-            cuts = np.searchsorted(sorted_owner, np.arange(num_hosts + 1))
-            pieces: list[tuple[int, np.ndarray, np.ndarray]] = []
-            for j in range(num_hosts):
-                sl = order[cuts[j] : cuts[j + 1]]
-                if sl.size:
-                    pieces.append((j, np.unique(src[sl]), np.unique(dst[sl])))
-            return pieces
-
-        return HostTask(h, body, label="group-endpoints")
-
-    make_group = group_task if fabric == "columnar" else group_task_scalar
     grouped = phase.executor.run(
-        phase, [make_group(h) for h in range(num_hosts)]
+        phase,
+        [
+            HostTask(
+                h, group_body, label="group-endpoints",
+                payload=(assignment, num_hosts, h),
+            )
+            for h in range(num_hosts)
+        ],
     )
-    endpoint_sets: list[list[np.ndarray]] = [[] for _ in range(num_hosts)]
-    for pieces in grouped:
-        for j, srcs, dsts in pieces:
-            endpoint_sets[j].append(srcs)
-            endpoint_sets[j].append(dsts)
+    endpoint_sets: list[list] = [[] for _ in range(num_hosts)]
+    if fabric == "columnar":
+        # Pass 1 returned index descriptors into each reading host's
+        # group cache — a few ints per (reader, owner) pair.  They ride
+        # in pass 2's task payloads directly; the endpoint arrays are
+        # resolved inside the consumer against the shared assignment,
+        # so nothing endpoint-sized needs publishing or shipping.
+        for pieces in grouped:
+            for piece in pieces:
+                endpoint_sets[piece[0]].append(piece[1:])
+    else:
+        for pieces in grouped:
+            for j, srcs, dsts in pieces:
+                endpoint_sets[j].append(srcs)
+                endpoint_sets[j].append(dsts)
+        # Phase-local but immutable from here on: publish once so pass
+        # 2's pooled workers map the endpoint arrays zero-copy instead
+        # of re-pickling them into every task payload.
+        endpoint_sets = phase.executor.publish("endpoint-sets", endpoint_sets)
 
     # Pass 2: each owner unions what lands on it with what it masters.
-    def proxy_task(j: int) -> HostTask:
-        def body(view: HostView) -> np.ndarray:
-            if fabric == "columnar":
-                gids = _mask_unique(
-                    n, np.flatnonzero(masters == j), *endpoint_sets[j]
-                )
-            else:
-                mastered = np.flatnonzero(masters == j).astype(np.int64)
-                pieces = endpoint_sets[j] + [mastered]
-                gids = np.unique(np.concatenate(pieces))
-            # Allocation work: local arrays sized by proxies + expected
-            # edges, plus the global-to-local map construction.
-            view.add_compute(
-                float(gids.size) + float(assignment.to_receive[j])
+    proxy_body = (
+        _build_proxies_body
+        if fabric == "columnar"
+        else _build_proxies_body_scalar
+    )
+    return phase.executor.run(
+        phase,
+        [
+            HostTask(
+                j, proxy_body, label="build-proxies",
+                payload=(assignment, masters, endpoint_sets[j], n, j),
             )
-            return gids
-
-        return HostTask(j, body, label="build-proxies")
-
-    return phase.executor.run(phase, [proxy_task(j) for j in range(num_hosts)])
+            for j in range(num_hosts)
+        ],
+    )
 
 
 def edge_stream_schema(prop: GraphProp) -> ColumnSchema:
@@ -155,149 +372,40 @@ def run_construction(
     per_edge = 16 if weighted else 8
 
     # Senders: group each host's edges by owner and ship them.
-    def send_task(h: int) -> HostTask:
-        def body(view: HostView) -> None:
-            edges = assignment.edges[h]
-            assert edges is not None
-            src, dst, w = edges
-            groups = assignment.host_groups(h)
-            for j in range(num_hosts):
-                lo, hi = int(groups.cuts[j]), int(groups.cuts[j + 1])
-                if hi == lo:
-                    continue
-                s = groups.src_sorted[lo:hi]
-                d = groups.dst_sorted[lo:hi]
-                if w is not None:
-                    cols = (s, d, w[groups.order[lo:hi]])
-                else:
-                    cols = (s, d)
-                # Serialized per source node: node id + its edge list
-                # (paper §IV-C3); the per-peer unique source count falls
-                # out of the group cache instead of an np.unique here.
-                unique_srcs = int(
-                    groups.usrc_cuts[j + 1] - groups.usrc_cuts[j]
-                )
-                nbytes = unique_srcs * 8 + s.size * per_edge
-                view.send_batch(
-                    j, MessageBatch(schema, cols), tag="edges",
-                    logical_messages=unique_srcs, nbytes=nbytes,
-                )
-            # Re-evaluating getEdgeOwner costs one unit per edge; remote
-            # edges additionally pay serialization.  Local edges are
-            # constructed in place (Algorithm 4 line 5) and are charged
-            # at the receiver only.
-            local = int(groups.cuts[h + 1] - groups.cuts[h])
-            remote = int(src.size) - local
-            view.add_compute(float(src.size) + float(remote))
-
-        return HostTask(h, body, label="ship-edges")
-
-    def send_task_scalar(h: int) -> HostTask:
-        def body(view: HostView) -> None:
-            edges = assignment.edges[h]
-            assert edges is not None
-            src, dst, w = edges
-            owner = assignment.owners[h]
-            order = np.argsort(owner, kind="stable")
-            sorted_owner = owner[order]
-            cuts = np.searchsorted(sorted_owner, np.arange(num_hosts + 1))
-            for j in range(num_hosts):
-                sl = order[cuts[j] : cuts[j + 1]]
-                if sl.size == 0:
-                    continue
-                s, d = src[sl], dst[sl]
-                payload = (s, d, w[sl] if weighted else None)
-                # Serialized per source node: node id + its edge list
-                # (paper §IV-C3); the comm layer turns the byte volume
-                # into network messages according to the buffer threshold.
-                unique_srcs = int(np.unique(s).size)
-                nbytes = unique_srcs * 8 + s.size * per_edge
-                # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
-                view.send(
-                    j, payload, tag="edges",
-                    logical_messages=unique_srcs, nbytes=nbytes,
-                )
-            # Re-evaluating getEdgeOwner costs one unit per edge; remote
-            # edges additionally pay serialization.  Local edges are
-            # constructed in place (Algorithm 4 line 5) and are charged
-            # at the receiver only.
-            remote = int(src.size - (owner == h).sum())
-            view.add_compute(float(src.size) + float(remote))
-
-        return HostTask(h, body, label="ship-edges")
-
-    make_send = send_task if fabric == "columnar" else send_task_scalar
-    phase.executor.run(phase, [make_send(h) for h in range(num_hosts)])
+    if fabric == "columnar":
+        send_tasks = [
+            HostTask(
+                h, _ship_edges_body, label="ship-edges",
+                payload=(assignment, schema, per_edge, num_hosts, h),
+            )
+            for h in range(num_hosts)
+        ]
+    else:
+        send_tasks = [
+            HostTask(
+                h, _ship_edges_body_scalar, label="ship-edges",
+                payload=(assignment, per_edge, weighted, num_hosts, h),
+            )
+            for h in range(num_hosts)
+        ]
+    phase.executor.run(phase, send_tasks)
 
     # Receivers: deserialize, map to local ids, build the CSR partition.
-    def build_partition(
-        view: HostView,
-        j: int,
-        all_src: np.ndarray,
-        all_dst: np.ndarray,
-        all_w: np.ndarray | None,
-    ) -> LocalPartition:
-        """Receiver-side assembly shared by both fabrics."""
-        gids = proxies[j]
-        lookup = np.full(n, -1, dtype=np.int64)
-        mastered_mask = masters[gids] == j
-        ordered = np.concatenate(
-            [gids[mastered_mask], gids[~mastered_mask]]
-        )
-        num_masters = int(mastered_mask.sum())
-        lookup[ordered] = np.arange(ordered.size, dtype=np.int64)
-        assert all_src.size == assignment.to_receive[j], (
-            "received edge count differs from edge-assignment metadata"
-        )
-        local_graph = CSRGraph.from_edges(
-            lookup[all_src],
-            lookup[all_dst],
-            num_nodes=ordered.size,
-            edge_data=all_w,
-        )
-        # Deserialization + parallel insertion: ~2 units/edge.
-        view.add_compute(2.0 * all_src.size)
-        local_csc = None
-        if output == "csc":
-            local_csc = local_graph.transpose()
-            view.add_compute(float(local_graph.num_edges))
-        return LocalPartition(
-            host=j,
-            global_ids=ordered,
-            num_masters=num_masters,
-            master_host=masters[ordered].astype(np.int32),
-            local_graph=local_graph,
-            local_csc=local_csc,
-            _lookup=lookup,
-        )
-
-    def build_task(j: int) -> HostTask:
-        def body(view: HostView) -> LocalPartition:
-            rb = view.recv_all_batch(tag="edges", schema=schema)
-            all_w = rb.columns["w"] if weighted else None
-            return build_partition(
-                view, j, rb.columns["src"], rb.columns["dst"], all_w
+    build_body = (
+        _build_partition_body
+        if fabric == "columnar"
+        else _build_partition_body_scalar
+    )
+    return phase.executor.run(
+        phase,
+        [
+            HostTask(
+                j, build_body, label="build-partition",
+                payload=(
+                    proxies, masters, assignment, schema,
+                    weighted, n, output, j,
+                ),
             )
-
-        return HostTask(j, body, label="build-partition")
-
-    def build_task_scalar(j: int) -> HostTask:
-        def body(view: HostView) -> LocalPartition:
-            received = view.recv_all(tag="edges")
-            srcs = [p[0] for _, p in received]
-            dsts = [p[1] for _, p in received]
-            ws = [p[2] for _, p in received] if weighted else None
-            if srcs:
-                all_src = np.concatenate(srcs)
-                all_dst = np.concatenate(dsts)
-                all_w = np.concatenate(ws) if weighted else None
-            else:
-                all_src = np.empty(0, dtype=np.int64)
-                all_dst = np.empty(0, dtype=np.int64)
-                all_w = np.empty(0, dtype=np.int64) if weighted else None
-            return build_partition(view, j, all_src, all_dst, all_w)
-
-        return HostTask(j, body, label="build-partition")
-
-    make_build = build_task if fabric == "columnar" else build_task_scalar
-    return phase.executor.run(phase, [make_build(j) for j in range(num_hosts)])
+            for j in range(num_hosts)
+        ],
+    )

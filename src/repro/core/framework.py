@@ -325,6 +325,30 @@ class CuSP:
             )
         self.last_supervisor_report = supervisor
 
+        try:
+            return self._partition_with_cluster(
+                graph, original, k, output, injector, cluster, recovery,
+                checkpoint, supervisor,
+            )
+        finally:
+            # Retire the executor's worker pool and every resident
+            # shared-memory segment — including when a phase raises, so
+            # failed runs never leak segments or zombie workers.
+            cluster.close()
+
+    def _partition_with_cluster(
+        self,
+        graph: CSRGraph,
+        original: CSRGraph,
+        k: int,
+        output: str,
+        injector: FaultInjector | None,
+        cluster: SimulatedCluster,
+        recovery: RecoveryManager,
+        checkpoint: PartitionCheckpoint,
+        supervisor: "RunSupervisor | None",
+    ) -> DistributedGraph:
+        """The five phases, against a live cluster (see :meth:`partition`)."""
         #: Reports of phases completed by the interrupted process (resume
         #: only); prepended to this process's breakdown at the end.
         prior_reports: list[PhaseReport] = []
@@ -356,7 +380,10 @@ class CuSP:
                     else ""
                 ),
             )
-        prop = GraphProp(graph, k)
+        # Graph residency: the pooled process executor exports the CSR
+        # arrays into shared-memory segments its workers map zero-copy;
+        # every other executor returns the object unchanged.
+        prop = cluster.executor.publish("prop", GraphProp(graph, k))
 
         def snapshot_runtime(stage):
             """Record restorable run state alongside ``stage``'s arrays.
@@ -475,6 +502,9 @@ class CuSP:
             masters = checkpoint.roundtrip("masters", masters=ma.masters)[
                 "masters"
             ]
+        # Publish the *post-roundtrip* array: it is what every later
+        # phase reads, and (unlike the live one) provably immutable.
+        masters = cluster.executor.publish("masters", masters)
 
         # Phase 3: edge assignment.
         def phase_edges(ph):
@@ -503,6 +533,7 @@ class CuSP:
             # already computed.  (A resumed run recomputes it from the
             # same inputs, with the same result.)
             assignment.adopt_groups(live_assignment)
+        assignment = cluster.executor.publish("assignment", assignment)
 
         # Phase 4: graph allocation.  Partitioning state is reset so rule
         # re-evaluation during construction reproduces the same decisions.
@@ -521,7 +552,9 @@ class CuSP:
             proxy_blob = checkpoint.roundtrip(
                 "allocation", **{f"proxies_{h}": proxies[h] for h in range(k)}
             )
-        proxies = [proxy_blob[f"proxies_{h}"] for h in range(k)]
+        proxies = cluster.executor.publish(
+            "proxies", [proxy_blob[f"proxies_{h}"] for h in range(k)]
+        )
 
         # Phase 5: graph construction.
         def phase_construct(ph):

@@ -72,6 +72,173 @@ def _owning_host(node_ids: np.ndarray, bounds: np.ndarray) -> np.ndarray:
     return np.searchsorted(bounds, node_ids, side="right") - 1
 
 
+# -- Task bodies ---------------------------------------------------------
+#
+# Module-level so the pooled process executor can ship them by reference
+# (a pickled dotted name) instead of forking the whole parent per
+# barrier.  Everything a body needs travels in its payload tuple; the
+# big immutable inputs (``prop``, ``masters``) resolve against the
+# pool's shared-memory residents, so no graph bytes cross a pipe.
+# Parent-side installs remain closures on ``run_master_assignment``'s
+# locals — apply callbacks never ship.
+
+
+def _pure_assign_body(view: HostView, payload: tuple) -> np.ndarray | None:
+    """Assign one host's node slice under a pure (stateless) rule."""
+    rule, prop, k, num_hosts, elide, h, start, stop = payload
+    node_ids = np.arange(start, stop, dtype=np.int64)
+    assigned = (
+        rule.assign_batch(prop, node_ids, None) if node_ids.size else None
+    )
+    if elide:
+        # No communication: each host recomputes neighbors'
+        # assignments on demand (§IV-D5); charge the recomputation
+        # for the neighbor set now.
+        neighbor_count = int(
+            prop.graph.indptr[stop] - prop.graph.indptr[start]
+        )
+        view.add_compute(
+            rule.compute_units(node_ids.size, 0, k) + neighbor_count
+        )
+    else:
+        # Ablation: naive broadcast of every assignment.  The payload
+        # is accounting-only (None body), so there is nothing to
+        # columnarize; it stays on the scalar verb under both fabrics.
+        view.add_compute(rule.compute_units(node_ids.size, 0, k))
+        for peer in range(num_hosts):
+            if peer != h and node_ids.size:
+                # repro-lint: disable-next-line=scalar-send-in-hot-loop -- accounting-only ablation broadcast, no payload to batch
+                view.send(
+                    peer, None, tag="master-broadcast",
+                    nbytes=node_ids.size * _ASSIGNMENT_ENTRY_BYTES,
+                    coalesce=True,
+                )
+    return assigned
+
+
+def _request_masters_body(view: HostView, payload: tuple) -> list[np.ndarray]:
+    """Columnar request pass: ask assigners for needed masters."""
+    prop, bounds, num_hosts, j, start, stop = payload
+    lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
+    # ``nbrs`` is sorted, so the per-assigner split is a searchsorted
+    # against the host bounds instead of a boolean mask per assigner:
+    # nbrs[cuts[a]:cuts[a+1]] == nbrs[_owning_host(nbrs, bounds) == a]
+    # exactly.
+    nbrs = _mask_unique(prop.getNumNodes(), prop.graph.indices[lo:hi])
+    cuts = np.searchsorted(nbrs, bounds)
+    per_assigner = []
+    for assigner in range(num_hosts):
+        wanted = nbrs[cuts[assigner] : cuts[assigner + 1]]
+        per_assigner.append(wanted)
+        if assigner != j and wanted.size:
+            view.send_batch(
+                assigner,
+                MessageBatch(_REQUEST_SCHEMA, (wanted,)),
+                tag="master-requests",
+                nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
+                coalesce=True,
+            )
+    return per_assigner
+
+
+def _request_masters_body_scalar(
+    view: HostView, payload: tuple
+) -> list[np.ndarray]:
+    """Scalar-fabric request pass (compatibility path)."""
+    prop, bounds, num_hosts, j, start, stop = payload
+    lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
+    nbrs = np.unique(prop.graph.indices[lo:hi])
+    owner = _owning_host(nbrs, bounds)
+    per_assigner = []
+    for assigner in range(num_hosts):
+        wanted = nbrs[owner == assigner]
+        per_assigner.append(wanted)
+        if assigner != j and wanted.size:
+            # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
+            view.send(
+                assigner, wanted, tag="master-requests",
+                nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
+                coalesce=True,
+            )
+    return per_assigner
+
+
+def _assign_chunk_body(view: HostView, payload: tuple):
+    """Score one round's chunk of a host's nodes against frozen state."""
+    rule, prop, k, state, masters_h, h, c0, c1 = payload
+    node_ids = np.arange(c0, c1, dtype=np.int64)
+    if node_ids.size == 0:
+        return node_ids, None, None
+    # Each host scores against the frozen snapshot plus its own pending
+    # delta.  The rule's in-place updates (masters_h, state delta) are
+    # scratch work in a worker; the body returns everything the parent
+    # needs to install them.
+    assigned = rule.assign_batch(prop, node_ids, state.host_view(h), masters_h)
+    view.add_compute(
+        rule.compute_units(
+            node_ids.size,
+            int(prop.graph.indptr[c1] - prop.graph.indptr[c0]),
+            k,
+        )
+    )
+    return node_ids, assigned, state.export_host_delta(h)
+
+
+def _ship_assignments_body(
+    view: HostView, payload: tuple
+) -> list[tuple[int, np.ndarray]]:
+    """Columnar shipping pass: send fresh assignments to requesters."""
+    requests_h, masters, num_hosts, h, fresh = payload
+    if fresh.size == 0:
+        return []
+    lo, hi = fresh[0], fresh[-1]
+    acc = view.accumulator()
+    shipped = []
+    for j in range(num_hosts):
+        if j == h:
+            continue
+        wanted = requests_h[j]
+        ship = wanted[(wanted >= lo) & (wanted <= hi)]
+        if ship.size:
+            # One staged block per requester; the accumulator flushes
+            # at the executor barrier, charging exactly the scalar
+            # path's per-peer coalesced send.
+            acc.append(
+                j,
+                MessageBatch(_ASSIGNMENT_SCHEMA, (ship, masters[ship])),
+                tag="master-assignments",
+                nbytes=ship.size * _ASSIGNMENT_ENTRY_BYTES,
+                coalesce=True,
+            )
+            shipped.append((j, ship))
+    return shipped
+
+
+def _ship_assignments_body_scalar(
+    view: HostView, payload: tuple
+) -> list[tuple[int, np.ndarray]]:
+    """Scalar-fabric shipping pass (compatibility path)."""
+    requests_h, masters, num_hosts, h, fresh = payload
+    if fresh.size == 0:
+        return []
+    lo, hi = fresh[0], fresh[-1]
+    shipped = []
+    for j in range(num_hosts):
+        if j == h:
+            continue
+        wanted = requests_h[j]
+        ship = wanted[(wanted >= lo) & (wanted <= hi)]
+        if ship.size:
+            # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
+            view.send(
+                j, (ship, masters[ship]), tag="master-assignments",
+                nbytes=ship.size * _ASSIGNMENT_ENTRY_BYTES,
+                coalesce=True,
+            )
+            shipped.append((j, ship))
+    return shipped
+
+
 def run_master_assignment(
     phase: PhaseStats,
     prop: GraphProp,
@@ -102,49 +269,19 @@ def run_master_assignment(
         # Pure rules are embarrassingly per-host: each task computes its
         # own node slice and the parent installs it at the barrier (the
         # task-payload seam — bodies never write shared state, so the
-        # same code runs unchanged in a forked worker).
+        # same code runs unchanged in a pooled worker).
         def pure_task(h: int, start: int, stop: int) -> HostTask:
-            def body(view: HostView, span: tuple[int, int]) -> np.ndarray | None:
-                start, stop = span
-                node_ids = np.arange(start, stop, dtype=np.int64)
-                assigned = (
-                    rule.assign_batch(prop, node_ids, None)
-                    if node_ids.size
-                    else None
-                )
-                if elide_master_communication:
-                    # No communication: each host recomputes neighbors'
-                    # assignments on demand (§IV-D5); charge the
-                    # recomputation for the neighbor set now.
-                    neighbor_count = int(
-                        prop.graph.indptr[stop] - prop.graph.indptr[start]
-                    )
-                    view.add_compute(
-                        rule.compute_units(node_ids.size, 0, k) + neighbor_count
-                    )
-                else:
-                    # Ablation: naive broadcast of every assignment.  The
-                    # payload is accounting-only (None body), so there is
-                    # nothing to columnarize; it stays on the scalar verb
-                    # under both fabrics.
-                    view.add_compute(rule.compute_units(node_ids.size, 0, k))
-                    for peer in range(num_hosts):
-                        if peer != h and node_ids.size:
-                            # repro-lint: disable-next-line=scalar-send-in-hot-loop -- accounting-only ablation broadcast, no payload to batch
-                            view.send(
-                                peer, None, tag="master-broadcast",
-                                nbytes=node_ids.size * _ASSIGNMENT_ENTRY_BYTES,
-                                coalesce=True,
-                            )
-                return assigned
-
             def install(assigned: np.ndarray | None) -> np.ndarray | None:
                 if assigned is not None:
                     masters[start:stop] = assigned
                 return assigned
 
             return HostTask(
-                h, body, label="assign-pure", payload=(start, stop),
+                h, _pure_assign_body, label="assign-pure",
+                payload=(
+                    rule, prop, k, num_hosts,
+                    elide_master_communication, h, start, stop,
+                ),
                 apply=install,
             )
 
@@ -168,71 +305,29 @@ def run_master_assignment(
         # Request-driven exchange (§IV-D5): each host asks only for the
         # masters of its read-nodes' neighbors.  Task j computes column j
         # of the request table; the parent installs it at the barrier.
-        def request_task(j: int, start: int, stop: int) -> HostTask:
-            def body(view: HostView) -> list[np.ndarray]:
-                lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
-                # ``nbrs`` is sorted, so the per-assigner split is a
-                # searchsorted against the host bounds instead of a
-                # boolean mask per assigner: nbrs[cuts[a]:cuts[a+1]] ==
-                # nbrs[_owning_host(nbrs, bounds) == a] exactly.
-                nbrs = _mask_unique(n, prop.graph.indices[lo:hi])
-                cuts = np.searchsorted(nbrs, bounds)
-                per_assigner = []
-                for assigner in range(num_hosts):
-                    wanted = nbrs[cuts[assigner] : cuts[assigner + 1]]
-                    per_assigner.append(wanted)
-                    if assigner != j and wanted.size:
-                        view.send_batch(
-                            assigner,
-                            MessageBatch(_REQUEST_SCHEMA, (wanted,)),
-                            tag="master-requests",
-                            nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
-                            coalesce=True,
-                        )
-                return per_assigner
-
-            def install(per_assigner: list[np.ndarray]) -> list[np.ndarray]:
-                # The parent fills column j of the request table at the
-                # barrier; bodies only compute and send.
-                for assigner, wanted in enumerate(per_assigner):
-                    requests[assigner][j] = wanted
-                return per_assigner
-
-            return HostTask(j, body, label="request-masters", apply=install)
-
-        def request_task_scalar(j: int, start: int, stop: int) -> HostTask:
-            def body(view: HostView) -> list[np.ndarray]:
-                lo, hi = prop.graph.indptr[start], prop.graph.indptr[stop]
-                nbrs = np.unique(prop.graph.indices[lo:hi])
-                owner = _owning_host(nbrs, bounds)
-                per_assigner = []
-                for assigner in range(num_hosts):
-                    wanted = nbrs[owner == assigner]
-                    per_assigner.append(wanted)
-                    if assigner != j and wanted.size:
-                        # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
-                        view.send(
-                            assigner, wanted, tag="master-requests",
-                            nbytes=wanted.size * _REQUEST_ENTRY_BYTES,
-                            coalesce=True,
-                        )
-                return per_assigner
-
-            def install(per_assigner: list[np.ndarray]) -> list[np.ndarray]:
-                # The parent fills column j of the request table at the
-                # barrier; bodies only compute and send.
-                for assigner, wanted in enumerate(per_assigner):
-                    requests[assigner][j] = wanted
-                return per_assigner
-
-            return HostTask(j, body, label="request-masters", apply=install)
-
-        make_request = (
-            request_task if fabric == "columnar" else request_task_scalar
+        request_body = (
+            _request_masters_body
+            if fabric == "columnar"
+            else _request_masters_body_scalar
         )
+
+        def request_task(j: int, start: int, stop: int) -> HostTask:
+            def install(per_assigner: list[np.ndarray]) -> list[np.ndarray]:
+                # The parent fills column j of the request table at the
+                # barrier; bodies only compute and send.
+                for assigner, wanted in enumerate(per_assigner):
+                    requests[assigner][j] = wanted
+                return per_assigner
+
+            return HostTask(
+                j, request_body, label="request-masters",
+                payload=(prop, bounds, num_hosts, j, start, stop),
+                apply=install,
+            )
+
         phase.executor.run(
             phase,
-            [make_request(j, start, stop) for j, (start, stop) in enumerate(ranges)],
+            [request_task(j, start, stop) for j, (start, stop) in enumerate(ranges)],
         )
     else:
         # Ablation: every host "requests" everything, so each assignment
@@ -254,68 +349,29 @@ def run_master_assignment(
         masters_arg = [None] * num_hosts
 
     def assign_task(h: int, r: int) -> HostTask:
-        def body(view: HostView):
-            c0, c1 = int(chunk_bounds[h][r]), int(chunk_bounds[h][r + 1])
-            node_ids = np.arange(c0, c1, dtype=np.int64)
-            if node_ids.size == 0:
-                return node_ids, None, None
-            # Each host scores against the frozen snapshot plus its own
-            # pending delta.  The rule's in-place updates (masters_arg,
-            # state delta) are scratch work in a forked worker; the body
-            # returns everything the parent needs to install them.
-            assigned = rule.assign_batch(
-                prop, node_ids, state.host_view(h), masters_arg[h]
-            )
-            view.add_compute(
-                rule.compute_units(
-                    node_ids.size,
-                    int(prop.graph.indptr[c1] - prop.graph.indptr[c0]),
-                    k,
-                )
-            )
-            return node_ids, assigned, state.export_host_delta(h)
+        c0, c1 = int(chunk_bounds[h][r]), int(chunk_bounds[h][r + 1])
 
         def install(result) -> np.ndarray:
             node_ids, assigned, delta = result
             if assigned is not None:
-                c0, c1 = int(chunk_bounds[h][r]), int(chunk_bounds[h][r + 1])
                 masters[c0:c1] = assigned
                 known[h][c0:c1] = assigned  # own assignments visible at once
                 state.import_host_delta(h, delta)
             return node_ids
 
-        return HostTask(h, body, label="assign-chunk", apply=install)
+        return HostTask(
+            h, _assign_chunk_body, label="assign-chunk",
+            payload=(rule, prop, k, state, masters_arg[h], h, c0, c1),
+            apply=install,
+        )
+
+    ship_body = (
+        _ship_assignments_body
+        if fabric == "columnar"
+        else _ship_assignments_body_scalar
+    )
 
     def ship_task(h: int, fresh: np.ndarray) -> HostTask:
-        def body(
-            view: HostView, fresh: np.ndarray
-        ) -> list[tuple[int, np.ndarray]]:
-            if fresh.size == 0:
-                return []
-            lo, hi = fresh[0], fresh[-1]
-            acc = view.accumulator()
-            shipped = []
-            for j in range(num_hosts):
-                if j == h:
-                    continue
-                wanted = requests[h][j]
-                ship = wanted[(wanted >= lo) & (wanted <= hi)]
-                if ship.size:
-                    # One staged block per requester; the accumulator
-                    # flushes at the executor barrier, charging exactly
-                    # the scalar path's per-peer coalesced send.
-                    acc.append(
-                        j,
-                        MessageBatch(
-                            _ASSIGNMENT_SCHEMA, (ship, masters[ship])
-                        ),
-                        tag="master-assignments",
-                        nbytes=ship.size * _ASSIGNMENT_ENTRY_BYTES,
-                        coalesce=True,
-                    )
-                    shipped.append((j, ship))
-            return shipped
-
         def install(
             shipped: list[tuple[int, np.ndarray]],
         ) -> list[tuple[int, np.ndarray]]:
@@ -326,46 +382,11 @@ def run_master_assignment(
             return shipped
 
         return HostTask(
-            h, body, label="ship-assignments", payload=fresh, apply=install
+            h, ship_body, label="ship-assignments",
+            payload=(requests[h], masters, num_hosts, h, fresh),
+            apply=install,
         )
 
-    def ship_task_scalar(h: int, fresh: np.ndarray) -> HostTask:
-        def body(
-            view: HostView, fresh: np.ndarray
-        ) -> list[tuple[int, np.ndarray]]:
-            if fresh.size == 0:
-                return []
-            lo, hi = fresh[0], fresh[-1]
-            shipped = []
-            for j in range(num_hosts):
-                if j == h:
-                    continue
-                wanted = requests[h][j]
-                ship = wanted[(wanted >= lo) & (wanted <= hi)]
-                if ship.size:
-                    # repro-lint: disable-next-line=scalar-send-in-hot-loop -- scalar fabric compatibility path
-                    view.send(
-                        j, (ship, masters[ship]), tag="master-assignments",
-                        nbytes=ship.size * _ASSIGNMENT_ENTRY_BYTES,
-                        coalesce=True,
-                    )
-                    shipped.append((j, ship))
-            return shipped
-
-        def install(
-            shipped: list[tuple[int, np.ndarray]],
-        ) -> list[tuple[int, np.ndarray]]:
-            # Requester j learns the shipped assignments at the barrier;
-            # ``masters`` is frozen for the shipped ranges this round.
-            for j, ship in shipped:
-                known[j][ship] = masters[ship]
-            return shipped
-
-        return HostTask(
-            h, body, label="ship-assignments", payload=fresh, apply=install
-        )
-
-    make_ship = ship_task if fabric == "columnar" else ship_task_scalar
     for r in range(sync_rounds):
         newly = phase.executor.run(
             phase, [assign_task(h, r) for h in range(num_hosts)]
@@ -374,7 +395,7 @@ def run_master_assignment(
         # Master-assignment rounds never block on peers (paper §IV-D5).
         state.sync_round(phase.comm, blocking=False)
         phase.executor.run(
-            phase, [make_ship(h, newly[h]) for h in range(num_hosts)]
+            phase, [ship_task(h, newly[h]) for h in range(num_hosts)]
         )
 
     return MasterAssignment(masters, state)

@@ -133,6 +133,14 @@ class SimulatedCluster:
     def hosts(self) -> range:
         return range(self.num_hosts)
 
+    def close(self) -> None:
+        """Release the execution engine (worker pools, shared segments).
+
+        Idempotent, and safe while the executor is idle between phases;
+        a pooled executor respawns lazily if the cluster is used again.
+        """
+        self.executor.close()
+
     def breakdown(self) -> TimeBreakdown:
         """Simulated time of every recorded phase under the cost model."""
         return TimeBreakdown(

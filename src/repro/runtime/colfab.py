@@ -33,6 +33,8 @@ model.  See ``docs/PERFORMANCE.md`` for the design rationale.
 
 from __future__ import annotations
 
+import itertools
+import os
 import struct
 import zlib
 from typing import Any, Iterator, Protocol, Sequence
@@ -52,11 +54,22 @@ __all__ = [
 
 #: Wire-format framing for :meth:`MessageBatch.to_bytes`.
 WIRE_MAGIC = b"RBAT"
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 #: Column storage kinds in the wire format.
 _STORE_INLINE = 0
 _STORE_SHM = 1
+#: Borrowed segment: the *encoder* keeps ownership (and the live
+#: mapping); the decoder maps it zero-copy but must never unlink it.
+#: This is how a parent re-ships a queued batch to a pool worker
+#: without copying the column or transferring the unlink obligation.
+_STORE_SHM_KEEP = 2
+
+#: Header flag: producer and consumer share this machine's memory (the
+#: executor's intra-box pipes), so the decoder may skip re-verifying the
+#: CRC — column bytes in segments never crossed the pipe at all.  The
+#: pickle/``__reduce__`` path never sets it.
+_FLAG_TRUSTED = 1
 
 #: Scalar kinds in the wire format (signed 64-bit int / IEEE double).
 _SCALAR_INT = 0
@@ -150,7 +163,7 @@ class MessageBatch:
     mutate arrays they do not own, exactly as with the scalar path.
     """
 
-    __slots__ = ("schema", "columns", "scalars", "rows", "_shm")
+    __slots__ = ("schema", "columns", "scalars", "rows", "_shm", "_shm_owner", "_crc")
 
     def __init__(
         self,
@@ -187,9 +200,17 @@ class MessageBatch:
         self.columns = cols
         self.scalars = scal
         self.rows = rows
-        #: ``(column_index, SharedMemory)`` pairs keeping shared-memory
-        #: backed columns mapped (populated only by :meth:`from_bytes`).
+        #: ``(column_index, SharedMemory)`` pairs of *owned* segments this
+        #: batch must eventually unlink (populated by :meth:`from_bytes`
+        #: for ``_STORE_SHM`` columns and by borrow-mode
+        #: :meth:`to_bytes` for segments it creates).
         self._shm: tuple[tuple[int, Any], ...] = ()
+        #: pid of the process that owns ``_shm``'s unlink obligation; a
+        #: forked child inheriting the batch must never unlink segments
+        #: its parent still serves to other workers.
+        self._shm_owner: int | None = None
+        #: Memoized :meth:`checksum` (columns are immutable by contract).
+        self._crc: int | None = None
 
     @classmethod
     def empty(
@@ -218,13 +239,22 @@ class MessageBatch:
         injector charges the re-request + retransmission cost; the
         checksum itself is real, and any bit flip in a column or scalar
         changes it.
+
+        Memoized: batch columns are immutable by contract (receivers
+        must not mutate arrays they do not own), so the CRC is computed
+        at most once per batch and re-used by every later serialization.
         """
+        if self._crc is not None:
+            return self._crc
         crc = 0
         for (name, dt), col in zip(self.schema.columns, self.columns):
             crc = zlib.crc32(name.encode(), crc)
-            crc = zlib.crc32(np.ascontiguousarray(col).tobytes(), crc)
+            # A C-contiguous ndarray satisfies the buffer protocol, so
+            # crc32 streams straight over the column — no tobytes() copy.
+            crc = zlib.crc32(np.ascontiguousarray(col), crc)
         for value in self.scalars:
             crc = zlib.crc32(repr(value).encode(), crc)
+        self._crc = crc
         return crc
 
     def column(self, name: str) -> np.ndarray:
@@ -244,10 +274,16 @@ class MessageBatch:
     # ------------------------------------------------------------------
     # Versioned wire format (process executor / cross-process shipping)
     # ------------------------------------------------------------------
-    def to_bytes(self, shm_threshold: int | None = None) -> bytes:
+    def to_bytes(
+        self,
+        shm_threshold: int | None = None,
+        *,
+        borrow: bool = False,
+        trusted: bool = False,
+    ) -> bytes:
         """Serialize to the versioned wire format.
 
-        Layout (little-endian, version 1): a fixed header (magic,
+        Layout (little-endian, version 2): a fixed header (magic,
         version, flags, rows, #columns, #scalars, CRC-32 of
         :meth:`checksum`), the schema (length-prefixed UTF-8 column
         names + dtype strings, then scalar names), the scalar values
@@ -257,17 +293,36 @@ class MessageBatch:
         segment holding the data, so a worker process can hand a large
         column to its parent without copying it through the pipe.
 
-        Shared-memory segments are owned by whoever decodes the buffer:
-        :meth:`from_bytes` maps them zero-copy and
-        :meth:`detach_shared` copies them private and unlinks.  The
-        creator deliberately unregisters the segments from the
-        ``multiprocessing`` resource tracker — lifecycle is explicit
-        here, not process-exit-scoped.
+        Default mode: segments are owned by whoever decodes the buffer
+        (:meth:`from_bytes` maps them zero-copy; :meth:`detach_shared`
+        or :meth:`release_shared` unlinks).  The creator deliberately
+        unregisters the segments from the ``multiprocessing`` resource
+        tracker — lifecycle is explicit here, not process-exit-scoped.
+
+        ``borrow=True``: the *encoder* keeps segment ownership.  Columns
+        whose segments this batch already owns (a decoded batch being
+        re-shipped) are referenced **by name** — zero bytes copied;
+        columns needing a fresh segment get one that joins this batch's
+        owned set instead of transferring to the decoder.  Decoders map
+        borrowed columns zero-copy and never unlink them, so a wire blob
+        can be shipped to a worker that dies before decoding (or never
+        drains the tag) without leaking or double-freeing anything: the
+        encoder's own release is the single point of truth.
+
+        ``trusted=True`` (implied by ``borrow``) marks the blob as
+        intra-machine: the decoder skips the CRC re-verification pass
+        (segment bytes never crossed the pipe) and the CRC field is
+        only populated when already memoized.
         """
-        crc = self.checksum()
+        trusted = trusted or borrow
+        if trusted:
+            crc = self._crc if self._crc is not None else 0
+        else:
+            crc = self.checksum()
+        flags = _FLAG_TRUSTED if trusted else 0
         parts = [
             _HEADER.pack(
-                WIRE_MAGIC, WIRE_VERSION, 0, self.rows,
+                WIRE_MAGIC, WIRE_VERSION, flags, self.rows,
                 len(self.schema.columns), len(self.schema.scalars), crc,
             )
         ]
@@ -291,21 +346,44 @@ class MessageBatch:
                 parts.append(struct.pack("<Bq", _SCALAR_INT, value))
             else:
                 parts.append(struct.pack("<Bd", _SCALAR_FLOAT, value))
-        for col in self.columns:
-            raw = np.ascontiguousarray(col)
-            if shm_threshold is not None and raw.nbytes >= shm_threshold:
-                seg = _create_shared_segment(raw)
+        owned = {i: seg for i, seg in self._shm} if borrow else {}
+        fresh: list[tuple[int, Any]] = []
+        for i, col in enumerate(self.columns):
+            seg = owned.get(i)
+            if seg is not None:
+                # The column still lives in a segment this batch owns:
+                # re-ship it by name, zero bytes copied.
                 nm = seg.name.encode()
                 parts.append(
-                    struct.pack("<BH", _STORE_SHM, len(nm)) + nm
+                    struct.pack("<BH", _STORE_SHM_KEEP, len(nm)) + nm
+                    + struct.pack("<Q", col.nbytes)
+                )
+                continue
+            raw = np.ascontiguousarray(col)
+            if shm_threshold is not None and raw.nbytes >= shm_threshold:
+                if borrow:
+                    seg = _create_shared_segment(raw, tracked=True)
+                    fresh.append((i, seg))
+                    store = _STORE_SHM_KEEP
+                else:
+                    seg = _create_shared_segment(raw)
+                    store = _STORE_SHM
+                nm = seg.name.encode()
+                parts.append(
+                    struct.pack("<BH", store, len(nm)) + nm
                     + struct.pack("<Q", raw.nbytes)
                 )
-                seg.close()
+                if not borrow:
+                    seg.close()
             else:
                 parts.append(
                     struct.pack("<BQ", _STORE_INLINE, raw.nbytes)
                     + raw.tobytes()
                 )
+        if fresh:
+            self._shm = self._shm + tuple(fresh)
+            if self._shm_owner is None:
+                self._shm_owner = os.getpid()
         return b"".join(parts)
 
     @classmethod
@@ -313,15 +391,21 @@ class MessageBatch:
         """Decode :meth:`to_bytes` output (zero-copy where possible).
 
         Inline columns become read-only views over ``buf``;
-        shared-memory columns are mapped in place and stay mapped until
-        :meth:`detach_shared`.  The embedded CRC-32 is recomputed over
-        the decoded batch and a mismatch raises ``ValueError`` — the
-        same integrity check the reliable transport performs per block.
+        shared-memory columns are mapped in place — *owned* ones stay
+        linked until :meth:`detach_shared` / :meth:`release_shared`,
+        *borrowed* ones (``borrow=True`` encodes) are mapped and
+        immediately divorced from their ``SharedMemory`` wrapper, so
+        the view stays valid for its own lifetime while the encoder
+        keeps the only unlink obligation.  The embedded CRC-32 is
+        recomputed over the decoded batch and a mismatch raises
+        ``ValueError`` — the same integrity check the reliable
+        transport performs per block — except for trusted intra-machine
+        blobs, whose column bytes never crossed a pipe.
         """
         view = memoryview(buf)
         if len(view) < _HEADER.size:
             raise ValueError("truncated wire batch (short header)")
-        magic, version, _flags, rows, ncols, nscalars, crc = _HEADER.unpack(
+        magic, version, flags, rows, ncols, nscalars, crc = _HEADER.unpack(
             view[: _HEADER.size]
         )
         if magic != WIRE_MAGIC:
@@ -364,7 +448,7 @@ class MessageBatch:
             if store == _STORE_INLINE:
                 (nbytes,) = struct.unpack("<Q", take(8))
                 columns.append(np.frombuffer(take(nbytes), dtype=dt))
-            elif store == _STORE_SHM:
+            elif store in (_STORE_SHM, _STORE_SHM_KEEP):
                 (nm_len,) = struct.unpack("<H", take(2))
                 seg_name = bytes(take(nm_len)).decode()
                 (nbytes,) = struct.unpack("<Q", take(8))
@@ -372,21 +456,37 @@ class MessageBatch:
                 columns.append(
                     np.frombuffer(seg.buf, dtype=dt, count=nbytes // dt.itemsize)
                 )
-                segments.append((i, seg))
+                if store == _STORE_SHM:
+                    segments.append((i, seg))
+                else:
+                    # Borrowed: the encoder keeps the unlink obligation.
+                    # Divorce the mapping from its wrapper so the view
+                    # outlives the (encoder-unlinked) name on its own.
+                    _defuse_segment(seg)
             else:
                 raise ValueError(f"unknown column storage {store}")
         batch = cls(schema, tuple(columns), tuple(scalars))
         batch._shm = tuple(segments)
+        if segments:
+            batch._shm_owner = os.getpid()
         if batch.rows != rows:
             raise ValueError(
                 f"row count mismatch: header says {rows}, decoded {batch.rows}"
             )
-        actual = batch.checksum()
-        if actual != crc:
-            raise ValueError(
-                f"wire checksum mismatch: header {crc:#010x}, "
-                f"recomputed {actual:#010x}"
-            )
+        if flags & _FLAG_TRUSTED:
+            # Intra-machine blob: segment bytes never crossed the pipe,
+            # so there is nothing the CRC pass would catch that the
+            # header parse did not.  Adopt the memoized value if the
+            # encoder had one.
+            if crc:
+                batch._crc = crc
+        else:
+            actual = batch.checksum()
+            if actual != crc:
+                raise ValueError(
+                    f"wire checksum mismatch: header {crc:#010x}, "
+                    f"recomputed {actual:#010x}"
+                )
         return batch
 
     def detach_shared(self) -> None:
@@ -405,6 +505,34 @@ class MessageBatch:
             seg.close()
             seg.unlink()
         self._shm = ()
+        self._shm_owner = None
+
+    def release_shared(self) -> None:
+        """Unlink owned segments **without** copying the columns private.
+
+        The zero-copy sibling of :meth:`detach_shared`: the mapped views
+        stay valid (a mapping lives until its last view dies); only the
+        ``/dev/shm`` names are removed.  A no-op in any process that is
+        not the recorded owner — a forked child inheriting this batch
+        must never unlink segments its parent still serves to workers.
+        Called automatically when the owning batch is garbage-collected,
+        so queue entries dropped on abort/recovery paths self-clean.
+        """
+        if not self._shm:
+            return
+        if self._shm_owner != os.getpid():
+            return
+        for _, seg in self._shm:
+            _release_segment(seg)
+        self._shm = ()
+        self._shm_owner = None
+
+    def __del__(self) -> None:
+        try:
+            self.release_shared()
+        # repro-lint: disable-next-line=swallowed-error -- GC/interpreter-teardown finalizer; release is best-effort and idempotent
+        except Exception:  # pragma: no cover
+            pass
 
     def __reduce__(self) -> tuple[Any, ...]:
         # Pickle rides the wire format (inline columns only), so a batch
@@ -426,24 +554,126 @@ def _batch_from_wire(buf: bytes) -> MessageBatch:
     return MessageBatch.from_bytes(buf)
 
 
-def _create_shared_segment(raw: np.ndarray) -> Any:
+#: Name family for every segment this process (and its forked workers)
+#: creates.  Computed once at import so forked children inherit the same
+#: family and :func:`leaked_segments` can sweep for stragglers; the
+#: creator's live pid is appended per segment so concurrent creators in
+#: the same family never fight over a name.
+_SEGMENT_FAMILY = f"repro-{os.getpid():x}-"
+_segment_serial = itertools.count()
+
+#: Live registry of *resident* segments this process owns (name ->
+#: nbytes).  Ephemeral wire-format segments are intentionally absent:
+#: their ownership transfers to whoever decodes the batch, so only the
+#: long-lived graph-residency segments count toward the memory model
+#: (see :func:`repro.runtime.memory.shared_segment_overhead`).
+_resident_registry: dict[str, int] = {}
+
+
+def _next_segment_name() -> str:
+    return f"{_SEGMENT_FAMILY}{os.getpid():x}-{next(_segment_serial)}"
+
+
+def register_resident_segment(name: str, nbytes: int) -> None:
+    """Record a long-lived segment in the per-process accounting registry."""
+    _resident_registry[name] = nbytes
+
+
+def unregister_resident_segment(name: str) -> None:
+    """Drop a segment from the accounting registry (idempotent)."""
+    _resident_registry.pop(name, None)
+
+
+def resident_segment_nbytes() -> int:
+    """Total bytes of live resident segments owned by this process."""
+    return sum(_resident_registry.values())
+
+
+def leaked_segments() -> list[str]:
+    """Names of this process family's segments still present in /dev/shm.
+
+    Ground truth for leak assertions: after an executor is closed (even
+    after killing a worker mid-phase) this must be empty.
+    """
+    base = "/dev/shm"
+    if not os.path.isdir(base):  # pragma: no cover - non-POSIX platform
+        return []
+    return sorted(n for n in os.listdir(base) if n.startswith(_SEGMENT_FAMILY))
+
+
+def _create_shared_segment(raw: np.ndarray, tracked: bool = False) -> Any:
     """A new shared-memory segment holding ``raw``'s bytes.
 
-    Unregistered from the ``multiprocessing`` resource tracker on
-    purpose: the decoding side unlinks explicitly (``detach_shared``),
-    and a fork-spawned creator calling ``os._exit`` must not leave a
-    tracker entry behind to double-unlink.
+    By default the segment is unregistered from the ``multiprocessing``
+    resource tracker on purpose: the decoding side unlinks explicitly
+    (``detach_shared``), and a fork-spawned creator calling ``os._exit``
+    must not leave a tracker entry behind to double-unlink.  Pass
+    ``tracked=True`` for resident segments whose attach/unlink pairing
+    happens in this same process (the executor pool's graph residency):
+    the registration stays so a hard-crashed parent still gets tracker
+    cleanup, and the owner's ``unlink()`` balances it.
     """
     from multiprocessing import resource_tracker, shared_memory
 
-    seg = shared_memory.SharedMemory(create=True, size=max(1, raw.nbytes))
-    try:
-        resource_tracker.unregister(seg._name, "shared_memory")  # noqa: SLF001
-    # repro-lint: disable-next-line=swallowed-error -- tracker API is CPython-internal; segment lifetime is managed explicitly either way
-    except Exception:  # pragma: no cover
-        pass
-    seg.buf[: raw.nbytes] = raw.tobytes()
+    while True:
+        try:
+            seg = shared_memory.SharedMemory(
+                name=_next_segment_name(), create=True, size=max(1, raw.nbytes)
+            )
+            break
+        # repro-lint: disable-next-line=swallowed-error -- name collision with a sibling process in the same family; the serial counter advances and we retry
+        except FileExistsError:  # pragma: no cover - racing forked creators
+            continue
+    if not tracked:
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")  # noqa: SLF001
+        # repro-lint: disable-next-line=swallowed-error -- tracker API is CPython-internal; segment lifetime is managed explicitly either way
+        except Exception:  # pragma: no cover
+            pass
+    if raw.nbytes:
+        # One memcpy straight into the mapping — ``tobytes()`` would
+        # materialize a second full copy on the heap first.
+        seg.buf[: raw.nbytes] = memoryview(raw).cast("B")
     return seg
+
+
+def _defuse_segment(seg: Any) -> None:
+    """Divorce a mapping from its ``SharedMemory`` wrapper (zero-copy).
+
+    Any live NumPy view built over ``seg.buf`` holds the exporting
+    memoryview via its base chain, and the memoryview holds the mmap —
+    so after dropping the wrapper's file descriptor and its own
+    references, the mapping lives exactly as long as the last view and
+    is munmapped by ordinary refcounting.  ``SharedMemory.close()`` (and
+    thus ``__del__``) becomes a no-op, which is the point: the wrapper's
+    eager ``_buf.release()`` would raise ``BufferError`` under exported
+    views.  The segment *name* is untouched; pair with ``unlink()``
+    (before or after) according to who owns it.
+    """
+    fd = getattr(seg, "_fd", -1)
+    if fd >= 0:
+        os.close(fd)
+        seg._fd = -1  # noqa: SLF001
+    seg._buf = None  # noqa: SLF001
+    seg._mmap = None  # noqa: SLF001
+
+
+def _release_segment(seg: Any) -> None:
+    """Unlink an owned segment, keeping any live views valid.
+
+    Tolerates a name already swept by crash teardown: ``unlink()``
+    unregisters from the resource tracker only after a successful
+    ``shm_unlink``, and the sweeper's own unlink already unregistered
+    the shared set entry, so a ``FileNotFoundError`` here must *not* be
+    followed by a second unregister (the tracker daemon would print a
+    ``KeyError``).
+    """
+    try:
+        seg.unlink()
+    # repro-lint: disable-next-line=swallowed-error -- already unlinked by the crash sweeper, whose unlink balanced the tracker entry
+    except FileNotFoundError:  # pragma: no cover - post-crash teardown race
+        pass
+    _defuse_segment(seg)
 
 
 def _attach_shared_segment(name: str) -> Any:
@@ -454,10 +684,22 @@ def _attach_shared_segment(name: str) -> Any:
     again internally — so the attach-side registration is already
     balanced, and an explicit unregister here would make the tracker
     daemon print a KeyError for every segment.
+
+    A missing segment means its owner already unlinked it (each wire
+    batch must be decoded exactly once) or the producing worker died
+    before publishing — either way the receiver gets a clean,
+    diagnosable error rather than a raw ``FileNotFoundError``.
     """
     from multiprocessing import shared_memory
 
-    return shared_memory.SharedMemory(name=name)
+    try:
+        return shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as exc:
+        raise ValueError(
+            f"shared-memory segment {name!r} is gone; wire batches own "
+            "their segments and must be decoded exactly once, and a "
+            "worker that died mid-send leaves nothing to attach"
+        ) from exc
 
 
 def concat_batches(

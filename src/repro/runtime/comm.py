@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict, deque
-from typing import Any, Iterable, Protocol
+from typing import Any, Iterable, Mapping, Protocol
 
 import numpy as np
 
@@ -357,6 +357,31 @@ class Communicator:
             q.popleft()
         if self.observer is not None:
             self.observer.on_recv(dst, tag, count)
+
+    def snapshot_queues(self, dst: int) -> dict[str, list[tuple[int, Any]]]:
+        """Non-draining FIFO snapshot of every non-empty queue for ``dst``.
+
+        The pooled process executor ships this to the worker that runs
+        ``dst``'s task, where :meth:`preload_queues` installs it into a
+        fresh worker-side communicator; the parent's queues stay intact
+        until :meth:`replay_recv` re-plays the worker's drains at the
+        barrier.  Iteration order is the queues' insertion order, which
+        is deterministic under the barrier protocol.
+        """
+        self._check_host(dst)
+        out: dict[str, list[tuple[int, Any]]] = {}
+        for (d, tag), q in self._queues.items():
+            if d == dst and q:
+                out[tag] = list(q)
+        return out
+
+    def preload_queues(
+        self, dst: int, snapshot: Mapping[str, list[tuple[int, Any]]]
+    ) -> None:
+        """Install a :meth:`snapshot_queues` snapshot (worker side)."""
+        self._check_host(dst)
+        for tag, entries in snapshot.items():
+            self._queues[(dst, tag)].extend(entries)
 
     # ------------------------------------------------------------------
     # Columnar batch path (repro.runtime.colfab)

@@ -575,6 +575,55 @@ class FaultInjector:
         self._channels = {}
 
     # ------------------------------------------------------------------
+    # Mid-phase shipping (pooled process executor)
+    # ------------------------------------------------------------------
+    def export_live_state(self) -> dict[str, Any]:
+        """Picklable snapshot of the injector *mid-phase*, channels included.
+
+        Unlike :meth:`state_dict` (which is for cross-process resume at a
+        checkpoint and deliberately resets phase/channel state), this
+        captures everything a pool worker needs to continue the exact
+        fault sequence from the current point inside a phase: the open
+        phase, the per-host op counters, the consumed-draw positions of
+        each channel's generator, and pending (uncommitted) crash fires.
+        The global event log is *not* shipped — workers redirect channel
+        events into per-host ledgers, and the parent merges those in host
+        order at the barrier.
+        """
+        return {
+            "plan": self.plan,
+            "attempt": self.attempt,
+            "phase": self._phase,
+            "phase_order": list(self._phase_order),
+            "fired": sorted(self._fired),
+            "torn_fired": sorted(self._torn_fired),
+            "channels": {
+                host: {
+                    "ops": ch.ops,
+                    "rng": ch._rng.bit_generator.state,
+                    "fired": list(ch.fired),
+                }
+                for host, ch in self._channels.items()
+            },
+        }
+
+    @classmethod
+    def from_live_state(cls, state: Mapping[str, Any]) -> "FaultInjector":
+        """Reconstruct a worker-side injector from :meth:`export_live_state`."""
+        inj = cls(state["plan"])
+        inj.attempt = int(state["attempt"])
+        inj._phase = state["phase"]
+        inj._phase_order = [str(p) for p in state["phase_order"]]
+        inj._fired = {int(i) for i in state["fired"]}
+        inj._torn_fired = {str(s) for s in state["torn_fired"]}
+        for host, ch_state in state["channels"].items():
+            ch = inj.channel(int(host))
+            ch.ops = int(ch_state["ops"])
+            ch._rng.bit_generator.state = ch_state["rng"]
+            ch.fired = list(ch_state["fired"])
+        return inj
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def event_counts(self) -> dict[str, int]:

@@ -16,6 +16,7 @@ across ledger merges, ``pending`` with mixed direct/ledger sends) that
 the batch receiver builds on.
 """
 
+import os
 import pickle
 
 import numpy as np
@@ -31,6 +32,7 @@ from repro.runtime.colfab import (
     ColumnSchema,
     MessageBatch,
     ReceivedBatch,
+    leaked_segments,
     resolve_fabric,
 )
 from repro.runtime.colfab import concat_batches
@@ -235,6 +237,115 @@ class TestWireFormat:
         buf = batch.to_bytes()
         back = MessageBatch.from_bytes(buf)
         assert not back.columns[0].flags.owndata  # view over the frame
+
+
+class TestWireShmAbnormalExit:
+    """Shared-memory column lifecycle when a worker exits abnormally.
+
+    The process executor's crash sweeper unlinks whatever a dead worker
+    left behind; these tests pin the contracts that make that safe:
+    every segment is unlinked exactly once (a second release is a
+    no-op, a sweeper-raced release swallows ``FileNotFoundError``
+    without re-poking the resource tracker), a receiver attaching a
+    swept name gets a diagnosable ``ValueError`` instead of a raw
+    ``FileNotFoundError``, and a forked child inheriting a batch never
+    unlinks segments its parent still serves.
+    """
+
+    SCHEMA = ColumnSchema((("src", I64), ("dst", I32)), scalars=("count",))
+
+    def _shm_batch(self, rows=4096):
+        src = np.arange(rows, dtype=np.int64)
+        dst = np.arange(rows, dtype=np.int32)
+        return MessageBatch(self.SCHEMA, (src, dst), (rows,))
+
+    def test_swept_segment_gives_clean_recv_error(self):
+        # Decoding the same wire blob twice models a receiver attaching
+        # a name the crash sweeper (or the first decoder) already
+        # unlinked: the second attach must fail with a diagnosable
+        # ValueError, not a raw FileNotFoundError.
+        buf = self._shm_batch().to_bytes(shm_threshold=1024)
+        first = MessageBatch.from_bytes(buf)
+        first.detach_shared()
+        with pytest.raises(ValueError, match="is gone"):
+            MessageBatch.from_bytes(buf)
+        assert leaked_segments() == []
+
+    def test_release_unlinks_exactly_once_and_keeps_views_valid(self):
+        batch = self._shm_batch()
+        buf = batch.to_bytes(shm_threshold=1024)
+        back = MessageBatch.from_bytes(buf)
+        assert leaked_segments() != []  # decoder now owns live segments
+        view = back.column("src")
+        back.release_shared()
+        assert leaked_segments() == []
+        # The mapping outlives the unlink; only the /dev/shm name died.
+        assert np.array_equal(view, batch.column("src"))
+        # Second release (and the GC finalizer) must be a no-op.
+        back.release_shared()
+        del back
+        assert leaked_segments() == []
+
+    def test_release_after_external_sweep_does_not_double_unlink(self):
+        from multiprocessing import shared_memory
+
+        buf = self._shm_batch().to_bytes(shm_threshold=1024)
+        back = MessageBatch.from_bytes(buf)
+        names = list(leaked_segments())
+        assert names
+        # Simulate the crash sweeper getting there first: unlink the
+        # names out from under the owning batch.
+        for name in names:
+            seg = shared_memory.SharedMemory(name=name)
+            seg.close()
+            seg.unlink()
+        # The owner's release must tolerate the already-swept names
+        # (exactly-once unlink: no FileNotFoundError, and no second
+        # resource-tracker unregister for the tracker daemon to choke
+        # on) and still leave zero leaks.
+        back.release_shared()
+        assert leaked_segments() == []
+
+    def test_borrowed_segments_survive_decoder_death(self):
+        encoder = self._shm_batch()
+        buf = encoder.to_bytes(shm_threshold=1024, borrow=True)
+        # Borrow mode: the encoder keeps the unlink obligation...
+        assert encoder._shm and encoder._shm_owner == os.getpid()
+        back = MessageBatch.from_bytes(buf)
+        # ...so the decoder owns nothing and its death (or never
+        # decoding at all) cannot unlink or leak anything.
+        assert back._shm == ()
+        view = back.column("dst")
+        del back
+        assert leaked_segments() != []  # encoder's segments still live
+        # Re-shipping the same batch references the segments by name —
+        # still exactly one owner, no new segments.
+        again = MessageBatch.from_bytes(
+            encoder.to_bytes(shm_threshold=1024, borrow=True)
+        )
+        assert_batches_equal(encoder, again)
+        names_before = leaked_segments()
+        encoder.release_shared()
+        assert leaked_segments() == []
+        assert names_before  # the release above was the single unlink
+        assert np.array_equal(view, np.arange(4096, dtype=np.int32))
+
+    def test_forked_child_never_unlinks_parent_segments(self):
+        buf = self._shm_batch().to_bytes(shm_threshold=1024)
+        back = MessageBatch.from_bytes(buf)
+        assert leaked_segments() != []
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - asserted via the parent
+            # Child: abnormal exit path — the inherited batch's release
+            # (explicit or via GC at interpreter teardown) must be a
+            # no-op because the recorded owner pid is the parent's.
+            back.release_shared()
+            os._exit(0 if leaked_segments() else 1)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        assert leaked_segments() != []  # parent's segments untouched
+        back.release_shared()
+        assert leaked_segments() == []
 
 
 class TestConcatBatches:

@@ -13,6 +13,8 @@ NumPy 2 scalars and 0-d arrays, explicit ``nbytes=`` on allreduce, and
 ``partners`` counting retry-only peers.
 """
 
+import os
+import signal
 import threading
 
 import numpy as np
@@ -38,7 +40,21 @@ from repro.runtime.faults import (
     SendRetriesExhausted,
 )
 
+from repro.runtime.colfab import leaked_segments
+
 from .strategies import fault_plans, graphs
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_shm_segments():
+    """Every test in this module — pooled process runs included — must
+    leave ``/dev/shm`` clean: graph-residency segments are unlinked at
+    executor close, wire segments at decode/release, and crash teardown
+    sweeps whatever a killed worker abandoned."""
+    yield
+    assert leaked_segments() == [], (
+        "shared-memory segments leaked past executor teardown"
+    )
 
 
 def assert_same_partition(a, b):
@@ -383,6 +399,54 @@ def _make_stats(num_hosts=3):
 
     comm = Communicator(num_hosts, injector=FaultInjector(FaultPlan()))
     return PhaseStats(name="test", comm=comm, num_hosts=num_hosts)
+
+
+# Module-level bodies: resolvable by name in a pool worker, so these
+# barriers take the persistent-pool path (lambdas would fall back to
+# fork-per-barrier and never touch the pool's crash teardown).
+def _pool_large_delta_body(view):
+    view.send(1, np.arange(1 << 15, dtype=np.int64), tag="bulk")
+    return "shipped"
+
+
+def _pool_suicide_body(view):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _pool_ok_body(view):
+    return "ok"
+
+
+class TestPoolCrashTeardown:
+    """Killing a pool worker mid-phase must not leak a single segment,
+    and the pool must respawn transparently on the next barrier."""
+
+    def test_worker_killed_mid_phase_sweeps_all_segments(self):
+        ph = _make_stats(num_hosts=2)
+        # Pending inbound traffic for the doomed host rides to its
+        # worker in borrowed shm segments the worker will never drain.
+        ph.comm.send(0, 1, np.arange(1 << 15, dtype=np.int64), tag="pre")
+        ex = ProcessExecutor(max_workers=2)
+        try:
+            tasks = [
+                HostTask(0, _pool_large_delta_body),  # ships a big delta
+                HostTask(1, _pool_suicide_body),      # SIGKILLs itself
+            ]
+            with pytest.raises(RuntimeError, match="died without shipping"):
+                ex.run(ph, tasks)
+            # Crash teardown swept everything: the borrowed preload
+            # segments, the surviving worker's decoded delta, and any
+            # orphan the dead worker left in /dev/shm.
+            assert leaked_segments() == []
+            # The next barrier respawns the pool and runs normally.
+            ph2 = _make_stats(num_hosts=2)
+            out = ex.run(ph2, [
+                HostTask(0, _pool_ok_body), HostTask(1, _pool_ok_body),
+            ])
+            assert out == ["ok", "ok"]
+        finally:
+            ex.close()
+        assert leaked_segments() == []
 
 
 class TestCommRegressions:
